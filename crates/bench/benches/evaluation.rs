@@ -1,0 +1,129 @@
+//! Benches regenerating the paper's headline evaluation at reduced scale:
+//! Fig 7 (vanilla vs CHOPPER totals), Fig 8 (KMeans per-stage breakdown),
+//! Table II (stage-0 time) and Table III (per-stage partition counts).
+//!
+//! The expensive auto-tuning comparison runs once per figure; the measured
+//! kernels are the planner-side components that regenerate each artifact.
+
+use chopper::{Autotuner, Comparison, TestRunPlan, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{EngineOptions, PartitionerKind, WorkloadConf};
+use simcluster::paper_cluster;
+use workloads::{KMeans, KMeansConfig};
+
+fn workload() -> KMeans {
+    let mut cfg = KMeansConfig::paper();
+    cfg.points = 20_000;
+    KMeans::new(cfg)
+}
+
+fn tuner() -> Autotuner {
+    let mut t = Autotuner::new(EngineOptions {
+        cluster: paper_cluster(),
+        default_parallelism: 300,
+        workers: 2,
+        ..EngineOptions::default()
+    });
+    t.test_plan = TestRunPlan {
+        scales: vec![0.2, 0.5, 1.0],
+        partitions: vec![60, 150, 300, 600],
+        kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
+        probe_user_fixed: true,
+    };
+    t
+}
+
+fn compare_once() -> Comparison {
+    tuner().compare(&workload())
+}
+
+fn fig7(c: &mut Criterion) {
+    let cmp = compare_once();
+    assert!(
+        cmp.chopper_time() < cmp.vanilla_time(),
+        "fig7 shape: CHOPPER must win ({:.1}s vs {:.1}s)",
+        cmp.chopper_time(),
+        cmp.vanilla_time()
+    );
+    println!(
+        "fig7: kmeans vanilla {:.1}s -> chopper {:.1}s ({:+.1}%)",
+        cmp.vanilla_time(),
+        cmp.chopper_time(),
+        cmp.improvement_pct()
+    );
+    // Measured kernel: computing the global plan from a trained database.
+    let db = cmp.db.clone();
+    let t = tuner();
+    let w = workload();
+    c.bench_function("fig7/global-planning", |b| b.iter(|| t.plan(&w, &db)));
+}
+
+fn fig8_table2(c: &mut Criterion) {
+    let cmp = compare_once();
+    let v0 = cmp.vanilla.all_stages()[0].duration();
+    let c0 = cmp.chopper.all_stages()[0].duration();
+    // At reduced scale, the partition-dependency group may decide that
+    // keeping stage 0's default is jointly optimal for the cached chain,
+    // so require "no slower" here (the full-scale repro shows the Table II
+    // improvement) together with a faster total.
+    assert!(
+        c0 <= v0 * 1.01,
+        "table2 shape: CHOPPER's stage 0 must not regress ({c0:.1} vs {v0:.1})"
+    );
+    assert!(cmp.chopper_time() < cmp.vanilla_time());
+    println!("table2: stage0 vanilla {v0:.1}s -> chopper {c0:.1}s");
+    for (i, (vs, cs)) in
+        cmp.vanilla.all_stages().iter().zip(cmp.chopper.all_stages()).enumerate()
+    {
+        println!("fig8: stage {i} {:.2}s -> {:.2}s", vs.duration(), cs.duration());
+    }
+    // Measured kernel: one vanilla full run (the Fig 8 baseline column).
+    let w = workload();
+    let opts = EngineOptions {
+        cluster: paper_cluster(),
+        default_parallelism: 300,
+        workers: 2,
+        ..EngineOptions::default()
+    };
+    c.bench_function("fig8/vanilla-run", |b| {
+        b.iter(|| w.run(&opts, &WorkloadConf::new(), 1.0))
+    });
+}
+
+fn table3(c: &mut Criterion) {
+    let cmp = compare_once();
+    let counts: Vec<usize> =
+        cmp.chopper.all_stages().iter().map(|s| s.num_tasks).collect();
+    let distinct: std::collections::HashSet<usize> = counts.iter().copied().collect();
+    assert!(distinct.len() >= 2, "table3 shape: per-stage variety, got {counts:?}");
+    // Iterations (the repeated update stages) share one count.
+    let kcfg = workload().config.clone();
+    let first_iter = 1 + kcfg.prep_passes;
+    let iter_reduce: Vec<usize> = (0..kcfg.iterations)
+        .map(|i| counts[first_iter + 2 * i + 1])
+        .collect();
+    assert!(
+        iter_reduce.windows(2).all(|w| w[0] == w[1]),
+        "table3 shape: iterative stages share a scheme: {iter_reduce:?}"
+    );
+    println!("table3: chopper per-stage partitions {counts:?}");
+    // Measured kernel: emitting + parsing the configuration file.
+    let conf = cmp.plan.conf.clone();
+    c.bench_function("table3/config-roundtrip", |b| {
+        b.iter(|| {
+            let text = conf.to_text();
+            engine::WorkloadConf::from_text(&text).expect("round trip")
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig7, fig8_table2, table3
+}
+criterion_main!(benches);

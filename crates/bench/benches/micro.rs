@@ -1,0 +1,103 @@
+//! Component microbenchmarks: the hot kernels every experiment above is
+//! built from — partitioners, shuffle bucketing with combine, least-squares
+//! model fitting, the Eq. 4 grid search, and the cluster simulator itself.
+
+use chopper::{Observation, StageModel};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use engine::shuffle::bucketize;
+use engine::{HashPartitioner, Key, Partitioner, RangePartitioner, Record, ReduceFn, Value};
+use simcluster::{paper_cluster, Simulation, TaskSpec};
+use std::sync::Arc;
+
+fn records(n: usize, keys: i64) -> Vec<Record> {
+    (0..n).map(|i| Record::new(Key::Int(i as i64 % keys), Value::Int(1))).collect()
+}
+
+fn partitioners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partitioner");
+    let keys: Vec<Key> = (0..100_000).map(Key::Int).collect();
+    let hash = HashPartitioner::new(300);
+    g.bench_function("hash-100k-keys", |b| {
+        b.iter(|| keys.iter().map(|k| hash.partition(k)).sum::<usize>())
+    });
+    let range = RangePartitioner::from_sample(keys.iter(), 300, 7);
+    g.bench_function("range-100k-keys", |b| {
+        b.iter(|| keys.iter().map(|k| range.partition(k)).sum::<usize>())
+    });
+    g.bench_function("range-construction-from-sample", |b| {
+        b.iter(|| RangePartitioner::from_sample(keys.iter(), 300, 7))
+    });
+    g.finish();
+}
+
+fn shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shuffle");
+    let data = records(50_000, 500);
+    let part = HashPartitioner::new(64);
+    let sum: ReduceFn = Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int()));
+    g.bench_function("bucketize-50k-no-combine", |b| {
+        b.iter(|| bucketize(&data, &part, None))
+    });
+    g.bench_function("bucketize-50k-with-combine", |b| {
+        b.iter(|| bucketize(&data, &part, Some(&sum)))
+    });
+    g.finish();
+}
+
+fn model_fitting(c: &mut Criterion) {
+    let mut obs = Vec::new();
+    for d in 1..8 {
+        for p in 1..8 {
+            let (d, p) = (d as f64 * 1e7, p as f64 * 100.0);
+            obs.push(Observation {
+                d,
+                p,
+                t_exe: d / 1e6 / p.min(112.0) + 0.01 * p,
+                s_shuffle: 100.0 * p,
+            });
+        }
+    }
+    c.bench_function("model/fit-eq1-eq2-49-points", |b| {
+        b.iter(|| StageModel::fit(&obs).expect("fits"))
+    });
+    let model = StageModel::fit(&obs).expect("fits");
+    let candidates: Vec<usize> = (1..=99).map(|i| i * 10).collect();
+    c.bench_function("model/eq4-grid-search", |b| {
+        b.iter(|| {
+            candidates
+                .iter()
+                .map(|&p| chopper::cost(&model, Default::default(), 4e7, p as f64, 300))
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+}
+
+fn simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcluster");
+    for &tasks in &[300usize, 2000] {
+        g.bench_function(format!("stage-of-{tasks}-tasks"), |b| {
+            b.iter_batched(
+                || {
+                    let sim = Simulation::new(paper_cluster());
+                    let specs: Vec<TaskSpec> =
+                        (0..tasks).map(|i| TaskSpec::compute(1.0 + (i % 7) as f64)).collect();
+                    (sim, specs)
+                },
+                |(mut sim, specs)| sim.run_stage(&specs),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = partitioners, shuffle, model_fitting, simulator
+}
+criterion_main!(benches);

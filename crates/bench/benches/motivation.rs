@@ -1,0 +1,102 @@
+//! Benches regenerating the paper's Section II-B motivation study at
+//! reduced scale: Table I, Fig 2 (per-stage time vs P), Fig 3 (stage-0 time
+//! vs P), Fig 4 (shuffle volume vs P), and the 2000-partition blow-up.
+//!
+//! Each bench prints its (reduced) data series once, then measures the cost
+//! of regenerating one sweep point. Shape invariants are asserted so a
+//! regression in any crate fails `cargo bench` loudly.
+
+use chopper::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{EngineOptions, WorkloadConf};
+use simcluster::paper_cluster;
+use workloads::{KMeans, KMeansConfig};
+
+fn engine(p: usize) -> EngineOptions {
+    EngineOptions {
+        cluster: paper_cluster(),
+        default_parallelism: p,
+        workers: 2,
+        ..EngineOptions::default()
+    }
+}
+
+fn workload() -> KMeans {
+    let mut cfg = KMeansConfig::paper();
+    cfg.points = 20_000; // reduced for bench turnaround
+    KMeans::new(cfg)
+}
+
+fn sweep(p: usize) -> (Vec<f64>, Vec<u64>, f64) {
+    let ctx = workload().run(&engine(p), &WorkloadConf::new(), 1.0);
+    let durs: Vec<f64> = ctx.all_stages().iter().map(|s| s.duration()).collect();
+    let shuffles: Vec<u64> = ctx
+        .all_stages()
+        .iter()
+        .filter(|s| s.shuffle_data() > 0)
+        .map(|s| s.shuffle_data())
+        .collect();
+    let total = ctx.jobs().last().expect("jobs ran").end;
+    (durs, shuffles, total)
+}
+
+fn table1(c: &mut Criterion) {
+    let w = workload();
+    println!("table1: kmeans reduced input = {} bytes", w.full_input_bytes());
+    c.bench_function("table1/input-generation", |b| {
+        b.iter(|| {
+            let gen = workloads::PointGen::new(10, 20, 2.0, 1);
+            criterion::black_box(gen.partition(20_000, 0, 64))
+        })
+    });
+}
+
+fn fig2(c: &mut Criterion) {
+    let (d100, _, _) = sweep(100);
+    let (d500, _, _) = sweep(500);
+    let both_win = d100.iter().zip(&d500).any(|(a, b)| a < b)
+        && d100.iter().zip(&d500).any(|(a, b)| a > b);
+    assert!(both_win, "fig2 shape: no single P wins every stage");
+    println!("fig2: per-stage times P=100 {d100:.1?}");
+    println!("fig2: per-stage times P=500 {d500:.1?}");
+    c.bench_function("fig2/per-stage-sweep-point", |b| b.iter(|| sweep(300)));
+}
+
+fn fig3(c: &mut Criterion) {
+    let t100 = sweep(100).0[0];
+    let t300 = sweep(300).0[0];
+    let t500 = sweep(500).0[0];
+    assert!(t100 > t300 && t300 > t500, "fig3 shape: stage-0 improves 100→500");
+    println!("fig3: stage0 P=100 {t100:.1}s, P=300 {t300:.1}s, P=500 {t500:.1}s");
+    c.bench_function("fig3/stage0-sweep-point", |b| b.iter(|| sweep(100).0[0]));
+}
+
+fn fig4(c: &mut Criterion) {
+    let s100 = sweep(100).1;
+    let s500 = sweep(500).1;
+    for (a, b) in s100.iter().zip(&s500) {
+        assert!(a < b, "fig4 shape: shuffle grows with P ({a} !< {b})");
+    }
+    println!("fig4: shuffle bytes P=100 {s100:?}");
+    println!("fig4: shuffle bytes P=500 {s500:?}");
+    c.bench_function("fig4/shuffle-accounting", |b| b.iter(|| sweep(300).1));
+}
+
+fn sec2b(c: &mut Criterion) {
+    let (_, _, t500) = sweep(500);
+    let (_, _, t2000) = sweep(2000);
+    assert!(t2000 > t500, "sec2b shape: 2000 partitions are slower");
+    println!("sec2b: total P=500 {t500:.1}s vs P=2000 {t2000:.1}s");
+    c.bench_function("sec2b/blowup-point", |b| b.iter(|| sweep(2000).2));
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = table1, fig2, fig3, fig4, sec2b
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Benches regenerating the paper's SQL shuffle study at reduced scale:
+//! Fig 9 (shuffle data per stage) and Fig 10 (per-stage execution time with
+//! the co-partitioned join).
+
+use chopper::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{EngineOptions, StageKind, WorkloadConf};
+use simcluster::paper_cluster;
+use workloads::{Sql, SqlConfig};
+
+fn workload() -> Sql {
+    Sql::new(SqlConfig {
+        orders: 60_000,
+        returns: 30_000,
+        keys: 8_000,
+        zipf: 0.9,
+        payload: 24,
+        seed: 42,
+    })
+}
+
+fn engine(copartition: bool) -> EngineOptions {
+    EngineOptions {
+        cluster: paper_cluster(),
+        default_parallelism: 300,
+        copartition_scheduling: copartition,
+        workers: 2,
+        ..EngineOptions::default()
+    }
+}
+
+fn fig9(c: &mut Criterion) {
+    let w = workload();
+    let vanilla = w.run(&engine(false), &WorkloadConf::new(), 1.0);
+    let chopper = w.run(&engine(true), &WorkloadConf::new(), 1.0);
+    let v: Vec<u64> = vanilla.all_stages().iter().map(|s| s.shuffle_data()).collect();
+    let ch: Vec<u64> = chopper.all_stages().iter().map(|s| s.shuffle_data()).collect();
+    // Stage 4 (the join) moves identical volume under both systems.
+    assert_eq!(v[4], ch[4], "fig9 shape: join volume is placement-independent");
+    assert!(v[..4].iter().all(|&b| b > 0), "fig9 shape: stages 0-3 shuffle");
+    println!("fig9: shuffle KB vanilla {:?}", v.iter().map(|b| b / 1024).collect::<Vec<_>>());
+    println!("fig9: shuffle KB chopper {:?}", ch.iter().map(|b| b / 1024).collect::<Vec<_>>());
+    c.bench_function("fig9/sql-pipeline", |b| {
+        b.iter(|| w.run(&engine(false), &WorkloadConf::new(), 1.0))
+    });
+}
+
+fn fig10(c: &mut Criterion) {
+    let w = workload();
+    let chopper = w.run(&engine(true), &WorkloadConf::new(), 1.0);
+    let join = chopper
+        .all_stages()
+        .into_iter()
+        .find(|s| s.kind == StageKind::Join)
+        .expect("stage 4 is the join")
+        .clone();
+    assert_eq!(join.remote_read_bytes, 0, "fig10 shape: co-partitioned join reads locally");
+    println!(
+        "fig10: join stage {:.2}s, {} KB read, {} KB remote",
+        join.duration(),
+        join.shuffle_read_bytes / 1024,
+        join.remote_read_bytes / 1024
+    );
+    c.bench_function("fig10/copartitioned-pipeline", |b| {
+        b.iter(|| w.run(&engine(true), &WorkloadConf::new(), 1.0))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig9, fig10
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Benches regenerating the paper's utilization time series (Figs 11-14):
+//! CPU %, memory %, packets/s, and disk transactions/s over a workload's
+//! execution, sampled from the simulator's trace.
+
+use bench::paper_engine;
+use chopper::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::WorkloadConf;
+use simcluster::TracePoint;
+use workloads::{KMeans, KMeansConfig};
+
+fn run_traced() -> Vec<TracePoint> {
+    let mut cfg = KMeansConfig::paper();
+    cfg.points = 20_000;
+    let w = KMeans::new(cfg);
+    // The scaled paper engine keeps memory/bandwidth proportions
+    // consistent with the scaled-down inputs (see `bench::DATA_SCALE`).
+    let mut opts = paper_engine(300, false);
+    opts.workers = 2;
+    opts.trace_bucket = 5.0;
+    let ctx = w.run(&opts, &WorkloadConf::new(), 1.0);
+    ctx.sim().trace().points()
+}
+
+fn assert_series(points: &[TracePoint], metric: fn(&TracePoint) -> f64, name: &str) {
+    assert!(!points.is_empty(), "{name}: trace must not be empty");
+    assert!(
+        points.iter().any(|p| metric(p) > 0.0),
+        "{name}: the series must show activity"
+    );
+    assert!(points.iter().all(|p| metric(p).is_finite() && metric(p) >= 0.0));
+}
+
+fn fig11(c: &mut Criterion) {
+    let pts = run_traced();
+    assert_series(&pts, |p| p.cpu_pct, "fig11 cpu");
+    assert!(pts.iter().all(|p| p.cpu_pct <= 100.0 + 1e-6));
+    println!(
+        "fig11: cpu%% series (first 10 buckets) {:?}",
+        pts.iter().take(10).map(|p| p.cpu_pct.round()).collect::<Vec<_>>()
+    );
+    c.bench_function("fig11/traced-run", |b| b.iter(run_traced));
+}
+
+fn fig12(c: &mut Criterion) {
+    let pts = run_traced();
+    assert_series(&pts, |p| p.mem_pct, "fig12 mem");
+    assert!(pts.iter().all(|p| p.mem_pct <= 100.0 + 1e-6));
+    println!(
+        "fig12: mem%% peak {:.2}",
+        pts.iter().map(|p| p.mem_pct).fold(0.0, f64::max)
+    );
+    c.bench_function("fig12/trace-render", |b| {
+        let pts = run_traced();
+        b.iter(|| pts.iter().map(|p| p.mem_pct).sum::<f64>())
+    });
+}
+
+fn fig13(c: &mut Criterion) {
+    let pts = run_traced();
+    assert_series(&pts, |p| p.packets_per_sec, "fig13 packets");
+    println!(
+        "fig13: peak packets/s {:.0}",
+        pts.iter().map(|p| p.packets_per_sec).fold(0.0, f64::max)
+    );
+    c.bench_function("fig13/trace-render", |b| {
+        let pts = run_traced();
+        b.iter(|| pts.iter().map(|p| p.packets_per_sec).sum::<f64>())
+    });
+}
+
+fn fig14(c: &mut Criterion) {
+    let pts = run_traced();
+    assert_series(&pts, |p| p.transactions_per_sec, "fig14 transactions");
+    println!(
+        "fig14: peak transactions/s {:.0}",
+        pts.iter().map(|p| p.transactions_per_sec).fold(0.0, f64::max)
+    );
+    c.bench_function("fig14/trace-render", |b| {
+        let pts = run_traced();
+        b.iter(|| pts.iter().map(|p| p.transactions_per_sec).sum::<f64>())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig11, fig12, fig13, fig14
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Quick calibration probe: headline Fig. 7 numbers plus the Fig. 3 sweep,
+//! used while tuning workload cost constants. Not part of the published
+//! harness (`repro` is); kept because it is the fastest way to sanity-check
+//! a calibration change.
+
+use bench::{kmeans_motivation, paper_autotuner, paper_engine, stages, total_time};
+use chopper::Workload;
+use engine::WorkloadConf;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "fig3".into());
+
+    if which == "fig3" || which == "all" {
+        println!("== Fig 3 probe: KMeans stage-0 time vs P ==");
+        let w = kmeans_motivation();
+        for p in [100, 200, 300, 400, 500, 2000] {
+            let ctx = w.run(&paper_engine(p, false), &WorkloadConf::new(), 1.0);
+            let st = stages(&ctx);
+            let shuffle17: u64 = st.iter().rev().find(|s| s.shuffle_data() > 0)
+                .map(|s| s.shuffle_data()).unwrap_or(0);
+            println!(
+                "P={p:>5}  stage0={:>7.1}s  total={:>7.1}s  last-shuffle={:>8.1}KB",
+                st[0].duration(),
+                total_time(&ctx),
+                shuffle17 as f64 / 1024.0
+            );
+        }
+    }
+
+    if which == "fig7" || which == "all" {
+        println!("== Fig 7 probe: vanilla vs CHOPPER ==");
+        let t = paper_autotuner();
+        let workloads: Vec<(&str, Box<dyn Workload>)> = vec![
+            ("kmeans", Box::new(kmeans_motivation())),
+            ("pca", Box::new(bench::pca_paper())),
+            ("sql", Box::new(bench::sql_paper())),
+        ];
+        for (name, w) in &workloads {
+            let start = std::time::Instant::now();
+            let cmp = t.compare(w.as_ref());
+            println!(
+                "{name}: vanilla={:.1}s chopper={:.1}s improvement={:.1}%  (host {:?})",
+                cmp.vanilla_time(),
+                cmp.chopper_time(),
+                cmp.improvement_pct(),
+                start.elapsed()
+            );
+            for d in &cmp.plan.decisions {
+                println!("  {} -> {:?}", d.name, d.action);
+            }
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Regenerates every table and figure of the CHOPPER paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- all
+//! cargo run --release -p bench --bin repro -- fig3 fig7 table3
+//! ```
+//!
+//! Output goes to stdout and, per experiment, to `results/<id>.txt`.
+//! Experiment ids: table1, fig2, fig3, fig4, sec2b, fig7, fig8, table2,
+//! table3, fig9, fig10, fig11, fig12, fig13, fig14.
+
+use bench::{
+    fmt_kb, fmt_time, kmeans_motivation, kmeans_paper, paper_autotuner, paper_engine, pca_paper,
+    sql_paper, stages, total_time, Table,
+};
+use chopper::{Comparison, Workload};
+use engine::{Context, StageMetrics, WorkloadConf};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1", "fig2", "fig3", "fig4", "sec2b", "fig7", "fig8", "table2", "table3",
+            "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    std::fs::create_dir_all("results").expect("create results dir");
+
+    let mut runner = Runner::default();
+    for id in wanted {
+        let report = match id {
+            "table1" => table1(),
+            "fig2" => runner.motivation().fig2(),
+            "fig3" => runner.motivation().fig3(),
+            "fig4" => runner.motivation().fig4(),
+            "sec2b" => runner.motivation().sec2b(),
+            "fig7" => runner.fig7(),
+            "fig8" => runner.fig8(),
+            "table2" => runner.table2(),
+            "table3" => runner.table3(),
+            "fig9" => runner.fig9(),
+            "fig10" => runner.fig10(),
+            "fig11" => runner.trace_figure("fig11", "CPU utilization (%)", |p| p.cpu_pct),
+            "fig12" => runner.trace_figure("fig12", "Memory utilization (%)", |p| p.mem_pct),
+            "fig13" => {
+                runner.trace_figure("fig13", "Packets tx+rx per second", |p| p.packets_per_sec)
+            }
+            "fig14" => runner.trace_figure("fig14", "Disk transactions per second", |p| {
+                p.transactions_per_sec
+            }),
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                continue;
+            }
+        };
+        println!("{report}");
+        std::fs::write(format!("results/{id}.txt"), &report)
+            .unwrap_or_else(|e| panic!("write results/{id}.txt: {e}"));
+    }
+}
+
+/// Caches the expensive artifacts shared by several experiments.
+#[derive(Default)]
+struct Runner {
+    motivation: Option<MotivationSweep>,
+    kmeans: Option<Comparison>,
+    pca: Option<Comparison>,
+    sql: Option<Comparison>,
+}
+
+impl Runner {
+    fn motivation(&mut self) -> &MotivationSweep {
+        if self.motivation.is_none() {
+            self.motivation = Some(MotivationSweep::run());
+        }
+        self.motivation.as_ref().expect("just set")
+    }
+
+    fn kmeans_cmp(&mut self) -> &Comparison {
+        if self.kmeans.is_none() {
+            eprintln!("[repro] auto-tuning kmeans (vanilla + test grid + tuned run)...");
+            self.kmeans = Some(paper_autotuner().compare(&kmeans_paper()));
+        }
+        self.kmeans.as_ref().expect("just set")
+    }
+
+    fn pca_cmp(&mut self) -> &Comparison {
+        if self.pca.is_none() {
+            eprintln!("[repro] auto-tuning pca...");
+            self.pca = Some(paper_autotuner().compare(&pca_paper()));
+        }
+        self.pca.as_ref().expect("just set")
+    }
+
+    fn sql_cmp(&mut self) -> &Comparison {
+        if self.sql.is_none() {
+            eprintln!("[repro] auto-tuning sql...");
+            self.sql = Some(paper_autotuner().compare(&sql_paper()));
+        }
+        self.sql.as_ref().expect("just set")
+    }
+
+    // ---- Fig 7: overall execution time ---------------------------------
+    fn fig7(&mut self) -> String {
+        let mut t = Table::new(&["workload", "Spark", "CHOPPER", "improvement", "paper"]);
+        let rows = [
+            ("PCA", self.pca_cmp().vanilla_time(), self.pca_cmp().chopper_time(), "23.6%"),
+            (
+                "KMeans",
+                self.kmeans_cmp().vanilla_time(),
+                self.kmeans_cmp().chopper_time(),
+                "35.2%",
+            ),
+            ("SQL", self.sql_cmp().vanilla_time(), self.sql_cmp().chopper_time(), "33.9%"),
+        ];
+        for (name, v, c, paper) in rows {
+            t.row(vec![
+                name.into(),
+                fmt_time(v),
+                fmt_time(c),
+                format!("{:.1}%", 100.0 * (v - c) / v),
+                paper.into(),
+            ]);
+        }
+        section(
+            "Fig 7 — Execution time of Spark vs CHOPPER",
+            "Paper: CHOPPER improves PCA/KMeans/SQL by 23.6/35.2/33.9%. \
+             Shape criterion: CHOPPER wins on all three workloads.",
+            t.render(),
+        )
+    }
+
+    // ---- Fig 8 / Tables II-III: KMeans breakdown -------------------------
+    fn fig8(&mut self) -> String {
+        let cmp = self.kmeans_cmp();
+        let v = stages(&cmp.vanilla);
+        let c = stages(&cmp.chopper);
+        let mut t = Table::new(&["stage", "Spark", "CHOPPER"]);
+        for i in 1..v.len().max(c.len()) {
+            t.row(vec![
+                i.to_string(),
+                v.get(i).map(|s| fmt_time(s.duration())).unwrap_or_default(),
+                c.get(i).map(|s| fmt_time(s.duration())).unwrap_or_default(),
+            ]);
+        }
+        section(
+            "Fig 8 — KMeans execution time per stage (stage 0 in Table II)",
+            "Paper: CHOPPER reduces the execution time of (nearly) every stage. \
+             Shape criterion: total and most stages improve; iteration stages \
+             12-17 repeat with identical schemes.",
+            t.render(),
+        )
+    }
+
+    fn table2(&mut self) -> String {
+        let cmp = self.kmeans_cmp();
+        let v = &stages(&cmp.vanilla)[0];
+        let c = &stages(&cmp.chopper)[0];
+        let mut t = Table::new(&["system", "stage-0 time", "paper"]);
+        t.row(vec!["CHOPPER".into(), fmt_time(c.duration()), "250s".into()]);
+        t.row(vec!["Spark".into(), fmt_time(v.duration()), "372s".into()]);
+        section(
+            "Table II — Execution time for stage 0 in KMeans",
+            "Shape criterion: CHOPPER's stage 0 is substantially faster than vanilla's.",
+            t.render(),
+        )
+    }
+
+    fn table3(&mut self) -> String {
+        let cmp = self.kmeans_cmp();
+        let v = stages(&cmp.vanilla);
+        let c = stages(&cmp.chopper);
+        let mut t = Table::new(&["stage", "CHOPPER P", "Spark P", "CHOPPER partitioner"]);
+        for i in 0..v.len().max(c.len()) {
+            let scheme = c
+                .get(i)
+                .and_then(|s| s.scheme)
+                .map(|s| s.kind.to_string())
+                .unwrap_or_default();
+            t.row(vec![
+                i.to_string(),
+                c.get(i).map(|s| s.num_tasks.to_string()).unwrap_or_default(),
+                v.get(i).map(|s| s.num_tasks.to_string()).unwrap_or_default(),
+                scheme,
+            ]);
+        }
+        section(
+            "Table III — Repartition of stages using CHOPPER",
+            "Paper: CHOPPER assigns per-stage counts (210/300/380/720...) instead of \
+             a fixed 300; iterative stages 12-17 share one scheme. Shape criterion: \
+             per-stage variety, iterations uniform, vanilla fixed at 300.",
+            t.render(),
+        )
+    }
+
+    // ---- Figs 9-10: SQL shuffle + per-stage times ------------------------
+    fn fig9(&mut self) -> String {
+        let cmp = self.sql_cmp();
+        let v = stages(&cmp.vanilla);
+        let c = stages(&cmp.chopper);
+        let mut t = Table::new(&["stage", "Spark KB", "CHOPPER KB"]);
+        for i in 0..4.min(v.len()).min(c.len()) {
+            t.row(vec![
+                i.to_string(),
+                fmt_kb(v[i].shuffle_data()),
+                fmt_kb(c[i].shuffle_data()),
+            ]);
+        }
+        let j = 4;
+        t.row(vec![
+            format!("{j}*"),
+            fmt_kb(v.get(j).map(|s| s.shuffle_data()).unwrap_or(0)),
+            fmt_kb(c.get(j).map(|s| s.shuffle_data()).unwrap_or(0)),
+        ]);
+        section(
+            "Fig 9 — SQL shuffle data per stage (stage 4 = join, marked *)",
+            "Paper: CHOPPER shuffles less in stages 0-3; stage 4 moves the same \
+             volume under both systems (4.7 GB there). Shape criterion: \
+             CHOPPER <= Spark on stages 0-3; stage 4 volumes equal.",
+            t.render(),
+        )
+    }
+
+    fn fig10(&mut self) -> String {
+        let cmp = self.sql_cmp();
+        let v = stages(&cmp.vanilla);
+        let c = stages(&cmp.chopper);
+        let mut t = Table::new(&["stage", "Spark", "CHOPPER", "CHOPPER remote KB"]);
+        for i in 0..v.len().max(c.len()) {
+            t.row(vec![
+                i.to_string(),
+                v.get(i).map(|s| fmt_time(s.duration())).unwrap_or_default(),
+                c.get(i).map(|s| fmt_time(s.duration())).unwrap_or_default(),
+                c.get(i).map(|s| fmt_kb(s.remote_read_bytes)).unwrap_or_default(),
+            ]);
+        }
+        section(
+            "Fig 10 — SQL execution time per stage (stage 4 = join)",
+            "Paper: stage 4 takes 'comparatively shorter time' under CHOPPER \
+             despite equal shuffle volume, thanks to co-partitioning. Shape \
+             criterion: CHOPPER's join stage is faster and reads locally \
+             (remote bytes ~0).",
+            t.render(),
+        )
+    }
+
+    // ---- Figs 11-14: utilization traces ----------------------------------
+    fn trace_figure(
+        &mut self,
+        id: &str,
+        label: &str,
+        metric: fn(&simcluster::TracePoint) -> f64,
+    ) -> String {
+        let series: Vec<(String, Vec<simcluster::TracePoint>)> = vec![
+            ("PCA-Spark".into(), self.pca_cmp().vanilla.sim().trace().points()),
+            ("PCA-CHOPPER".into(), self.pca_cmp().chopper.sim().trace().points()),
+            ("KMeans-Spark".into(), self.kmeans_cmp().vanilla.sim().trace().points()),
+            ("KMeans-CHOPPER".into(), self.kmeans_cmp().chopper.sim().trace().points()),
+            ("SQL-Spark".into(), self.sql_cmp().vanilla.sim().trace().points()),
+            ("SQL-CHOPPER".into(), self.sql_cmp().chopper.sim().trace().points()),
+        ];
+        let max_len = series.iter().map(|(_, p)| p.len()).max().unwrap_or(0);
+        let header: Vec<&str> = std::iter::once("time(s)")
+            .chain(series.iter().map(|(n, _)| n.as_str()))
+            .collect();
+        let mut t = Table::new(&header);
+        // Sample every other bucket (20 s steps, like the paper's x-axis).
+        for b in (0..max_len).step_by(2) {
+            let mut row = vec![format!("{}", b * 10)];
+            for (_, pts) in &series {
+                row.push(
+                    pts.get(b).map(|p| format!("{:.1}", metric(p))).unwrap_or_default(),
+                );
+            }
+            t.row(row);
+        }
+        section(
+            &format!(
+                "Fig {} — {} over workload execution",
+                &id[3..],
+                label
+            ),
+            "Paper: CHOPPER's utilization is equivalent or better than vanilla \
+             Spark's, and its runs finish sooner (series end earlier). Shape \
+             criterion: comparable peaks, earlier completion for CHOPPER.",
+            t.render(),
+        )
+    }
+}
+
+// ---- Table I ------------------------------------------------------------
+fn table1() -> String {
+    let workloads: Vec<(&str, Box<dyn Workload>, f64)> = vec![
+        ("KMeans", Box::new(kmeans_paper()), 21.8),
+        ("PCA", Box::new(pca_paper()), 27.6),
+        ("SQL", Box::new(sql_paper()), 34.5),
+    ];
+    let kmeans_bytes = workloads[0].1.full_input_bytes() as f64;
+    let mut t = Table::new(&["workload", "input (MB, scaled)", "ratio vs KMeans", "paper (GB)"]);
+    for (name, w, paper_gb) in &workloads {
+        let bytes = w.full_input_bytes() as f64;
+        t.row(vec![
+            (*name).into(),
+            format!("{:.1}", bytes / 1e6),
+            format!("{:.2}", bytes / kmeans_bytes),
+            format!("{paper_gb}"),
+        ]);
+    }
+    section(
+        "Table I — Workloads and input data sizes",
+        "The paper's inputs (21.8/27.6/34.5 GB) are scaled down ~300x for a \
+         single-machine reproduction; the inter-workload ratios are preserved \
+         (paper ratios: 1.00/1.27/1.58).",
+        t.render(),
+    )
+}
+
+// ---- Section II-B motivation sweep ---------------------------------------
+struct MotivationSweep {
+    /// `(P, per-stage metrics, total)` per sweep point.
+    runs: Vec<(usize, Vec<StageMetrics>, f64)>,
+}
+
+impl MotivationSweep {
+    fn run() -> Self {
+        let w = kmeans_motivation();
+        let ps = [100, 200, 300, 400, 500, 2000];
+        let runs = ps
+            .iter()
+            .map(|&p| {
+                eprintln!("[repro] motivation sweep P={p}...");
+                let ctx: Context = w.run(&paper_engine(p, false), &WorkloadConf::new(), 1.0);
+                let st = stages(&ctx);
+                let total = total_time(&ctx);
+                (p, st, total)
+            })
+            .collect();
+        MotivationSweep { runs }
+    }
+
+    fn sweep_points(&self) -> impl Iterator<Item = &(usize, Vec<StageMetrics>, f64)> {
+        self.runs.iter().filter(|(p, _, _)| *p != 2000)
+    }
+
+    fn fig2(&self) -> String {
+        let header: Vec<String> = std::iter::once("stage".to_string())
+            .chain(self.sweep_points().map(|(p, _, _)| format!("P={p}")))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&header_refs);
+        let num_stages = self.runs[0].1.len();
+        for i in 1..num_stages {
+            let mut row = vec![i.to_string()];
+            for (_, st, _) in self.sweep_points() {
+                row.push(format!("{:.1}", st[i].duration()));
+            }
+            t.row(row);
+        }
+        let mut totals = vec!["total".to_string()];
+        for (_, _, total) in self.sweep_points() {
+            totals.push(format!("{total:.1}"));
+        }
+        t.row(totals);
+        section(
+            "Fig 2 — KMeans execution time per stage under different partition counts",
+            "Paper: per-stage times vary with P and each stage has its own optimum. \
+             Shape criterion: stage times change with P; no single P is best for \
+             every stage (times in seconds; stage 0 in Fig 3).",
+            t.render(),
+        )
+    }
+
+    fn fig3(&self) -> String {
+        let mut t = Table::new(&["partitions", "stage-0 time"]);
+        for (p, st, _) in self.sweep_points() {
+            t.row(vec![p.to_string(), fmt_time(st[0].duration())]);
+        }
+        section(
+            "Fig 3 — KMeans stage-0 execution time vs partition count",
+            "Paper: worst at P=100 (~225 s), improving toward P=500. Shape \
+             criterion: monotone decrease from 100 to 500 with P=100 the worst.",
+            t.render(),
+        )
+    }
+
+    fn fig4(&self) -> String {
+        // Shuffle stages are the iteration stages; collect every stage with
+        // nonzero shuffle volume, keyed by stage id.
+        let mut by_stage: BTreeMap<usize, Vec<(usize, u64)>> = BTreeMap::new();
+        for (p, st, _) in self.sweep_points() {
+            for s in st {
+                if s.shuffle_data() > 0 {
+                    by_stage.entry(s.stage_id).or_default().push((*p, s.shuffle_data()));
+                }
+            }
+        }
+        let header: Vec<String> = std::iter::once("stage".to_string())
+            .chain(self.sweep_points().map(|(p, _, _)| format!("P={p} (KB)")))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&header_refs);
+        for (stage, vals) in &by_stage {
+            let mut row = vec![stage.to_string()];
+            for (p, _, _) in self.sweep_points() {
+                let v = vals.iter().find(|(vp, _)| vp == p).map(|(_, b)| *b).unwrap_or(0);
+                row.push(format!("{:.1}", v as f64 / 1024.0));
+            }
+            t.row(row);
+        }
+        section(
+            "Fig 4 — KMeans shuffle data per stage under different partition counts",
+            "Paper: shuffle volume grows with the partition count at every shuffle \
+             stage (434.83 KB at P=200 vs 1081.6 KB at P=500 for stage 17). Shape \
+             criterion: monotone growth in P for every shuffle stage.",
+            t.render(),
+        )
+    }
+
+    fn sec2b(&self) -> String {
+        let best = self
+            .sweep_points()
+            .map(|(p, _, total)| (*p, *total))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty sweep");
+        let p2000 = self
+            .runs
+            .iter()
+            .find(|(p, _, _)| *p == 2000)
+            .expect("2000-partition run present");
+        let last_shuffle =
+            |st: &[StageMetrics]| st.iter().rev().find(|s| s.shuffle_data() > 0).map(|s| s.shuffle_data()).unwrap_or(0);
+        let best_st = &self.sweep_points().find(|(p, _, _)| *p == best.0).expect("present").1;
+        let mut t = Table::new(&["config", "total time", "last shuffle stage KB"]);
+        t.row(vec![
+            format!("best sweep point (P={})", best.0),
+            fmt_time(best.1),
+            fmt_kb(last_shuffle(best_st)),
+        ]);
+        t.row(vec![
+            "P=2000".into(),
+            fmt_time(p2000.2),
+            fmt_kb(last_shuffle(&p2000.1)),
+        ]);
+        let impr = 100.0 * (p2000.2 - best.1) / p2000.2;
+        let shuffle_red =
+            100.0 * (1.0 - last_shuffle(best_st) as f64 / last_shuffle(&p2000.1).max(1) as f64);
+        let body = format!(
+            "{}\nvs P=2000: {impr:.1}% faster, {shuffle_red:.1}% less shuffle data \
+             (paper: 46.1% time / 94.9% shuffle vs 2000 partitions).\n",
+            t.render()
+        );
+        section(
+            "Section II-B — the 2000-partition blow-up",
+            "Paper: 2000 partitions take 4.53 min and 4300.8 KB of stage-17 shuffle; \
+             a well-chosen count is ~46% faster with ~95% less shuffle. Shape \
+             criterion: P=2000 is substantially slower and shuffles far more.",
+            body,
+        )
+    }
+}
+
+fn section(title: &str, context: &str, body: String) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "================================================================");
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(s, "{context}");
+    let _ = writeln!(s, "----------------------------------------------------------------");
+    let _ = writeln!(s, "{body}");
+    s
+}

@@ -1,0 +1,341 @@
+//! Command implementations for `chopper-cli`.
+
+use crate::args::Args;
+use chopper::{Autotuner, DecisionAction, TestRunPlan, Workload, WorkloadDb};
+use engine::{Context, EngineOptions, PartitionerKind, WorkloadConf};
+use simcluster::{paper_cluster, uniform_cluster, ClusterSpec};
+use workloads::{KMeans, KMeansConfig, LogReg, LogRegConfig, Pca, PcaConfig, Sql, SqlConfig};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+chopper-cli — CHOPPER auto-partitioning (CLUSTER 2016 reproduction)
+
+commands:
+  run      --workload kmeans|pca|sql|logreg [--scale F] [--partitions N]
+           [--copartition] [--gantt] [--conf FILE]
+           [--cluster paper|uniform:N,C,GHz]
+  tune     --workload W --db FILE [--out-conf FILE]
+           [--scales 0.1,0.3,0.6] [--partitions 60,150,300,600,1200]
+  plan     --workload W --db FILE [--out-conf FILE] [--partitions N]
+  compare  --workload W [--partitions N]
+  inspect  --db FILE
+  conf     --file FILE
+  help
+";
+
+type CmdResult = Result<(), String>;
+
+fn workload(args: &Args) -> Result<Box<dyn Workload>, String> {
+    match args.require("workload").map_err(|e| e.to_string())? {
+        "kmeans" => Ok(Box::new(KMeans::new(KMeansConfig::paper()))),
+        "pca" => Ok(Box::new(Pca::new(PcaConfig::paper()))),
+        "sql" => Ok(Box::new(Sql::new(SqlConfig::paper()))),
+        "logreg" => Ok(Box::new(LogReg::new(LogRegConfig::paper()))),
+        other => Err(format!("unknown workload '{other}' (kmeans|pca|sql|logreg)")),
+    }
+}
+
+fn cluster(args: &Args) -> Result<ClusterSpec, String> {
+    match args.get("cluster").unwrap_or("paper") {
+        "paper" => Ok(paper_cluster()),
+        spec if spec.starts_with("uniform:") => {
+            let parts: Vec<&str> = spec["uniform:".len()..].split(',').collect();
+            if parts.len() != 3 {
+                return Err("expected --cluster uniform:<nodes>,<cores>,<ghz>".into());
+            }
+            let nodes = parts[0].parse().map_err(|_| "bad node count")?;
+            let cores = parts[1].parse().map_err(|_| "bad core count")?;
+            let ghz = parts[2].parse().map_err(|_| "bad GHz value")?;
+            Ok(uniform_cluster(nodes, cores, ghz))
+        }
+        other => Err(format!("unknown cluster spec '{other}'")),
+    }
+}
+
+fn engine_opts(args: &Args) -> Result<EngineOptions, String> {
+    Ok(EngineOptions {
+        cluster: cluster(args)?,
+        default_parallelism: args.num("partitions", 300).map_err(|e| e.to_string())?,
+        copartition_scheduling: args.has("copartition"),
+        ..EngineOptions::default()
+    })
+}
+
+fn load_conf(args: &Args) -> Result<WorkloadConf, String> {
+    match args.get("conf") {
+        None => Ok(WorkloadConf::new()),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            WorkloadConf::from_text(&text)
+        }
+    }
+}
+
+fn print_stages(ctx: &Context) {
+    println!(
+        "{:>5} {:>16} {:>6} {:>10} {:>12} {:>12} {:>8}",
+        "stage", "name", "tasks", "time", "shuffle KB", "remote KB", "skew"
+    );
+    for s in ctx.all_stages() {
+        println!(
+            "{:>5} {:>16} {:>6} {:>9.2}s {:>12.1} {:>12.1} {:>8.2}",
+            s.stage_id,
+            s.name,
+            s.num_tasks,
+            s.duration(),
+            s.shuffle_data() as f64 / 1024.0,
+            s.remote_read_bytes as f64 / 1024.0,
+            s.task_skew()
+        );
+    }
+    if let (Some(first), Some(last)) = (ctx.jobs().first(), ctx.jobs().last()) {
+        println!("total: {:.2}s over {} jobs", last.end - first.start, ctx.jobs().len());
+    }
+}
+
+fn tuner(args: &Args) -> Result<Autotuner, String> {
+    let opts = engine_opts(args)?;
+    let mut t = Autotuner::new(opts);
+    t.test_plan = TestRunPlan {
+        scales: args.num_list("scales", vec![0.1, 0.3, 0.6]).map_err(|e| e.to_string())?,
+        partitions: args
+            .num_list("test-partitions", vec![60, 150, 300, 600, 1200])
+            .map_err(|e| e.to_string())?,
+        kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
+        probe_user_fixed: true,
+    };
+    Ok(t)
+}
+
+/// `run`: execute a workload once and print its stage table (and, with
+/// `--gantt`, a per-stage schedule timeline).
+pub fn run(args: &Args) -> CmdResult {
+    let w = workload(args)?;
+    let opts = engine_opts(args)?;
+    let conf = load_conf(args)?;
+    let scale = args.num("scale", 1.0).map_err(|e| e.to_string())?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    let ctx = w.run(&opts, &conf, scale);
+    print_stages(&ctx);
+    if args.has("gantt") {
+        for s in ctx.all_stages() {
+            let timing = simcluster::StageTiming {
+                start: s.start,
+                end: s.end,
+                tasks: s.placements.clone(),
+            };
+            println!("
+stage {} [{}]", s.stage_id, s.name);
+            print!("{}", simcluster::render_gantt(&opts.cluster, &timing, 80));
+        }
+    }
+    Ok(())
+}
+
+/// `tune`: run the lightweight test grid and store observations.
+pub fn tune(args: &Args) -> CmdResult {
+    let w = workload(args)?;
+    let db_path = args.require("db").map_err(|e| e.to_string())?;
+    let mut db = if std::path::Path::new(db_path).exists() {
+        WorkloadDb::load(std::path::Path::new(db_path))?
+    } else {
+        WorkloadDb::new()
+    };
+    let t = tuner(args)?;
+    let runs = t.train(w.as_ref(), &mut db);
+    db.save(std::path::Path::new(db_path)).map_err(|e| e.to_string())?;
+    println!("recorded {runs} test runs into {db_path}");
+    if let Some(path) = args.get("out-conf") {
+        let plan = t.plan(w.as_ref(), &db);
+        std::fs::write(path, plan.conf.to_text()).map_err(|e| e.to_string())?;
+        println!("wrote configuration to {path}");
+    }
+    Ok(())
+}
+
+/// `plan`: compute the globally optimized plan from a trained database.
+pub fn plan(args: &Args) -> CmdResult {
+    let w = workload(args)?;
+    let db_path = args.require("db").map_err(|e| e.to_string())?;
+    let db = WorkloadDb::load(std::path::Path::new(db_path))?;
+    let t = tuner(args)?;
+    let plan = t.plan(w.as_ref(), &db);
+    if plan.decisions.is_empty() {
+        return Err(format!("no observations for workload '{}' in {db_path}", w.name()));
+    }
+    println!("{:>18} {:>16}  decision", "signature", "stage");
+    for d in &plan.decisions {
+        let what = match &d.action {
+            DecisionAction::Retune(s) => format!("retune -> {} {}", s.kind, s.partitions),
+            DecisionAction::RetuneGrouped(s) => {
+                format!("retune (join group) -> {} {}", s.kind, s.partitions)
+            }
+            DecisionAction::InsertRepartition(s) => {
+                format!("insert repartition -> {} {}", s.kind, s.partitions)
+            }
+            DecisionAction::KeepUserFixed => "keep (user-fixed)".into(),
+            DecisionAction::FollowsProducer(sig) => {
+                format!("follows producer {sig:016x} (partition dependency)")
+            }
+            DecisionAction::KeepDefault => "keep (no model)".into(),
+        };
+        println!("{:>18x} {:>16}  {what}", d.signature, d.name);
+    }
+    if let Some(path) = args.get("out-conf") {
+        std::fs::write(path, plan.conf.to_text()).map_err(|e| e.to_string())?;
+        println!("wrote configuration to {path}");
+    } else {
+        println!("\n{}", plan.conf.to_text());
+    }
+    Ok(())
+}
+
+/// `compare`: the full vanilla-vs-CHOPPER protocol.
+pub fn compare(args: &Args) -> CmdResult {
+    let w = workload(args)?;
+    let t = tuner(args)?;
+    println!(
+        "running vanilla, {} test runs, and the tuned configuration...",
+        t.test_plan.num_runs()
+    );
+    let cmp = t.compare(w.as_ref());
+    println!("\n== vanilla ==");
+    print_stages(&cmp.vanilla);
+    println!("\n== CHOPPER ==");
+    print_stages(&cmp.chopper);
+    println!(
+        "\n{}: {:.1}s -> {:.1}s ({:+.1}%)",
+        cmp.workload,
+        cmp.vanilla_time(),
+        cmp.chopper_time(),
+        cmp.improvement_pct()
+    );
+    Ok(())
+}
+
+/// `inspect`: summarize a workload database.
+pub fn inspect(args: &Args) -> CmdResult {
+    let db_path = args.require("db").map_err(|e| e.to_string())?;
+    let db = WorkloadDb::load(std::path::Path::new(db_path))?;
+    let names = db.workload_names();
+    if names.is_empty() {
+        println!("{db_path}: empty database");
+        return Ok(());
+    }
+    for name in names {
+        let rec = db.workload(name).expect("listed");
+        println!(
+            "workload '{name}': {} observations over {} runs",
+            rec.num_observations(),
+            rec.runs.len()
+        );
+        if let Some(reference) = rec.reference_run() {
+            println!(
+                "  reference run: {} input bytes, {} stages, {:.1}s",
+                reference.input_bytes,
+                reference.dag.len(),
+                reference.duration
+            );
+            for stage in &reference.dag {
+                let cv = chopper::cross_validation_error(
+                    rec.observations(stage.signature, stage.observed_kind),
+                    4,
+                )
+                .map(|e| format!(" cv-err={:.2}", e))
+                .unwrap_or_default();
+                println!(
+                    "    {:016x} {:<18} P={:<5} {}{}{}{cv}",
+                    stage.signature,
+                    stage.name,
+                    stage.observed_partitions,
+                    stage.observed_kind,
+                    if stage.is_join { " join" } else { "" },
+                    if stage.user_fixed { " user-fixed" } else { "" },
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `conf`: validate and pretty-print a configuration file.
+pub fn conf(args: &Args) -> CmdResult {
+    let path = args.require("file").map_err(|e| e.to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let parsed = WorkloadConf::from_text(&text)?;
+    println!(
+        "{path}: valid ({} stage entries, {} repartition insertions{})",
+        parsed.stages.len(),
+        parsed.insert_repartition.len(),
+        parsed
+            .default_parallelism
+            .map(|d| format!(", default parallelism {d}"))
+            .unwrap_or_default()
+    );
+    print!("{}", parsed.to_text());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().copied()).expect("valid args")
+    }
+
+    #[test]
+    fn workload_selection() {
+        assert_eq!(workload(&args(&["run", "--workload", "kmeans"])).unwrap().name(), "kmeans");
+        assert_eq!(workload(&args(&["run", "--workload", "sql"])).unwrap().name(), "sql");
+        assert_eq!(
+            workload(&args(&["run", "--workload", "logreg"])).unwrap().name(),
+            "logreg"
+        );
+        assert!(workload(&args(&["run", "--workload", "zebra"])).is_err());
+        assert!(workload(&args(&["run"])).is_err());
+    }
+
+    #[test]
+    fn cluster_specs() {
+        let paper = cluster(&args(&["run"])).unwrap();
+        assert_eq!(paper.num_nodes(), 5);
+        let uni = cluster(&args(&["run", "--cluster", "uniform:3,8,2.5"])).unwrap();
+        assert_eq!(uni.total_cores(), 24);
+        assert!(cluster(&args(&["run", "--cluster", "uniform:3,8"])).is_err());
+        assert!(cluster(&args(&["run", "--cluster", "mesh"])).is_err());
+    }
+
+    #[test]
+    fn engine_options_follow_flags() {
+        let o = engine_opts(&args(&["run", "--partitions", "64", "--copartition"])).unwrap();
+        assert_eq!(o.default_parallelism, 64);
+        assert!(o.copartition_scheduling);
+        let d = engine_opts(&args(&["run"])).unwrap();
+        assert_eq!(d.default_parallelism, 300);
+        assert!(!d.copartition_scheduling);
+    }
+
+    #[test]
+    fn conf_loading_defaults_to_empty() {
+        assert!(load_conf(&args(&["run"])).unwrap().is_empty());
+        assert!(load_conf(&args(&["run", "--conf", "/nonexistent/x"])).is_err());
+    }
+
+    #[test]
+    fn tuner_grid_flags() {
+        let t = tuner(&args(&["tune", "--scales", "0.2,0.4", "--test-partitions", "10,20"]))
+            .unwrap();
+        assert_eq!(t.test_plan.scales, vec![0.2, 0.4]);
+        assert_eq!(t.test_plan.partitions, vec![10, 20]);
+    }
+
+    #[test]
+    fn run_rejects_bad_scale() {
+        let err = run(&args(&["run", "--workload", "kmeans", "--scale", "0"])).unwrap_err();
+        assert!(err.contains("scale"));
+    }
+}

@@ -1,0 +1,47 @@
+//! `chopper-cli` — drive the CHOPPER reproduction from the command line.
+//!
+//! ```text
+//! chopper-cli run     --workload kmeans [--scale 0.5] [--partitions 300]
+//!                     [--copartition] [--conf FILE] [--cluster paper|uniform:N,C,GHz]
+//! chopper-cli tune    --workload sql --db db.json [--out-conf conf.txt]
+//!                     [--scales 0.1,0.3,0.6] [--partitions 60,150,300,600,1200]
+//! chopper-cli plan    --workload sql --db db.json [--out-conf conf.txt]
+//! chopper-cli compare --workload pca [--partitions 300]
+//! chopper-cli inspect --db db.json
+//! chopper-cli conf    --file conf.txt
+//! chopper-cli help
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "run" => commands::run(&parsed),
+        "tune" => commands::tune(&parsed),
+        "plan" => commands::plan(&parsed),
+        "compare" => commands::compare(&parsed),
+        "inspect" => commands::inspect(&parsed),
+        "conf" => commands::conf(&parsed),
+        "help" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", commands::USAGE)),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,273 @@
+//! End-to-end auto-tuning façade: train → optimize → re-run.
+//!
+//! Ties the pieces of Fig. 5 together the way the evaluation (Section IV)
+//! uses them: run the workload under vanilla Spark defaults, train the
+//! per-stage models offline from lightweight test runs, compute the
+//! globally optimized configuration (Algorithm 3), install it, and run
+//! again under CHOPPER's co-partition-aware scheduling.
+
+use crate::db::WorkloadDb;
+use crate::optimizer::{get_global_par, OptimizerOptions, TuningPlan};
+use crate::testrun::{run_test_grid, TestRunPlan};
+use crate::workload::Workload;
+use engine::{Context, EngineOptions, WorkloadConf};
+
+/// Auto-tuner configuration.
+#[derive(Clone)]
+pub struct Autotuner {
+    /// Engine options for the vanilla baseline (paper: default 300
+    /// partitions, stock scheduling).
+    pub vanilla_opts: EngineOptions,
+    /// Engine options for CHOPPER runs (co-partition-aware scheduling on).
+    pub chopper_opts: EngineOptions,
+    /// The test-run grid.
+    pub test_plan: TestRunPlan,
+    /// Optimizer knobs (α/β/γ, candidate grid).
+    pub optimizer: OptimizerOptions,
+}
+
+impl Autotuner {
+    /// An auto-tuner over the given base engine options: the vanilla run
+    /// uses them as-is; CHOPPER runs enable co-partition scheduling.
+    pub fn new(base: EngineOptions) -> Self {
+        let mut chopper = base.clone();
+        chopper.copartition_scheduling = true;
+        let optimizer = OptimizerOptions {
+            default_parallelism: base.default_parallelism,
+            ..OptimizerOptions::default()
+        };
+        Autotuner {
+            vanilla_opts: base,
+            chopper_opts: chopper,
+            test_plan: TestRunPlan::default(),
+            optimizer,
+        }
+    }
+
+    /// Runs the test grid, recording observations into `db`. Training is
+    /// offline — it does not touch the production clock.
+    pub fn train(&self, workload: &dyn Workload, db: &mut WorkloadDb) -> usize {
+        run_test_grid(workload, &self.chopper_opts, &self.test_plan, db)
+    }
+
+    /// Computes the globally optimized plan for the workload's full input.
+    pub fn plan(&self, workload: &dyn Workload, db: &WorkloadDb) -> TuningPlan {
+        match db.workload(workload.name()) {
+            Some(rec) => get_global_par(rec, workload.full_input_bytes(), &self.optimizer),
+            None => TuningPlan::default(),
+        }
+    }
+
+    /// The naive per-stage plan (paper Algorithm 2): each stage optimized
+    /// independently, ignoring join dependencies and user-fixed schemes'
+    /// repartition opportunities. Kept for the Algorithm 2 vs Algorithm 3
+    /// comparison the paper argues from — independently optimal schemes on
+    /// a join's two sides generally differ, breaking co-partitioning.
+    pub fn plan_naive(&self, workload: &dyn Workload, db: &WorkloadDb) -> TuningPlan {
+        use crate::optimizer::{get_workload_par, DecisionAction, StageDecision};
+        let Some(rec) = db.workload(workload.name()) else {
+            return TuningPlan::default();
+        };
+        let mut plan = TuningPlan::default();
+        for (stage, par) in
+            get_workload_par(rec, workload.full_input_bytes(), &self.optimizer)
+        {
+            let action = match par {
+                Some(par) if stage.configurable && !stage.user_fixed => {
+                    let spec = engine::PartitionerSpec {
+                        kind: par.kind,
+                        partitions: par.partitions,
+                    };
+                    plan.conf.set_stage(stage.signature, spec);
+                    DecisionAction::Retune(spec)
+                }
+                Some(_) if stage.user_fixed => DecisionAction::KeepUserFixed,
+                _ => DecisionAction::KeepDefault,
+            };
+            plan.decisions.push(StageDecision {
+                signature: stage.signature,
+                name: stage.name.clone(),
+                action,
+            });
+        }
+        plan
+    }
+
+    /// Full evaluation protocol: vanilla run, train, plan, optimized run.
+    ///
+    /// The vanilla run doubles as the *production-run* statistics source
+    /// the paper describes ("CHOPPER also remembers the statistics from
+    /// the user workload execution in a production environment"): its
+    /// full-scale observations anchor the models so the optimizer is not
+    /// extrapolating the Eq. 1–2 polynomial in `D` far beyond the sampled
+    /// test runs.
+    pub fn compare(&self, workload: &dyn Workload) -> Comparison {
+        let vanilla_ctx = workload.run_full(&self.vanilla_opts, &WorkloadConf::new());
+        let mut db = WorkloadDb::new();
+        let full = workload.full_input_bytes();
+        db.record_run(
+            workload.name(),
+            crate::collector::collect_observations(vanilla_ctx.jobs(), full),
+            crate::collector::collect_dag(vanilla_ctx.jobs(), full),
+        );
+        self.train(workload, &mut db);
+        let plan = self.plan(workload, &db);
+        let chopper_ctx = workload.run_full(&self.chopper_opts, &plan.conf);
+        Comparison::new(workload.name(), vanilla_ctx, chopper_ctx, plan, db)
+    }
+}
+
+/// Outcome of a vanilla-vs-CHOPPER comparison (the paper's Fig. 7 rows).
+pub struct Comparison {
+    /// Workload name.
+    pub workload: String,
+    /// The vanilla run's finished context.
+    pub vanilla: Context,
+    /// The CHOPPER run's finished context.
+    pub chopper: Context,
+    /// The installed tuning plan.
+    pub plan: TuningPlan,
+    /// The trained database (reusable across input sizes).
+    pub db: WorkloadDb,
+}
+
+impl Comparison {
+    fn new(
+        workload: &str,
+        vanilla: Context,
+        chopper: Context,
+        plan: TuningPlan,
+        db: WorkloadDb,
+    ) -> Self {
+        Comparison { workload: workload.to_string(), vanilla, chopper, plan, db }
+    }
+
+    /// Total vanilla execution time (virtual seconds).
+    pub fn vanilla_time(&self) -> f64 {
+        span(&self.vanilla)
+    }
+
+    /// Total CHOPPER execution time (virtual seconds), including any
+    /// inserted repartition phases — "the reported execution time includes
+    /// the overhead of repartitioning introduced by CHOPPER".
+    pub fn chopper_time(&self) -> f64 {
+        span(&self.chopper)
+    }
+
+    /// Relative improvement in percent (positive = CHOPPER faster).
+    pub fn improvement_pct(&self) -> f64 {
+        let v = self.vanilla_time();
+        if v <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (v - self.chopper_time()) / v
+    }
+}
+
+fn span(ctx: &Context) -> f64 {
+    let jobs = ctx.jobs();
+    match (jobs.first(), jobs.last()) {
+        (Some(first), Some(last)) => last.end - first.start,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::testutil::MiniAgg;
+    use simcluster::uniform_cluster;
+
+    fn tuner() -> Autotuner {
+        let base = EngineOptions {
+            cluster: uniform_cluster(3, 4, 2.0),
+            // Deliberately poor default: far more tasks than this tiny
+            // workload wants.
+            default_parallelism: 400,
+            workers: 2,
+            ..EngineOptions::default()
+        };
+        let mut t = Autotuner::new(base);
+        t.test_plan = TestRunPlan {
+            scales: vec![0.2, 0.5, 1.0],
+            partitions: vec![6, 12, 50, 150, 400],
+            kinds: vec![engine::PartitionerKind::Hash],
+            probe_user_fixed: true,
+        };
+        t.optimizer.default_parallelism = 400;
+        t.optimizer.candidates = vec![6, 12, 25, 50, 100, 200, 400, 800];
+        t
+    }
+
+    #[test]
+    fn end_to_end_tuning_beats_bad_default() {
+        let w = MiniAgg { records_full: 30_000, keys: 40 };
+        let cmp = tuner().compare(&w);
+        assert!(
+            cmp.chopper_time() < cmp.vanilla_time(),
+            "tuned run must beat a 400-partition default on a tiny workload: {} vs {}",
+            cmp.chopper_time(),
+            cmp.vanilla_time()
+        );
+        assert!(cmp.improvement_pct() > 0.0);
+        // The plan actually retuned something.
+        assert!(!cmp.plan.conf.is_empty());
+    }
+
+    #[test]
+    fn plan_chooses_moderate_parallelism_for_small_workload() {
+        let w = MiniAgg { records_full: 30_000, keys: 40 };
+        let t = tuner();
+        let mut db = WorkloadDb::new();
+        t.train(&w, &mut db);
+        let plan = t.plan(&w, &db);
+        for d in &plan.decisions {
+            if let crate::optimizer::DecisionAction::Retune(spec)
+            | crate::optimizer::DecisionAction::RetuneGrouped(spec) = &d.action
+            {
+                assert!(
+                    spec.partitions < 400,
+                    "stage {} should not keep the oversized default, got {}",
+                    d.name,
+                    spec.partitions
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_plan_covers_every_stage_without_grouping() {
+        let w = MiniAgg { records_full: 30_000, keys: 40 };
+        let t = tuner();
+        let mut db = WorkloadDb::new();
+        t.train(&w, &mut db);
+        let naive = t.plan_naive(&w, &db);
+        let global = t.plan(&w, &db);
+        assert_eq!(naive.decisions.len(), global.decisions.len());
+        // Without joins, both algorithms agree on this workload.
+        assert_eq!(naive.conf.stages.len(), global.conf.stages.len());
+        assert!(naive
+            .decisions
+            .iter()
+            .all(|d| !matches!(d.action, crate::optimizer::DecisionAction::RetuneGrouped(_))));
+    }
+
+    #[test]
+    fn plan_without_training_is_empty() {
+        let w = MiniAgg { records_full: 1000, keys: 5 };
+        let t = tuner();
+        let db = WorkloadDb::new();
+        let plan = t.plan(&w, &db);
+        assert!(plan.conf.is_empty());
+    }
+
+    #[test]
+    fn comparison_accounts_full_span() {
+        let w = MiniAgg { records_full: 10_000, keys: 10 };
+        let cmp = tuner().compare(&w);
+        assert!(cmp.vanilla_time() > 0.0);
+        assert!(cmp.chopper_time() > 0.0);
+        let expected = 100.0 * (cmp.vanilla_time() - cmp.chopper_time()) / cmp.vanilla_time();
+        assert!((cmp.improvement_pct() - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,235 @@
+//! The statistics collector (paper Fig. 5, "Statistics Collector").
+//!
+//! Converts engine job metrics into the per-stage observations the workload
+//! database stores: `(D, P, t_exe, s_shuffle)` keyed by stage signature and
+//! partitioner kind, plus a snapshot of the stage DAG used by the global
+//! optimization of Algorithm 3.
+
+use engine::{JobMetrics, PartitionerKind, StageKind, StageMetrics};
+use serde::{Deserialize, Serialize};
+
+/// One training observation for a stage's cost models (Eq. 1–2 inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Stage input size in bytes (`D`).
+    pub d: f64,
+    /// Number of partitions / tasks (`P`).
+    pub p: f64,
+    /// Stage execution time in seconds.
+    pub t_exe: f64,
+    /// Stage shuffle volume in bytes (max of read and write, per the
+    /// paper's Section II-B convention).
+    pub s_shuffle: f64,
+}
+
+/// One stage of the workload DAG as the optimizer sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagStage {
+    /// Stage signature (configuration key).
+    pub signature: u64,
+    /// Human-readable label.
+    pub name: String,
+    /// Whether this stage consumes two sides (join/co-group).
+    pub is_join: bool,
+    /// Whether CHOPPER may retune this stage's scheme.
+    pub configurable: bool,
+    /// Whether the program pinned the scheme.
+    pub user_fixed: bool,
+    /// Partitioner kind the stage ran under in the observed run.
+    pub observed_kind: PartitionerKind,
+    /// Partition count the stage ran under in the observed run.
+    pub observed_partitions: usize,
+    /// Signatures of the stages this one consumed data from.
+    pub parents: Vec<u64>,
+    /// When set, this stage's task count is slaved to the stage with this
+    /// signature (it reads a cached RDD whose partitioning that stage
+    /// chose) — the paper's "partition dependency", which Algorithm 3
+    /// groups so the producer's scheme is optimized for the whole chain.
+    pub depends_on: Option<u64>,
+    /// Fraction of the run's total input bytes this stage's `D` was —
+    /// `getStageInput`'s scaling ratio.
+    pub input_ratio: f64,
+    /// Observed output bytes (repartition-insertion cost estimates).
+    pub output_bytes: u64,
+    /// How many times this stage executed in the observed run (iterative
+    /// stages share a signature and run once per iteration). Group
+    /// decisions weight a member's cost by this.
+    #[serde(default = "one")]
+    pub multiplicity: usize,
+}
+
+fn one() -> usize {
+    1
+}
+
+/// A full observed run: DAG snapshot plus per-stage observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSnapshot {
+    /// Total workload input bytes of this run.
+    pub input_bytes: u64,
+    /// Stages in execution order.
+    pub dag: Vec<DagStage>,
+    /// Total virtual duration of the run.
+    pub duration: f64,
+}
+
+/// The signature the database keys a stage's observations under. Cached
+/// (partition-dependent) stages use their *terminal* signature — their root
+/// is the cached RDD, which several different consumer chains share — while
+/// every other stage uses its root signature, the key the configuration
+/// file retunes.
+pub fn stage_key(s: &StageMetrics) -> u64 {
+    if s.kind == StageKind::Cached {
+        s.terminal_signature
+    } else {
+        s.root_signature
+    }
+}
+
+/// Extracts per-stage observations from executed jobs.
+///
+/// Cached-root stages are included: they are not directly retunable, but
+/// their task count is slaved to their producer's scheme, and Algorithm 3
+/// needs their cost models to optimize the producer for the whole chain.
+pub fn collect_observations(
+    jobs: &[JobMetrics],
+    run_input_bytes: u64,
+) -> Vec<(u64, PartitionerKind, Observation)> {
+    let _ = run_input_bytes;
+    stages_of(jobs)
+        .map(|s| {
+            let kind = s.scheme.map(|sc| sc.kind).unwrap_or(PartitionerKind::Hash);
+            (
+                stage_key(s),
+                kind,
+                Observation {
+                    d: s.input_bytes.max(1) as f64,
+                    p: s.num_tasks as f64,
+                    t_exe: s.duration(),
+                    s_shuffle: s.shuffle_data() as f64,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Builds the DAG snapshot of a run. A stage signature appears once even
+/// when it executed several times (iterations); the first occurrence wins.
+pub fn collect_dag(jobs: &[JobMetrics], run_input_bytes: u64) -> RunSnapshot {
+    let stages: Vec<&StageMetrics> = stages_of(jobs).collect();
+    // Map global stage ids to database keys for parent/dependency linkage.
+    let sig_of: std::collections::HashMap<usize, u64> =
+        stages.iter().map(|s| (s.stage_id, stage_key(s))).collect();
+    let mut occurrences: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for s in &stages {
+        *occurrences.entry(stage_key(s)).or_default() += 1;
+    }
+    let mut seen = std::collections::HashSet::new();
+    let dag = stages
+        .iter()
+        .filter(|s| seen.insert(stage_key(s)))
+        .map(|s| DagStage {
+            signature: stage_key(s),
+            name: s.name.clone(),
+            is_join: s.kind == StageKind::Join,
+            configurable: s.configurable,
+            user_fixed: s.user_fixed,
+            observed_kind: s.scheme.map(|sc| sc.kind).unwrap_or(PartitionerKind::Hash),
+            observed_partitions: s.num_tasks,
+            parents: s
+                .parents
+                .iter()
+                .filter_map(|gid| sig_of.get(gid).copied())
+                .collect(),
+            depends_on: (s.kind == StageKind::Cached)
+                .then(|| s.parents.first().and_then(|gid| sig_of.get(gid).copied()))
+                .flatten(),
+            input_ratio: s.input_bytes.max(1) as f64 / run_input_bytes.max(1) as f64,
+            output_bytes: s.output_bytes,
+            multiplicity: occurrences[&stage_key(s)],
+        })
+        .collect();
+    let duration = jobs.last().map(|j| j.end).unwrap_or(0.0)
+        - jobs.first().map(|j| j.start).unwrap_or(0.0);
+    RunSnapshot { input_bytes: run_input_bytes, dag, duration }
+}
+
+fn stages_of(jobs: &[JobMetrics]) -> impl Iterator<Item = &StageMetrics> {
+    jobs.iter().flat_map(|j| j.stages.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::testutil::MiniAgg;
+    use crate::workload::Workload;
+    use engine::{EngineOptions, WorkloadConf};
+    use simcluster::uniform_cluster;
+
+    fn run_mini() -> (engine::Context, u64) {
+        let w = MiniAgg { records_full: 2000, keys: 20 };
+        let opts = EngineOptions {
+            cluster: uniform_cluster(3, 4, 2.0),
+            default_parallelism: 6,
+            workers: 2,
+            ..EngineOptions::default()
+        };
+        let ctx = w.run(&opts, &WorkloadConf::new(), 1.0);
+        let bytes = w.full_input_bytes();
+        (ctx, bytes)
+    }
+
+    #[test]
+    fn observations_cover_every_stage() {
+        let (ctx, bytes) = run_mini();
+        let obs = collect_observations(ctx.jobs(), bytes);
+        assert_eq!(obs.len(), 2, "scan stage + agg stage");
+        for (_, _, o) in &obs {
+            assert!(o.d > 0.0);
+            assert!(o.p >= 1.0);
+            assert!(o.t_exe > 0.0);
+        }
+        // The reduce stage has shuffle volume; the scan stage writes it.
+        assert!(obs.iter().any(|(_, _, o)| o.s_shuffle > 0.0));
+    }
+
+    #[test]
+    fn observed_kind_defaults_to_hash() {
+        let (ctx, bytes) = run_mini();
+        for (_, kind, _) in collect_observations(ctx.jobs(), bytes) {
+            assert_eq!(kind, PartitionerKind::Hash);
+        }
+    }
+
+    #[test]
+    fn dag_snapshot_links_parents_by_signature() {
+        let (ctx, bytes) = run_mini();
+        let snap = collect_dag(ctx.jobs(), bytes);
+        assert_eq!(snap.dag.len(), 2);
+        assert!(snap.dag[0].parents.is_empty(), "source stage has no parents");
+        assert_eq!(snap.dag[1].parents, vec![snap.dag[0].signature]);
+        assert!(snap.duration > 0.0);
+        assert_eq!(snap.input_bytes, bytes);
+    }
+
+    #[test]
+    fn input_ratios_are_positive_fractions() {
+        let (ctx, bytes) = run_mini();
+        let snap = collect_dag(ctx.jobs(), bytes);
+        for s in &snap.dag {
+            assert!(s.input_ratio > 0.0, "{} ratio must be positive", s.name);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_serde() {
+        let (ctx, bytes) = run_mini();
+        let snap = collect_dag(ctx.jobs(), bytes);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: RunSnapshot = serde_json::from_str(&json).unwrap();
+        // JSON float printing may perturb the last ulp of the duration.
+        assert_eq!(back.dag, snap.dag);
+        assert_eq!(back.input_bytes, snap.input_bytes);
+        assert!((back.duration - snap.duration).abs() < 1e-9);
+    }
+}

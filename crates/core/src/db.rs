@@ -1,0 +1,279 @@
+//! The workload database (paper Fig. 5, "Workload DB").
+//!
+//! Stores, per workload: the per-(stage, partitioner) training observations,
+//! and DAG snapshots of observed runs. The reference snapshot (largest
+//! observed input) supplies the stage ordering, dependency structure, and
+//! per-stage input ratios the optimizer needs. The whole database
+//! serializes to JSON so trained state survives across sessions, mirroring
+//! the paper's offline model training.
+
+use crate::collector::{Observation, RunSnapshot};
+use engine::PartitionerKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Observations and snapshots for one workload.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkloadRecord {
+    /// Training points keyed by `(stage signature, partitioner kind)`.
+    ///
+    /// Serialized as a list because JSON maps need string keys.
+    observations: Vec<((u64, PartitionerKind), Vec<Observation>)>,
+    /// Observed run snapshots, most recent last.
+    pub runs: Vec<RunSnapshot>,
+}
+
+impl WorkloadRecord {
+    fn slot(&mut self, key: (u64, PartitionerKind)) -> &mut Vec<Observation> {
+        if let Some(idx) = self.observations.iter().position(|(k, _)| *k == key) {
+            &mut self.observations[idx].1
+        } else {
+            self.observations.push((key, Vec::new()));
+            &mut self.observations.last_mut().expect("just pushed").1
+        }
+    }
+
+    /// Observations for a stage under a partitioner kind.
+    pub fn observations(&self, signature: u64, kind: PartitionerKind) -> &[Observation] {
+        self.observations
+            .iter()
+            .find(|(k, _)| *k == (signature, kind))
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The reference snapshot: the observed run with the largest input.
+    pub fn reference_run(&self) -> Option<&RunSnapshot> {
+        self.runs.iter().max_by_key(|r| r.input_bytes)
+    }
+
+    /// Total observation count across stages.
+    pub fn num_observations(&self) -> usize {
+        self.observations.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Keeps only the most recent `max_per_stage` observations per
+    /// `(stage, partitioner)` slot and the most recent `max_runs`
+    /// snapshots, bounding the database's growth in long-lived deployments.
+    pub fn prune(&mut self, max_per_stage: usize, max_runs: usize) {
+        for (_, obs) in &mut self.observations {
+            if obs.len() > max_per_stage {
+                obs.drain(..obs.len() - max_per_stage);
+            }
+        }
+        if self.runs.len() > max_runs {
+            self.runs.drain(..self.runs.len() - max_runs);
+        }
+    }
+
+    /// Merges another record's observations and runs into this one (e.g.
+    /// databases trained on different machines against the same workload).
+    pub fn merge(&mut self, other: &WorkloadRecord) {
+        for (key, obs) in &other.observations {
+            self.slot(*key).extend_from_slice(obs);
+        }
+        self.runs.extend(other.runs.iter().cloned());
+    }
+}
+
+/// The database: one record per workload name.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkloadDb {
+    workloads: HashMap<String, WorkloadRecord>,
+}
+
+impl WorkloadDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        WorkloadDb::default()
+    }
+
+    /// Records one run's observations and DAG snapshot.
+    pub fn record_run(
+        &mut self,
+        workload: &str,
+        observations: Vec<(u64, PartitionerKind, Observation)>,
+        snapshot: RunSnapshot,
+    ) {
+        let rec = self.workloads.entry(workload.to_string()).or_default();
+        for (sig, kind, obs) in observations {
+            rec.slot((sig, kind)).push(obs);
+        }
+        rec.runs.push(snapshot);
+    }
+
+    /// The record for a workload, if any runs were observed.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadRecord> {
+        self.workloads.get(name)
+    }
+
+    /// Names of all observed workloads (sorted for determinism).
+    pub fn workload_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.workloads.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Merges another database into this one, workload by workload.
+    pub fn merge(&mut self, other: &WorkloadDb) {
+        for (name, rec) in &other.workloads {
+            self.workloads.entry(name.clone()).or_default().merge(rec);
+        }
+    }
+
+    /// Prunes every workload record (see [`WorkloadRecord::prune`]).
+    pub fn prune(&mut self, max_per_stage: usize, max_runs: usize) {
+        for rec in self.workloads.values_mut() {
+            rec.prune(max_per_stage, max_runs);
+        }
+    }
+
+    /// Serializes the database to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("database serializes")
+    }
+
+    /// Loads a database from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Persists to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::DagStage;
+
+    fn obs(d: f64, p: f64) -> Observation {
+        Observation { d, p, t_exe: d / 100.0 + p / 10.0, s_shuffle: p * 3.0 }
+    }
+
+    fn snapshot(input: u64) -> RunSnapshot {
+        RunSnapshot {
+            input_bytes: input,
+            dag: vec![DagStage {
+                signature: 7,
+                name: "s".into(),
+                is_join: false,
+                configurable: true,
+                user_fixed: false,
+                observed_kind: PartitionerKind::Hash,
+                observed_partitions: 300,
+                parents: vec![],
+                depends_on: None,
+                input_ratio: 1.0,
+                output_bytes: 10,
+                multiplicity: 1,
+            }],
+            duration: 1.0,
+        }
+    }
+
+    #[test]
+    fn records_accumulate_per_stage_and_kind() {
+        let mut db = WorkloadDb::new();
+        db.record_run(
+            "w",
+            vec![
+                (7, PartitionerKind::Hash, obs(100.0, 10.0)),
+                (7, PartitionerKind::Range, obs(100.0, 10.0)),
+            ],
+            snapshot(100),
+        );
+        db.record_run("w", vec![(7, PartitionerKind::Hash, obs(200.0, 20.0))], snapshot(200));
+        let rec = db.workload("w").unwrap();
+        assert_eq!(rec.observations(7, PartitionerKind::Hash).len(), 2);
+        assert_eq!(rec.observations(7, PartitionerKind::Range).len(), 1);
+        assert_eq!(rec.observations(8, PartitionerKind::Hash).len(), 0);
+        assert_eq!(rec.num_observations(), 3);
+    }
+
+    #[test]
+    fn reference_run_is_largest_input() {
+        let mut db = WorkloadDb::new();
+        db.record_run("w", vec![], snapshot(50));
+        db.record_run("w", vec![], snapshot(500));
+        db.record_run("w", vec![], snapshot(200));
+        assert_eq!(db.workload("w").unwrap().reference_run().unwrap().input_bytes, 500);
+    }
+
+    #[test]
+    fn unknown_workload_is_none() {
+        assert!(WorkloadDb::new().workload("nope").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mut db = WorkloadDb::new();
+        db.record_run("kmeans", vec![(1, PartitionerKind::Range, obs(5.0, 2.0))], snapshot(10));
+        db.record_run("sql", vec![(2, PartitionerKind::Hash, obs(9.0, 3.0))], snapshot(20));
+        let back = WorkloadDb::from_json(&db.to_json()).unwrap();
+        assert_eq!(back.workload_names(), vec!["kmeans", "sql"]);
+        assert_eq!(
+            back.workload("kmeans").unwrap().observations(1, PartitionerKind::Range),
+            db.workload("kmeans").unwrap().observations(1, PartitionerKind::Range)
+        );
+    }
+
+    #[test]
+    fn file_persistence_roundtrip() {
+        let mut db = WorkloadDb::new();
+        db.record_run("w", vec![(3, PartitionerKind::Hash, obs(1.0, 1.0))], snapshot(1));
+        let dir = std::env::temp_dir().join("chopper-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        db.save(&path).unwrap();
+        let back = WorkloadDb::load(&path).unwrap();
+        assert_eq!(back.workload_names(), vec!["w"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_json_is_an_error() {
+        assert!(WorkloadDb::from_json("{ not json").is_err());
+    }
+
+    #[test]
+    fn prune_keeps_most_recent() {
+        let mut db = WorkloadDb::new();
+        for i in 0..10 {
+            db.record_run(
+                "w",
+                vec![(7, PartitionerKind::Hash, obs(i as f64 + 1.0, 1.0))],
+                snapshot(100 + i),
+            );
+        }
+        db.prune(3, 2);
+        let rec = db.workload("w").unwrap();
+        let kept = rec.observations(7, PartitionerKind::Hash);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].d, 8.0, "oldest observations dropped first");
+        assert_eq!(rec.runs.len(), 2);
+        assert_eq!(rec.reference_run().unwrap().input_bytes, 109);
+    }
+
+    #[test]
+    fn merge_combines_databases() {
+        let mut a = WorkloadDb::new();
+        a.record_run("w", vec![(1, PartitionerKind::Hash, obs(1.0, 1.0))], snapshot(10));
+        let mut b = WorkloadDb::new();
+        b.record_run("w", vec![(1, PartitionerKind::Hash, obs(2.0, 2.0))], snapshot(20));
+        b.record_run("other", vec![(9, PartitionerKind::Range, obs(3.0, 3.0))], snapshot(30));
+        a.merge(&b);
+        assert_eq!(a.workload_names(), vec!["other", "w"]);
+        let rec = a.workload("w").unwrap();
+        assert_eq!(rec.observations(1, PartitionerKind::Hash).len(), 2);
+        assert_eq!(rec.runs.len(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Lightweight test runs (paper Section III-B).
+//!
+//! "If the collected data points are not sufficient, CHOPPER can initiate a
+//! few test runs by varying the sampled input data size and the number of
+//! partitions and record the execution time and the amount of shuffle data
+//! produced." This module drives exactly that grid: a bootstrap run
+//! discovers the workload's stage signatures, then each `(scale, partition
+//! count, partitioner kind)` combination is executed on sampled input and
+//! its per-stage observations are recorded into the workload database.
+
+use crate::collector::{collect_dag, collect_observations};
+use crate::db::WorkloadDb;
+use crate::workload::Workload;
+use engine::{EngineOptions, PartitionerKind, PartitionerSpec, WorkloadConf};
+
+/// The test-run grid.
+#[derive(Debug, Clone)]
+pub struct TestRunPlan {
+    /// Input fractions to sample (kept small — these runs are "lightweight").
+    pub scales: Vec<f64>,
+    /// Partition counts to probe.
+    pub partitions: Vec<usize>,
+    /// Partitioner kinds to probe (both, so Algorithm 1 can choose).
+    pub kinds: Vec<PartitionerKind>,
+    /// Probe user-fixed stages too (sandboxed test runs only — production
+    /// configurations never override user pins). Without this, fixed
+    /// stages have no P-varied observations and Algorithm 3's repartition
+    /// insertion can never justify itself.
+    pub probe_user_fixed: bool,
+}
+
+impl Default for TestRunPlan {
+    fn default() -> Self {
+        TestRunPlan {
+            scales: vec![0.1, 0.3, 0.6, 1.0],
+            partitions: vec![60, 150, 300, 600, 1200],
+            kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
+            probe_user_fixed: true,
+        }
+    }
+}
+
+impl TestRunPlan {
+    /// A minimal grid for fast tests/examples.
+    pub fn quick() -> Self {
+        TestRunPlan {
+            scales: vec![0.1, 0.3],
+            partitions: vec![30, 120, 300, 700],
+            kinds: vec![PartitionerKind::Hash],
+            probe_user_fixed: true,
+        }
+    }
+
+    /// Total number of runs the grid will execute (plus one bootstrap).
+    pub fn num_runs(&self) -> usize {
+        1 + self.scales.len() * self.partitions.len() * self.kinds.len()
+    }
+}
+
+/// Runs the test grid for `workload` and records everything into `db`.
+///
+/// Returns the number of runs executed.
+pub fn run_test_grid(
+    workload: &dyn Workload,
+    engine_opts: &EngineOptions,
+    plan: &TestRunPlan,
+    db: &mut WorkloadDb,
+) -> usize {
+    let full = workload.full_input_bytes();
+    let mut runs = 0;
+
+    // Bootstrap: one vanilla sampled run to discover stage signatures.
+    let boot_scale = plan.scales.iter().copied().fold(f64::INFINITY, f64::min).min(1.0);
+    let ctx = workload.run(engine_opts, &WorkloadConf::new(), boot_scale);
+    let boot_bytes = (full as f64 * boot_scale) as u64;
+    let snapshot = collect_dag(ctx.jobs(), boot_bytes);
+    let signatures: Vec<u64> = snapshot
+        .dag
+        .iter()
+        .filter(|s| (s.configurable && !s.user_fixed) || (plan.probe_user_fixed && s.user_fixed))
+        .map(|s| s.signature)
+        .collect();
+    db.record_run(
+        workload.name(),
+        collect_observations(ctx.jobs(), boot_bytes),
+        snapshot,
+    );
+    runs += 1;
+
+    // The grid: force every configurable stage to (kind, p) per run.
+    for &scale in &plan.scales {
+        for &p in &plan.partitions {
+            for &kind in &plan.kinds {
+                let mut conf = WorkloadConf::new();
+                conf.override_user_fixed = plan.probe_user_fixed;
+                for &sig in &signatures {
+                    conf.set_stage(sig, PartitionerSpec { kind, partitions: p });
+                }
+                let ctx = workload.run(engine_opts, &conf, scale);
+                let bytes = (full as f64 * scale) as u64;
+                db.record_run(
+                    workload.name(),
+                    collect_observations(ctx.jobs(), bytes),
+                    collect_dag(ctx.jobs(), bytes),
+                );
+                runs += 1;
+            }
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::testutil::MiniAgg;
+    use simcluster::uniform_cluster;
+
+    fn small_opts() -> EngineOptions {
+        EngineOptions {
+            cluster: uniform_cluster(3, 4, 2.0),
+            default_parallelism: 12,
+            workers: 2,
+            ..EngineOptions::default()
+        }
+    }
+
+    #[test]
+    fn grid_populates_database() {
+        let w = MiniAgg { records_full: 5000, keys: 50 };
+        let mut db = WorkloadDb::new();
+        let plan = TestRunPlan {
+            scales: vec![0.2, 0.5],
+            partitions: vec![4, 12, 24],
+            kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
+            probe_user_fixed: true,
+        };
+        let runs = run_test_grid(&w, &small_opts(), &plan, &mut db);
+        assert_eq!(runs, plan.num_runs());
+        let rec = db.workload("mini-agg").unwrap();
+        // 13 runs × 2 stages of observations.
+        assert_eq!(rec.num_observations(), runs * 2);
+        assert!(rec.reference_run().is_some());
+    }
+
+    #[test]
+    fn grid_produces_observations_for_both_kinds() {
+        let w = MiniAgg { records_full: 5000, keys: 50 };
+        let mut db = WorkloadDb::new();
+        let plan = TestRunPlan {
+            scales: vec![0.3],
+            partitions: vec![6, 18],
+            kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
+            probe_user_fixed: true,
+        };
+        run_test_grid(&w, &small_opts(), &plan, &mut db);
+        let rec = db.workload("mini-agg").unwrap();
+        let snapshot = rec.reference_run().unwrap().clone();
+        let agg_sig = snapshot.dag.last().unwrap().signature;
+        assert!(!rec.observations(agg_sig, PartitionerKind::Hash).is_empty());
+        assert!(!rec.observations(agg_sig, PartitionerKind::Range).is_empty());
+    }
+
+    #[test]
+    fn forced_partition_counts_show_up_in_observations() {
+        let w = MiniAgg { records_full: 5000, keys: 50 };
+        let mut db = WorkloadDb::new();
+        let plan = TestRunPlan {
+            scales: vec![0.3],
+            partitions: vec![7],
+            kinds: vec![PartitionerKind::Hash],
+            probe_user_fixed: true,
+        };
+        run_test_grid(&w, &small_opts(), &plan, &mut db);
+        let rec = db.workload("mini-agg").unwrap();
+        let agg_sig = rec.reference_run().unwrap().dag.last().unwrap().signature;
+        let obs = rec.observations(agg_sig, PartitionerKind::Hash);
+        assert!(
+            obs.iter().any(|o| (o.p - 7.0).abs() < 1e-9),
+            "the forced P=7 run must be recorded: {obs:?}"
+        );
+    }
+}

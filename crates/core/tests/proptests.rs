@@ -1,0 +1,174 @@
+//! Property-based tests for CHOPPER's models and optimizer.
+
+use chopper::{
+    cost, get_global_par, get_stage_par, CostWeights, Observation, OptimizerOptions, StageModel,
+};
+use chopper::{DagStage, RunSnapshot, WorkloadDb};
+use engine::PartitionerKind;
+use proptest::prelude::*;
+
+/// Strategy: a well-spread observation grid from a random realistic
+/// surface `t = work/min(P, C) + o·P`, `s = w_s·P`.
+fn arb_surface() -> impl Strategy<Value = (Vec<Observation>, f64, f64)> {
+    (1.0f64..20.0, 1e-4f64..5e-2, 10.0f64..500.0).prop_map(|(work_per_mb, overhead, shuffle_w)| {
+        let mut obs = Vec::new();
+        for d_mb in [8.0, 16.0, 32.0, 64.0, 128.0, 256.0] {
+            for p in [30.0, 60.0, 120.0, 240.0, 480.0, 960.0] {
+                let work = work_per_mb * d_mb;
+                obs.push(Observation {
+                    d: d_mb * 1e6,
+                    p,
+                    t_exe: work / p.min(112.0) + overhead * p,
+                    s_shuffle: shuffle_w * p,
+                });
+            }
+        }
+        (obs, work_per_mb, overhead)
+    })
+}
+
+fn record_with(obs: Vec<(u64, PartitionerKind, Observation)>, dag: Vec<DagStage>) -> WorkloadDb {
+    let mut db = WorkloadDb::new();
+    let input = obs.iter().map(|(_, _, o)| o.d as u64).max().unwrap_or(1);
+    db.record_run("w", obs, RunSnapshot { input_bytes: input, dag, duration: 1.0 });
+    db
+}
+
+fn dag_stage(sig: u64) -> DagStage {
+    DagStage {
+        signature: sig,
+        name: format!("s{sig}"),
+        is_join: false,
+        configurable: true,
+        user_fixed: false,
+        observed_kind: PartitionerKind::Hash,
+        observed_partitions: 300,
+        parents: vec![],
+        depends_on: None,
+        input_ratio: 1.0,
+        output_bytes: 1_000_000,
+        multiplicity: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Model predictions stay finite and non-negative over the training
+    /// box and a margin around it.
+    #[test]
+    fn model_predictions_are_sane((obs, _, _) in arb_surface()) {
+        let m = StageModel::fit(&obs).expect("grid is large enough");
+        for &(d, p) in &[(4e6, 20.0), (1e8, 300.0), (3e8, 1000.0)] {
+            let t = m.predict_time(d, p);
+            let s = m.predict_shuffle(d, p);
+            prop_assert!(t.is_finite() && t >= 0.0);
+            prop_assert!(s.is_finite() && s >= 0.0);
+        }
+    }
+
+    /// The Eq. 1–2 basis cannot represent `1/P` exactly (a documented
+    /// limitation of the paper's model), so instead of tight interpolation
+    /// we require the *useful* property: the fit separates the extremes —
+    /// the truly-worst training point must be predicted slower than the
+    /// truly-best one.
+    #[test]
+    fn model_preserves_extreme_ordering((obs, _, _) in arb_surface()) {
+        let m = StageModel::fit(&obs).expect("fits");
+        let best = obs.iter().min_by(|a, b| a.t_exe.partial_cmp(&b.t_exe).unwrap()).unwrap();
+        let worst = obs.iter().max_by(|a, b| a.t_exe.partial_cmp(&b.t_exe).unwrap()).unwrap();
+        let p_best = m.predict_time(best.d, best.p);
+        let p_worst = m.predict_time(worst.d, worst.p);
+        prop_assert!(p_worst > p_best,
+            "fit must rank the extremes: predicted worst {p_worst} !> best {p_best} \
+             (true worst {} vs best {})", worst.t_exe, best.t_exe);
+        // And the error, while not tiny, must stay bounded.
+        prop_assert!(m.time_error(&obs) < 1.5);
+    }
+
+    /// Eq. 3 at the default parallelism always costs exactly α + β.
+    #[test]
+    fn cost_normalization_anchor((obs, _, _) in arb_surface(),
+                                 alpha in 0.0f64..1.0) {
+        let m = StageModel::fit(&obs).expect("fits");
+        let w = CostWeights { alpha, beta: 1.0 - alpha };
+        let c = cost(&m, w, 6.4e7, 300.0, 300);
+        prop_assert!((c - 1.0).abs() < 1e-9, "cost at P0 must be α+β=1, got {c}");
+    }
+
+    /// Algorithm 1's chosen point never costs more than the default
+    /// parallelism (it can always fall back to P₀ if nothing is better).
+    #[test]
+    fn stage_par_never_worse_than_default((obs, _, _) in arb_surface()) {
+        let tagged: Vec<_> =
+            obs.iter().map(|&o| (7u64, PartitionerKind::Hash, o)).collect();
+        let db = record_with(tagged, vec![dag_stage(7)]);
+        let rec = db.workload("w").expect("recorded");
+        let mut opts = OptimizerOptions::default();
+        opts.candidates.push(300); // ensure P0 itself is a candidate
+        let par = get_stage_par(rec, 7, 6.4e7, &opts).expect("model fits");
+        prop_assert!(par.cost <= 1.0 + 1e-6,
+            "optimal cost {} must not exceed the default's", par.cost);
+    }
+
+    /// The globally optimized plan only touches configurable stages and
+    /// always emits one decision per DAG stage.
+    #[test]
+    fn global_plan_respects_stage_flags((obs, _, _) in arb_surface(),
+                                        fixed_mask in any::<u8>()) {
+        let sigs = [11u64, 22, 33];
+        let mut tagged = Vec::new();
+        for (i, &sig) in sigs.iter().enumerate() {
+            let _ = i;
+            for &o in &obs {
+                tagged.push((sig, PartitionerKind::Hash, o));
+            }
+        }
+        let dag: Vec<DagStage> = sigs
+            .iter()
+            .enumerate()
+            .map(|(i, &sig)| {
+                let mut s = dag_stage(sig);
+                s.user_fixed = fixed_mask & (1 << i) != 0;
+                s
+            })
+            .collect();
+        let db = record_with(tagged, dag.clone());
+        let rec = db.workload("w").expect("recorded");
+        let plan = get_global_par(rec, 6.4e7 as u64, &OptimizerOptions::default());
+        prop_assert_eq!(plan.decisions.len(), 3);
+        for (stage, decision) in dag.iter().zip(&plan.decisions) {
+            if stage.user_fixed {
+                prop_assert!(plan.conf.stage_scheme(stage.signature).is_none(),
+                    "user-fixed stage must not get a scheme entry");
+            }
+            prop_assert_eq!(decision.signature, stage.signature);
+        }
+    }
+
+    /// Database JSON round-trips arbitrary observation sets.
+    #[test]
+    fn db_roundtrip(entries in proptest::collection::vec(
+        (any::<u64>(), any::<bool>(), 1.0f64..1e9, 1.0f64..4096.0, 0.0f64..1e4, 0.0f64..1e9),
+        0..40))
+    {
+        let tagged: Vec<_> = entries
+            .iter()
+            .map(|&(sig, range, d, p, t, s)| {
+                let kind = if range { PartitionerKind::Range } else { PartitionerKind::Hash };
+                (sig, kind, Observation { d, p, t_exe: t, s_shuffle: s })
+            })
+            .collect();
+        let db = record_with(tagged.clone(), vec![dag_stage(1)]);
+        let back = WorkloadDb::from_json(&db.to_json()).expect("round trip");
+        let rec = back.workload("w").expect("present");
+        for (sig, kind, o) in &tagged {
+            prop_assert!(rec
+                .observations(*sig, *kind)
+                .iter()
+                .any(|x| (x.d - o.d).abs() < 1e-9 * o.d.max(1.0)
+                    && (x.p - o.p).abs() < 1e-9
+                    && (x.t_exe - o.t_exe).abs() <= 1e-9 * o.t_exe.max(1.0)));
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The engine's dynamic data model.
+//!
+//! Spark RDDs are generic; a reproduction engine gets most of the leverage
+//! from a small dynamic `(Key, Value)` record type instead — it keeps the
+//! scheduler, shuffle, and partitioners monomorphic while still expressing
+//! every workload in the paper (points for KMeans/PCA, keyed rows for SQL).
+//!
+//! Keys are hashable *and* ordered so both the hash partitioner and the
+//! range partitioner work over them. Hashing is FNV-1a over a stable byte
+//! encoding — deliberately not `std`'s randomized SipHash, so partition
+//! assignment (and therefore every downstream measurement) is deterministic
+//! across runs.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A record key. Ordered and hashable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Key {
+    /// Keyless records (pure datasets like point clouds).
+    None,
+    /// Integer key.
+    Int(i64),
+    /// String key.
+    Str(Arc<str>),
+    /// Composite key (e.g. (table, id) pairs).
+    Pair(Box<Key>, Box<Key>),
+}
+
+impl Key {
+    /// Stable 64-bit FNV-1a hash of the key's byte encoding.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        self.feed(&mut h);
+        h.finish()
+    }
+
+    fn feed(&self, h: &mut Fnv) {
+        match self {
+            Key::None => h.write_u8(0),
+            Key::Int(i) => {
+                h.write_u8(1);
+                h.write(&i.to_le_bytes());
+            }
+            Key::Str(s) => {
+                h.write_u8(2);
+                h.write(s.as_bytes());
+            }
+            Key::Pair(a, b) => {
+                h.write_u8(3);
+                a.feed(h);
+                b.feed(h);
+            }
+        }
+    }
+
+    /// Approximate serialized size in bytes (for shuffle accounting).
+    pub fn encoded_size(&self) -> u64 {
+        match self {
+            Key::None => 1,
+            Key::Int(_) => 9,
+            Key::Str(s) => 5 + s.len() as u64,
+            Key::Pair(a, b) => 1 + a.encoded_size() + b.encoded_size(),
+        }
+    }
+
+    /// Convenience constructor for string keys.
+    pub fn str(s: &str) -> Key {
+        Key::Str(Arc::from(s))
+    }
+}
+
+/// A record value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit value.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// String payload.
+    Str(Arc<str>),
+    /// Dense numeric vector (points, partial sums, covariance rows).
+    Vector(Arc<Vec<f64>>),
+    /// Pair of values (e.g. (sum-vector, count) accumulators).
+    Pair(Box<Value>, Box<Value>),
+    /// List of values (co-group buckets, collected groups).
+    List(Arc<Vec<Value>>),
+}
+
+impl Value {
+    /// Approximate serialized size in bytes (for shuffle accounting).
+    pub fn encoded_size(&self) -> u64 {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) | Value::Float(_) => 9,
+            Value::Str(s) => 5 + s.len() as u64,
+            Value::Vector(v) => 9 + 8 * v.len() as u64,
+            Value::Pair(a, b) => 1 + a.encoded_size() + b.encoded_size(),
+            Value::List(vs) => 9 + vs.iter().map(Value::encoded_size).sum::<u64>(),
+        }
+    }
+
+    /// Extracts a float, panicking with context otherwise (workload code
+    /// controls its own schemas, so a mismatch is a bug).
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Float(f) => *f,
+            Value::Int(i) => *i as f64,
+            other => panic!("expected numeric value, got {other:?}"),
+        }
+    }
+
+    /// Extracts an integer.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            other => panic!("expected integer value, got {other:?}"),
+        }
+    }
+
+    /// Borrows the vector payload.
+    pub fn as_vector(&self) -> &[f64] {
+        match self {
+            Value::Vector(v) => v,
+            other => panic!("expected vector value, got {other:?}"),
+        }
+    }
+
+    /// Convenience constructor for string values.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Convenience constructor for vector values.
+    pub fn vector(v: Vec<f64>) -> Value {
+        Value::Vector(Arc::new(v))
+    }
+}
+
+/// One keyed record flowing through the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Partitioning key.
+    pub key: Key,
+    /// Payload.
+    pub value: Value,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(key: Key, value: Value) -> Self {
+        Record { key, value }
+    }
+
+    /// A keyless record.
+    pub fn keyless(value: Value) -> Self {
+        Record { key: Key::None, value }
+    }
+
+    /// Approximate serialized size in bytes.
+    pub fn encoded_size(&self) -> u64 {
+        2 + self.key.encoded_size() + self.value.encoded_size()
+    }
+}
+
+/// Total bytes of a record batch.
+pub fn batch_size(records: &[Record]) -> u64 {
+    records.iter().map(Record::encoded_size).sum()
+}
+
+/// Minimal FNV-1a hasher (deterministic across processes).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a over arbitrary bytes — shared by stage signatures.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Combines two hash values (for chaining signatures).
+pub fn hash_combine(a: u64, b: u64) -> u64 {
+    // boost::hash_combine-style mix.
+    a ^ (b
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(a << 6)
+        .wrapping_add(a >> 2))
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.partial_cmp(b),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.partial_cmp(b),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_ordering_is_total_within_variant() {
+        assert!(Key::Int(1) < Key::Int(2));
+        assert!(Key::str("a") < Key::str("b"));
+        let p1 = Key::Pair(Box::new(Key::Int(1)), Box::new(Key::Int(5)));
+        let p2 = Key::Pair(Box::new(Key::Int(1)), Box::new(Key::Int(9)));
+        assert!(p1 < p2);
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_spread() {
+        assert_eq!(Key::Int(42).stable_hash(), Key::Int(42).stable_hash());
+        assert_ne!(Key::Int(42).stable_hash(), Key::Int(43).stable_hash());
+        assert_ne!(Key::Int(42).stable_hash(), Key::str("42").stable_hash());
+        // Composite keys hash differently from their parts.
+        let pair = Key::Pair(Box::new(Key::Int(1)), Box::new(Key::Int(2)));
+        assert_ne!(pair.stable_hash(), Key::Int(1).stable_hash());
+    }
+
+    #[test]
+    fn encoded_sizes_scale_with_content() {
+        assert_eq!(Key::Int(7).encoded_size(), 9);
+        assert_eq!(Key::str("abcd").encoded_size(), 9);
+        assert_eq!(Value::vector(vec![0.0; 10]).encoded_size(), 89);
+        let r = Record::new(Key::Int(1), Value::Float(2.0));
+        assert_eq!(r.encoded_size(), 2 + 9 + 9);
+    }
+
+    #[test]
+    fn batch_size_sums_records() {
+        let batch = vec![
+            Record::new(Key::Int(1), Value::Null),
+            Record::new(Key::Int(2), Value::Int(5)),
+        ];
+        assert_eq!(batch_size(&batch), (2 + 9 + 1) + (2 + 9 + 9));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Float(2.5).as_float(), 2.5);
+        assert_eq!(Value::Int(3).as_float(), 3.0);
+        assert_eq!(Value::Int(3).as_int(), 3);
+        assert_eq!(Value::vector(vec![1.0, 2.0]).as_vector(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected numeric")]
+    fn as_float_on_string_panics() {
+        let _ = Value::str("x").as_float();
+    }
+
+    #[test]
+    fn value_partial_ord_mixes_numerics() {
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(2.0) > Value::Int(1));
+        assert_eq!(Value::str("a").partial_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn hash_combine_is_order_sensitive() {
+        let a = fnv1a(b"map");
+        let b = fnv1a(b"filter");
+        assert_ne!(hash_combine(a, b), hash_combine(b, a));
+    }
+}

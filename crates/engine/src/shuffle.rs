@@ -1,0 +1,380 @@
+//! Shuffle mechanics: map-side bucketing (with optional combine) and
+//! reduce-side merges.
+//!
+//! The volume a shuffle moves is *measured from real data*, not modeled:
+//! every map task partitions its actual output records with the consumer's
+//! partitioner and, for reduce-by-key, combines duplicates map-side first.
+//! This is why the paper's Fig. 4 shape — shuffle bytes growing with the
+//! partition count — emerges organically here: with more map partitions,
+//! each partition sees fewer duplicate keys, the combiner collapses less,
+//! and more records survive to be shuffled.
+//!
+//! All merge functions preserve first-seen key order, keeping the engine
+//! deterministic end-to-end (no `HashMap` iteration order leaks into
+//! results, byte counts, or range-partitioner samples).
+
+use crate::ops::ReduceFn;
+use crate::partitioner::Partitioner;
+use crate::record::{batch_size, Key, Record, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Map-side output of one task: one bucket per reduce partition.
+#[derive(Debug, Clone)]
+pub struct TaskBuckets {
+    /// Records per reduce partition.
+    pub buckets: Vec<Arc<Vec<Record>>>,
+    /// Serialized size per reduce partition.
+    pub bytes: Vec<u64>,
+}
+
+impl TaskBuckets {
+    /// Total bytes this task wrote.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+}
+
+/// Buckets `records` by `partitioner`, optionally combining values per key
+/// within each bucket (map-side combine for reduce-by-key).
+///
+/// Returns the buckets and the number of combine applications performed
+/// (for cost accounting).
+pub fn bucketize(
+    records: &[Record],
+    partitioner: &dyn Partitioner,
+    combine: Option<&ReduceFn>,
+) -> (TaskBuckets, u64) {
+    let p = partitioner.num_partitions();
+    let mut combine_ops = 0u64;
+    let buckets: Vec<Vec<Record>> = match combine {
+        None => {
+            let mut out: Vec<Vec<Record>> = vec![Vec::new(); p];
+            for r in records {
+                out[partitioner.partition(&r.key)].push(r.clone());
+            }
+            out
+        }
+        Some(f) => {
+            // First-seen-order combine per bucket.
+            let mut out: Vec<Vec<Record>> = vec![Vec::new(); p];
+            let mut index: Vec<HashMap<Key, usize>> = vec![HashMap::new(); p];
+            for r in records {
+                let b = partitioner.partition(&r.key);
+                match index[b].get(&r.key) {
+                    Some(&i) => {
+                        let merged = f(&out[b][i].value, &r.value);
+                        out[b][i].value = merged;
+                        combine_ops += 1;
+                    }
+                    None => {
+                        index[b].insert(r.key.clone(), out[b].len());
+                        out[b].push(r.clone());
+                    }
+                }
+            }
+            out
+        }
+    };
+    let bytes = buckets.iter().map(|b| batch_size(b)).collect();
+    (
+        TaskBuckets { buckets: buckets.into_iter().map(Arc::new).collect(), bytes },
+        combine_ops,
+    )
+}
+
+/// Reduce-side merge for `reduce_by_key`: folds all values of a key with
+/// `f`, preserving first-seen key order. Returns records and the number of
+/// reduce applications.
+pub fn merge_reduce<'a, I>(parts: I, f: &ReduceFn) -> (Vec<Record>, u64)
+where
+    I: IntoIterator<Item = &'a [Record]>,
+{
+    let mut out: Vec<Record> = Vec::new();
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut ops = 0u64;
+    for part in parts {
+        for r in part {
+            match index.get(&r.key) {
+                Some(&i) => {
+                    out[i].value = f(&out[i].value, &r.value);
+                    ops += 1;
+                }
+                None => {
+                    index.insert(r.key.clone(), out.len());
+                    out.push(r.clone());
+                }
+            }
+        }
+    }
+    (out, ops)
+}
+
+/// Reduce-side merge for `group_by_key`: collects all values of a key into
+/// a `Value::List`, preserving first-seen key order.
+pub fn merge_group<'a, I>(parts: I) -> Vec<Record>
+where
+    I: IntoIterator<Item = &'a [Record]>,
+{
+    let mut order: Vec<Key> = Vec::new();
+    let mut groups: HashMap<Key, Vec<Value>> = HashMap::new();
+    for part in parts {
+        for r in part {
+            let entry = groups.entry(r.key.clone()).or_insert_with(|| {
+                order.push(r.key.clone());
+                Vec::new()
+            });
+            entry.push(r.value.clone());
+        }
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let vals = groups.remove(&k).expect("key recorded in order list");
+            Record::new(k, Value::List(Arc::new(vals)))
+        })
+        .collect()
+}
+
+/// Reduce-side merge for `repartition`: plain concatenation.
+pub fn merge_concat<'a, I>(parts: I) -> Vec<Record>
+where
+    I: IntoIterator<Item = &'a [Record]>,
+{
+    let mut out = Vec::new();
+    for part in parts {
+        out.extend_from_slice(part);
+    }
+    out
+}
+
+/// Inner hash join of two sides: emits `Record(k, Pair(l, r))` for every
+/// pair of matching values, in left-side first-seen key order. Returns the
+/// output and the number of probe operations.
+pub fn merge_join(left: &[Record], right: &[Record]) -> (Vec<Record>, u64) {
+    let mut order: Vec<Key> = Vec::new();
+    let mut table: HashMap<Key, Vec<Value>> = HashMap::new();
+    for r in left {
+        table
+            .entry(r.key.clone())
+            .or_insert_with(|| {
+                order.push(r.key.clone());
+                Vec::new()
+            })
+            .push(r.value.clone());
+    }
+    let mut matches: HashMap<Key, Vec<Value>> = HashMap::new();
+    let mut probes = 0u64;
+    for r in right {
+        probes += 1;
+        if table.contains_key(&r.key) {
+            matches.entry(r.key.clone()).or_default().push(r.value.clone());
+        }
+    }
+    let mut out = Vec::new();
+    for k in order {
+        if let Some(rights) = matches.get(&k) {
+            for l in &table[&k] {
+                for r in rights {
+                    out.push(Record::new(
+                        k.clone(),
+                        Value::Pair(Box::new(l.clone()), Box::new(r.clone())),
+                    ));
+                }
+            }
+        }
+    }
+    (out, probes)
+}
+
+/// Co-group of two sides: one record per key present on either side, value
+/// `Pair(List(left values), List(right values))`, in first-seen key order
+/// (left side first).
+pub fn merge_cogroup(left: &[Record], right: &[Record]) -> Vec<Record> {
+    let mut order: Vec<Key> = Vec::new();
+    let mut lefts: HashMap<Key, Vec<Value>> = HashMap::new();
+    let mut rights: HashMap<Key, Vec<Value>> = HashMap::new();
+    for r in left {
+        lefts
+            .entry(r.key.clone())
+            .or_insert_with(|| {
+                order.push(r.key.clone());
+                Vec::new()
+            })
+            .push(r.value.clone());
+    }
+    for r in right {
+        if !lefts.contains_key(&r.key) && !rights.contains_key(&r.key) {
+            order.push(r.key.clone());
+        }
+        rights.entry(r.key.clone()).or_default().push(r.value.clone());
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let l = lefts.remove(&k).unwrap_or_default();
+            let r = rights.remove(&k).unwrap_or_default();
+            Record::new(
+                k,
+                Value::Pair(
+                    Box::new(Value::List(Arc::new(l))),
+                    Box::new(Value::List(Arc::new(r))),
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::HashPartitioner;
+
+    fn rec(k: i64, v: i64) -> Record {
+        Record::new(Key::Int(k), Value::Int(v))
+    }
+
+    fn sum() -> ReduceFn {
+        Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int()))
+    }
+
+    #[test]
+    fn bucketize_routes_by_partitioner() {
+        let p = HashPartitioner::new(4);
+        let records: Vec<Record> = (0..100).map(|i| rec(i, i)).collect();
+        let (tb, ops) = bucketize(&records, &p, None);
+        assert_eq!(ops, 0);
+        assert_eq!(tb.buckets.len(), 4);
+        let total: usize = tb.buckets.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 100, "no records lost");
+        for (i, b) in tb.buckets.iter().enumerate() {
+            for r in b.iter() {
+                assert_eq!(p.partition(&r.key), i);
+            }
+        }
+        assert_eq!(tb.total_bytes(), batch_size(&records));
+    }
+
+    #[test]
+    fn map_side_combine_shrinks_duplicates() {
+        let p = HashPartitioner::new(2);
+        // 100 records, only 4 distinct keys.
+        let records: Vec<Record> = (0..100).map(|i| rec(i % 4, 1)).collect();
+        let (tb, ops) = bucketize(&records, &p, Some(&sum()));
+        let total: usize = tb.buckets.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 4, "one combined record per key");
+        assert_eq!(ops, 96);
+        // Each combined value is the count of its key's occurrences.
+        for b in &tb.buckets {
+            for r in b.iter() {
+                assert_eq!(r.value.as_int(), 25);
+            }
+        }
+    }
+
+    #[test]
+    fn combine_volume_grows_with_map_partitions() {
+        // The Fig. 4 mechanism: splitting the same input across more map
+        // tasks yields more post-combine records in total.
+        let records: Vec<Record> = (0..1000).map(|i| rec(i % 10, 1)).collect();
+        let p = HashPartitioner::new(8);
+        let volume = |num_map_tasks: usize| -> u64 {
+            let chunk = records.len() / num_map_tasks;
+            (0..num_map_tasks)
+                .map(|m| {
+                    let slice = &records[m * chunk..(m + 1) * chunk];
+                    bucketize(slice, &p, Some(&sum())).0.total_bytes()
+                })
+                .sum()
+        };
+        assert!(volume(100) > volume(10));
+        assert!(volume(10) > volume(2));
+    }
+
+    #[test]
+    fn merge_reduce_folds_across_parts() {
+        let a = vec![rec(1, 1), rec(2, 10)];
+        let b = vec![rec(1, 2), rec(3, 100)];
+        let (out, ops) = merge_reduce([a.as_slice(), b.as_slice()], &sum());
+        assert_eq!(ops, 1);
+        assert_eq!(out, vec![rec(1, 3), rec(2, 10), rec(3, 100)]);
+    }
+
+    #[test]
+    fn merge_reduce_is_deterministic_first_seen_order() {
+        let a = vec![rec(5, 1), rec(3, 1), rec(9, 1)];
+        let (out, _) = merge_reduce([a.as_slice()], &sum());
+        let keys: Vec<i64> = out.iter().map(|r| match &r.key {
+            Key::Int(i) => *i,
+            _ => unreachable!(),
+        }).collect();
+        assert_eq!(keys, vec![5, 3, 9]);
+    }
+
+    #[test]
+    fn merge_group_collects_lists() {
+        let a = vec![rec(1, 1), rec(1, 2), rec(2, 3)];
+        let out = merge_group([a.as_slice()]);
+        assert_eq!(out.len(), 2);
+        match &out[0].value {
+            Value::List(vs) => assert_eq!(vs.len(), 2),
+            other => panic!("expected list, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_concat_preserves_everything() {
+        let a = vec![rec(1, 1)];
+        let b = vec![rec(1, 2), rec(2, 3)];
+        assert_eq!(merge_concat([a.as_slice(), b.as_slice()]).len(), 3);
+    }
+
+    #[test]
+    fn join_emits_cross_product_per_key() {
+        let left = vec![rec(1, 10), rec(1, 11), rec(2, 20)];
+        let right = vec![rec(1, 100), rec(3, 300)];
+        let (out, probes) = merge_join(&left, &right);
+        assert_eq!(probes, 2);
+        assert_eq!(out.len(), 2, "key 1 matches 2x1, keys 2 and 3 unmatched");
+        for r in &out {
+            assert_eq!(r.key, Key::Int(1));
+            match &r.value {
+                Value::Pair(l, r) => {
+                    assert!(matches!(**l, Value::Int(10) | Value::Int(11)));
+                    assert_eq!(**r, Value::Int(100));
+                }
+                other => panic!("expected pair, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn join_with_empty_side_is_empty() {
+        let left = vec![rec(1, 10)];
+        assert!(merge_join(&left, &[]).0.is_empty());
+        assert!(merge_join(&[], &left).0.is_empty());
+    }
+
+    #[test]
+    fn cogroup_includes_unmatched_keys() {
+        let left = vec![rec(1, 10)];
+        let right = vec![rec(2, 20)];
+        let out = merge_cogroup(&left, &right);
+        assert_eq!(out.len(), 2);
+        match &out[1].value {
+            Value::Pair(l, r) => {
+                assert_eq!(**l, Value::List(Arc::new(vec![])));
+                assert_eq!(**r, Value::List(Arc::new(vec![Value::Int(20)])));
+            }
+            other => panic!("expected pair of lists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_bucketizes_to_empty_buckets() {
+        let p = HashPartitioner::new(3);
+        let (tb, _) = bucketize(&[], &p, Some(&sum()));
+        assert!(tb.buckets.iter().all(|b| b.is_empty()));
+        assert_eq!(tb.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! The CHOPPER model feature basis.
+//!
+//! Paper Eq. 1 models stage execution time as
+//! `t = a·D³ + b·D² + c·D + d·√D + e·P³ + f·P² + g·P + h·√P`
+//! and Eq. 2 models shuffle volume with the same basis (different
+//! coefficients). We add a constant intercept term, which the paper's
+//! formulation absorbs into the coefficients; with it the fit degrades
+//! gracefully for stages whose time is independent of `D` or `P`.
+//!
+//! Raw `D³` for multi-gigabyte inputs overflows the dynamic range that keeps
+//! the normal equations well-conditioned, so callers fit in *scaled* space:
+//! [`FeatureScaler`] maps `(D, P)` to dimensionless `(D/D₀, P/P₀)` before the
+//! basis is expanded.
+
+/// Number of features in the basis (8 paper terms + intercept).
+pub const NUM_FEATURES: usize = 9;
+
+/// Number of features in the extended basis ([`NUM_FEATURES`] plus the
+/// `D/P`, `D·P`, and `D/√P` interaction terms).
+pub const NUM_FEATURES_EXTENDED: usize = NUM_FEATURES + 3;
+
+/// Human-readable names of the basis features, in `feature_vector` order.
+pub fn feature_names() -> [&'static str; NUM_FEATURES] {
+    ["D^3", "D^2", "D", "sqrt(D)", "P^3", "P^2", "P", "sqrt(P)", "1"]
+}
+
+/// Expands `(d, p)` into the paper's feature basis (plus intercept).
+///
+/// `d` and `p` are expected to already be scaled to O(1) magnitudes; see
+/// [`FeatureScaler`].
+pub fn feature_vector(d: f64, p: f64) -> Vec<f64> {
+    debug_assert!(d >= 0.0 && p >= 0.0, "sizes and partition counts are non-negative");
+    vec![
+        d * d * d,
+        d * d,
+        d,
+        d.sqrt(),
+        p * p * p,
+        p * p,
+        p,
+        p.sqrt(),
+        1.0,
+    ]
+}
+
+/// The paper basis extended with interaction terms. The additive Eq. 1–2
+/// basis cannot express work-per-task (`D/P`) — the dominant term of any
+/// embarrassingly parallel stage — so a model trained across input scales
+/// systematically mispredicts the (large `D`, small `P`) corner. The three
+/// cross terms fix that while keeping the fit linear.
+pub fn extended_feature_vector(d: f64, p: f64) -> Vec<f64> {
+    let mut f = feature_vector(d, p);
+    let p_safe = p.max(1e-9);
+    f.push(d / p_safe);
+    f.push(d * p);
+    f.push(d / p_safe.sqrt());
+    f
+}
+
+/// Maps raw `(D, P)` observations into a dimensionless space where the
+/// polynomial basis stays numerically tame.
+///
+/// The reference scales are chosen as the maximum observed `D` and `P`, so
+/// all scaled training inputs lie in `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureScaler {
+    d_scale: f64,
+    p_scale: f64,
+}
+
+impl FeatureScaler {
+    /// Builds a scaler from raw training observations `(D, P)`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or contains non-positive entries.
+    pub fn from_observations(points: &[(f64, f64)]) -> Self {
+        assert!(!points.is_empty(), "need at least one observation");
+        let mut d_max = 0.0_f64;
+        let mut p_max = 0.0_f64;
+        for &(d, p) in points {
+            assert!(d > 0.0 && p > 0.0, "observations must be positive, got ({d}, {p})");
+            d_max = d_max.max(d);
+            p_max = p_max.max(p);
+        }
+        FeatureScaler { d_scale: d_max, p_scale: p_max }
+    }
+
+    /// A scaler with explicit reference scales.
+    pub fn new(d_scale: f64, p_scale: f64) -> Self {
+        assert!(d_scale > 0.0 && p_scale > 0.0, "scales must be positive");
+        FeatureScaler { d_scale, p_scale }
+    }
+
+    /// Scales a raw `(D, P)` pair.
+    pub fn scale(&self, d: f64, p: f64) -> (f64, f64) {
+        (d / self.d_scale, p / self.p_scale)
+    }
+
+    /// Convenience: scaled feature vector for a raw `(D, P)` pair.
+    pub fn features(&self, d: f64, p: f64) -> Vec<f64> {
+        let (ds, ps) = self.scale(d, p);
+        feature_vector(ds, ps)
+    }
+
+    /// Scaled extended feature vector (paper basis + interaction terms).
+    pub fn extended_features(&self, d: f64, p: f64) -> Vec<f64> {
+        let (ds, ps) = self.scale(d, p);
+        extended_feature_vector(ds, ps)
+    }
+
+    /// The reference input-size scale.
+    pub fn d_scale(&self) -> f64 {
+        self.d_scale
+    }
+
+    /// The reference partition-count scale.
+    pub fn p_scale(&self) -> f64 {
+        self.p_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_has_expected_terms() {
+        let f = feature_vector(2.0, 4.0);
+        assert_eq!(f.len(), NUM_FEATURES);
+        assert_eq!(f[0], 8.0); // D^3
+        assert_eq!(f[1], 4.0); // D^2
+        assert_eq!(f[2], 2.0); // D
+        assert!((f[3] - 2.0_f64.sqrt()).abs() < 1e-15);
+        assert_eq!(f[4], 64.0); // P^3
+        assert_eq!(f[5], 16.0); // P^2
+        assert_eq!(f[6], 4.0); // P
+        assert_eq!(f[7], 2.0); // sqrt(P)
+        assert_eq!(f[8], 1.0); // intercept
+    }
+
+    #[test]
+    fn extended_basis_appends_interactions() {
+        let f = extended_feature_vector(2.0, 4.0);
+        assert_eq!(f.len(), NUM_FEATURES_EXTENDED);
+        assert_eq!(f[9], 0.5); // D/P
+        assert_eq!(f[10], 8.0); // D*P
+        assert_eq!(f[11], 1.0); // D/sqrt(P)
+        assert_eq!(&f[..NUM_FEATURES], &feature_vector(2.0, 4.0)[..]);
+    }
+
+    #[test]
+    fn names_align_with_vector() {
+        assert_eq!(feature_names().len(), NUM_FEATURES);
+        assert_eq!(feature_names()[8], "1");
+    }
+
+    #[test]
+    fn scaler_normalizes_max_to_one() {
+        let s = FeatureScaler::from_observations(&[(10.0, 100.0), (20.0, 400.0)]);
+        assert_eq!(s.scale(20.0, 400.0), (1.0, 1.0));
+        assert_eq!(s.scale(10.0, 100.0), (0.5, 0.25));
+    }
+
+    #[test]
+    fn scaler_features_are_bounded_for_training_points() {
+        let pts = [(1.0e9, 100.0), (7.0e9, 500.0), (3.0e9, 300.0)];
+        let s = FeatureScaler::from_observations(&pts);
+        for &(d, p) in &pts {
+            for v in s.features(d, p) {
+                assert!((0.0..=1.0).contains(&v), "scaled feature {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_observations_panic() {
+        let _ = FeatureScaler::from_observations(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_observation_panics() {
+        let _ = FeatureScaler::from_observations(&[(0.0, 10.0)]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Deterministic reservoir sampling.
+//!
+//! Spark's range partitioner estimates key-range bounds by sampling the RDD
+//! contents; our engine does the same. The sampler here is seeded explicitly
+//! (an xorshift64* generator — no external RNG dependency) so partitioning
+//! decisions, and therefore every experiment, are reproducible.
+
+/// A fixed-capacity reservoir sampler (Vitter's Algorithm R).
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+    rng: XorShift64,
+}
+
+impl<T> Reservoir<T> {
+    /// Creates a reservoir that keeps at most `capacity` items, using the
+    /// given RNG seed.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir { capacity, seen: 0, items: Vec::with_capacity(capacity), rng: XorShift64::new(seed) }
+    }
+
+    /// Offers one item to the reservoir.
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = self.rng.next_below(self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Total number of items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The sampled items (at most `capacity`, in insertion/replacement order).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes the reservoir, returning the sample.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// xorshift64* PRNG — tiny, fast, deterministic, good enough for sampling.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed (0 is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)` via rejection-free multiply-shift.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's multiply-shift; slight modulo bias is irrelevant for sampling.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_when_under_capacity() {
+        let mut r = Reservoir::new(10, 42);
+        for i in 0..5 {
+            r.offer(i);
+        }
+        assert_eq!(r.items(), &[0, 1, 2, 3, 4]);
+        assert_eq!(r.seen(), 5);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut r = Reservoir::new(8, 7);
+        for i in 0..1000 {
+            r.offer(i);
+        }
+        assert_eq!(r.items().len(), 8);
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed| {
+            let mut r = Reservoir::new(16, seed);
+            for i in 0..500 {
+                r.offer(i);
+            }
+            r.into_items()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Offer 0..10_000 into a reservoir of 1000; mean of the kept sample
+        // should be near the population mean of ~5000.
+        let mut r = Reservoir::new(1000, 12345);
+        for i in 0..10_000u64 {
+            r.offer(i as f64);
+        }
+        let mean: f64 = r.items().iter().sum::<f64>() / r.items().len() as f64;
+        assert!((mean - 5000.0).abs() < 500.0, "sample mean {mean} too far from 5000");
+    }
+
+    #[test]
+    fn xorshift_next_below_respects_bound() {
+        let mut rng = XorShift64::new(3);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn xorshift_f64_in_unit_interval() {
+        let mut rng = XorShift64::new(5);
+        for _ in 0..10_000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: Reservoir<u32> = Reservoir::new(0, 1);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut a = XorShift64::new(0);
+        // Must not get stuck at zero.
+        assert_ne!(a.next_u64(), 0);
+    }
+}

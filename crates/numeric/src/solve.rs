@@ -1,0 +1,272 @@
+//! Linear system solving and least-squares fitting.
+//!
+//! CHOPPER's per-stage models (paper Eq. 1–2) are linear in their nine
+//! coefficients, so fitting reduces to an ordinary least-squares problem
+//! `min ‖Xβ − y‖²`. We solve it through the normal equations
+//! `(XᵀX + λI)β = Xᵀy` with a small ridge term `λ` available for the
+//! ill-conditioned systems produced when only a handful of test-run
+//! observations exist — exactly the regime the paper's "lightweight test
+//! runs" operate in.
+
+use crate::matrix::Matrix;
+
+/// Errors from the direct solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is singular (or numerically so) and no solution was found.
+    Singular,
+    /// Shapes of the inputs are inconsistent.
+    ShapeMismatch,
+    /// Fewer observations than required for the requested fit.
+    NotEnoughObservations,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "matrix is singular to working precision"),
+            SolveError::ShapeMismatch => write!(f, "input shapes are inconsistent"),
+            SolveError::NotEnoughObservations => {
+                write!(f, "not enough observations for the requested fit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves the square system `a * x = b` by Gaussian elimination with partial
+/// pivoting.
+///
+/// Returns `Err(SolveError::Singular)` when a pivot smaller than `1e-12`
+/// relative to the largest element is encountered.
+pub fn solve_linear(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(SolveError::ShapeMismatch);
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Augmented working copy.
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    let scale = m.max_abs().max(1.0);
+    let eps = 1e-12 * scale;
+
+    for col in 0..n {
+        // Partial pivot: largest |entry| in this column at or below the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                m[(r1, col)]
+                    .abs()
+                    .partial_cmp(&m[(r2, col)].abs())
+                    .expect("matrix entries must not be NaN")
+            })
+            .expect("non-empty range");
+        if m[(pivot_row, col)].abs() < eps {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot_row, c)];
+                m[(pivot_row, c)] = tmp;
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[(col, col)];
+        for row in col + 1..n {
+            let factor = m[(row, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m[(col, c)];
+                m[(row, c)] -= factor * v;
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for c in row + 1..n {
+            acc -= m[(row, c)] * x[c];
+        }
+        x[row] = acc / m[(row, row)];
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares: finds `beta` minimizing `‖X·beta − y‖²`.
+///
+/// Falls back to a small ridge term when the normal equations are singular
+/// (collinear features, too few observations), so the caller always gets a
+/// usable — if regularized — model once `X` is non-empty.
+pub fn least_squares(x: &Matrix, y: &[f64]) -> Result<Vec<f64>, SolveError> {
+    match least_squares_ridge(x, y, 0.0) {
+        Ok(beta) => Ok(beta),
+        Err(SolveError::Singular) => least_squares_ridge(x, y, 1e-6),
+        Err(e) => Err(e),
+    }
+}
+
+/// Ridge-regularized least squares: solves `(XᵀX + λI)β = Xᵀy`.
+///
+/// `lambda` must be non-negative. `lambda == 0` is ordinary least squares.
+pub fn least_squares_ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, SolveError> {
+    if x.rows() != y.len() {
+        return Err(SolveError::ShapeMismatch);
+    }
+    if x.rows() == 0 {
+        return Err(SolveError::NotEnoughObservations);
+    }
+    assert!(lambda >= 0.0, "ridge parameter must be non-negative");
+
+    let xt = x.transpose();
+    let mut xtx = xt.matmul(x);
+    if lambda > 0.0 {
+        // Scale the ridge with the magnitude of XᵀX so the regularization
+        // strength is unit-free.
+        let scaled = lambda * xtx.max_abs().max(1.0);
+        for i in 0..xtx.rows() {
+            xtx[(i, i)] += scaled;
+        }
+    }
+    let xty = xt.matvec(y);
+    solve_linear(&xtx, &xty)
+}
+
+/// Coefficient of determination (R²) of predictions against observations.
+///
+/// Returns 1.0 for a perfect fit; can be negative for fits worse than the
+/// mean predictor. Returns 1.0 when `y` is constant and perfectly predicted,
+/// 0.0 when constant and mispredicted.
+pub fn r_squared(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len());
+    if observed.is_empty() {
+        return 1.0;
+    }
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = predicted.iter().zip(observed).map(|(p, y)| (y - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} !~ {b:?}");
+        }
+    }
+
+    #[test]
+    fn solves_identity_system() {
+        let a = Matrix::identity(3);
+        let x = solve_linear(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn solves_known_2x2() {
+        // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, -1.0]]);
+        let x = solve_linear(&a, &[5.0, 1.0]).unwrap();
+        assert_close(&x, &[2.0, 1.0], 1e-12);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve_linear(&a, &[3.0, 4.0]).unwrap();
+        assert_close(&x, &[4.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve_linear(&a, &[1.0, 2.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn shape_mismatch_reported() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(solve_linear(&a, &[0.0, 0.0]), Err(SolveError::ShapeMismatch));
+        assert_eq!(
+            least_squares(&Matrix::zeros(2, 2), &[0.0; 3]),
+            Err(SolveError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn empty_system_is_trivially_solved() {
+        assert_eq!(solve_linear(&Matrix::zeros(0, 0), &[]), Ok(vec![]));
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_line() {
+        // y = 3 + 2t sampled at t = 0..5, X = [1, t]
+        let rows: Vec<Vec<f64>> = (0..6).map(|t| vec![1.0, t as f64]).collect();
+        let y: Vec<f64> = (0..6).map(|t| 3.0 + 2.0 * t as f64).collect();
+        let beta = least_squares(&Matrix::from_rows(&rows), &y).unwrap();
+        assert_close(&beta, &[3.0, 2.0], 1e-9);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        // y = 1 + t with symmetric noise; OLS must land between.
+        let rows = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![1.0, 2.0], vec![1.0, 2.0]];
+        let y = vec![0.9, 1.1, 2.9, 3.1];
+        let beta = least_squares(&Matrix::from_rows(&rows), &y).unwrap();
+        assert_close(&beta, &[1.0, 1.0], 1e-9);
+    }
+
+    #[test]
+    fn collinear_features_fall_back_to_ridge() {
+        // Second column duplicates the first: XᵀX singular, ridge kicks in.
+        let rows = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let beta = least_squares(&Matrix::from_rows(&rows), &[2.0, 4.0, 6.0]).unwrap();
+        // Ridge splits the weight between the two identical columns; the
+        // prediction is what matters.
+        let pred = beta[0] + beta[1];
+        assert!((pred - 2.0).abs() < 1e-3, "prediction for x=1 should be ~2, got {pred}");
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let rows: Vec<Vec<f64>> = (0..6).map(|t| vec![1.0, t as f64]).collect();
+        let y: Vec<f64> = (0..6).map(|t| 3.0 + 2.0 * t as f64).collect();
+        let x = Matrix::from_rows(&rows);
+        let ols = least_squares_ridge(&x, &y, 0.0).unwrap();
+        let ridge = least_squares_ridge(&x, &y, 0.5).unwrap();
+        assert!(ridge[1].abs() < ols[1].abs());
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean() {
+        let y = [1.0, 2.0, 3.0];
+        assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+        let mean = [2.0, 2.0, 2.0];
+        assert!(r_squared(&mean, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_observations_is_an_error() {
+        assert_eq!(
+            least_squares(&Matrix::zeros(0, 3), &[]),
+            Err(SolveError::NotEnoughObservations)
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Bucketed cluster-utilization time series (paper Figures 11–14).
+//!
+//! The paper reports, at fixed timestamps, the cluster-average CPU
+//! utilization, memory utilization, packets transmitted+received per second,
+//! and disk transactions per second. The simulator attributes every task's
+//! resource usage to virtual-time buckets here, and the bench harness prints
+//! the resulting series.
+
+/// One row of the utilization report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Bucket start time in virtual seconds.
+    pub time: f64,
+    /// Cluster-average CPU utilization in percent (0–100).
+    pub cpu_pct: f64,
+    /// Cluster-average memory utilization in percent (0–100).
+    pub mem_pct: f64,
+    /// Total packets transmitted + received per second.
+    pub packets_per_sec: f64,
+    /// Total disk read + write transactions per second.
+    pub transactions_per_sec: f64,
+}
+
+/// Accumulates resource usage into fixed-width virtual-time buckets.
+#[derive(Debug, Clone)]
+pub struct UtilTrace {
+    bucket_width: f64,
+    total_cores: f64,
+    total_memory: f64,
+    cpu_busy: Vec<f64>,      // core-seconds per bucket
+    mem_byte_secs: Vec<f64>, // byte-seconds per bucket
+    packets: Vec<f64>,       // packets per bucket
+    transactions: Vec<f64>,  // disk transactions per bucket
+}
+
+impl UtilTrace {
+    /// Creates a trace for a cluster with the given totals.
+    ///
+    /// # Panics
+    /// Panics if `bucket_width`, `total_cores` or `total_memory` are not
+    /// positive.
+    pub fn new(bucket_width: f64, total_cores: usize, total_memory: u64) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(total_cores > 0 && total_memory > 0, "cluster totals must be positive");
+        UtilTrace {
+            bucket_width,
+            total_cores: total_cores as f64,
+            total_memory: total_memory as f64,
+            cpu_busy: Vec::new(),
+            mem_byte_secs: Vec::new(),
+            packets: Vec::new(),
+            transactions: Vec::new(),
+        }
+    }
+
+    fn bucket_of(&self, t: f64) -> usize {
+        (t / self.bucket_width) as usize
+    }
+
+    fn ensure(&mut self, bucket: usize) {
+        let need = bucket + 1;
+        if self.cpu_busy.len() < need {
+            self.cpu_busy.resize(need, 0.0);
+            self.mem_byte_secs.resize(need, 0.0);
+            self.packets.resize(need, 0.0);
+            self.transactions.resize(need, 0.0);
+        }
+    }
+
+    /// Spreads `amount` over `[start, end)` proportionally into buckets,
+    /// applying `f` to each `(bucket, share)`.
+    fn spread(&mut self, start: f64, end: f64, mut add: impl FnMut(&mut Self, usize, f64)) {
+        debug_assert!(end >= start, "interval must be ordered: {start}..{end}");
+        if end <= start {
+            // Instantaneous event: charge the full share to one bucket.
+            let b = self.bucket_of(start);
+            self.ensure(b);
+            add(self, b, 1.0);
+            return;
+        }
+        let total = end - start;
+        let first = self.bucket_of(start);
+        let last = self.bucket_of(end - 1e-12);
+        self.ensure(last);
+        for b in first..=last {
+            let b_start = b as f64 * self.bucket_width;
+            let b_end = b_start + self.bucket_width;
+            let overlap = (end.min(b_end) - start.max(b_start)).max(0.0);
+            add(self, b, overlap / total);
+        }
+    }
+
+    /// Records a task occupying one core and `memory_bytes` of memory over
+    /// `[start, end)` of virtual time.
+    pub fn record_task(&mut self, start: f64, end: f64, memory_bytes: u64) {
+        if end <= start {
+            return;
+        }
+        let busy = end - start;
+        let mem = memory_bytes as f64 * busy;
+        self.spread(start, end, |tr, b, share| {
+            tr.cpu_busy[b] += busy * share;
+            tr.mem_byte_secs[b] += mem * share;
+        });
+    }
+
+    /// Records `bytes` of memory held resident over `[start, end)` without
+    /// any CPU usage (cached RDD partitions).
+    pub fn record_memory(&mut self, start: f64, end: f64, bytes: u64) {
+        if end <= start || bytes == 0 {
+            return;
+        }
+        let mem = bytes as f64 * (end - start);
+        self.spread(start, end, |tr, b, share| tr.mem_byte_secs[b] += mem * share);
+    }
+
+    /// Records a network transfer of `packets` packets over `[start, end)`.
+    pub fn record_packets(&mut self, start: f64, end: f64, packets: f64) {
+        if packets <= 0.0 {
+            return;
+        }
+        self.spread(start, end, |tr, b, share| tr.packets[b] += packets * share);
+    }
+
+    /// Records `transactions` disk transactions over `[start, end)`.
+    pub fn record_transactions(&mut self, start: f64, end: f64, transactions: f64) {
+        if transactions <= 0.0 {
+            return;
+        }
+        self.spread(start, end, |tr, b, share| tr.transactions[b] += transactions * share);
+    }
+
+    /// Renders the accumulated usage as one row per bucket.
+    pub fn points(&self) -> Vec<TracePoint> {
+        (0..self.cpu_busy.len())
+            .map(|b| TracePoint {
+                time: b as f64 * self.bucket_width,
+                cpu_pct: 100.0 * self.cpu_busy[b] / (self.total_cores * self.bucket_width),
+                mem_pct: 100.0 * self.mem_byte_secs[b] / (self.total_memory * self.bucket_width),
+                packets_per_sec: self.packets[b] / self.bucket_width,
+                transactions_per_sec: self.transactions[b] / self.bucket_width,
+            })
+            .collect()
+    }
+
+    /// The bucket width in seconds.
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> UtilTrace {
+        // 10 cores, 1000 bytes of memory, 1-second buckets.
+        UtilTrace::new(1.0, 10, 1000)
+    }
+
+    #[test]
+    fn single_task_fills_expected_buckets() {
+        let mut t = trace();
+        t.record_task(0.0, 2.0, 500);
+        let pts = t.points();
+        assert_eq!(pts.len(), 2);
+        // One core of ten busy for the full bucket = 10 %.
+        assert!((pts[0].cpu_pct - 10.0).abs() < 1e-9);
+        assert!((pts[1].cpu_pct - 10.0).abs() < 1e-9);
+        // 500 of 1000 bytes resident = 50 %.
+        assert!((pts[0].mem_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_bucket_overlap_is_proportional() {
+        let mut t = trace();
+        t.record_task(0.5, 1.5, 0);
+        let pts = t.points();
+        assert!((pts[0].cpu_pct - 5.0).abs() < 1e-9, "half a core-second in bucket 0");
+        assert!((pts[1].cpu_pct - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_never_exceeds_100_when_fully_loaded() {
+        let mut t = trace();
+        for _ in 0..10 {
+            t.record_task(0.0, 1.0, 0);
+        }
+        assert!((t.points()[0].cpu_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packets_and_transactions_are_rates() {
+        let mut t = trace();
+        t.record_packets(0.0, 2.0, 3000.0);
+        t.record_transactions(1.0, 2.0, 50.0);
+        let pts = t.points();
+        assert!((pts[0].packets_per_sec - 1500.0).abs() < 1e-9);
+        assert!((pts[1].packets_per_sec - 1500.0).abs() < 1e-9);
+        assert_eq!(pts[0].transactions_per_sec, 0.0);
+        assert!((pts[1].transactions_per_sec - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instantaneous_event_lands_in_one_bucket() {
+        let mut t = trace();
+        t.record_packets(3.25, 3.25, 10.0);
+        let pts = t.points();
+        assert_eq!(pts.len(), 4);
+        assert!((pts[3].packets_per_sec - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_has_no_points() {
+        assert!(trace().points().is_empty());
+    }
+
+    #[test]
+    fn zero_length_task_ignored() {
+        let mut t = trace();
+        t.record_task(1.0, 1.0, 100);
+        assert!(t.points().is_empty());
+    }
+
+    #[test]
+    fn mass_is_conserved_across_buckets() {
+        let mut t = trace();
+        t.record_packets(0.3, 7.7, 1234.0);
+        let total: f64 = t.points().iter().map(|p| p.packets_per_sec * 1.0).sum();
+        assert!((total - 1234.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the cluster simulator's scheduling invariants.
+
+use proptest::prelude::*;
+use simcluster::{paper_cluster, uniform_cluster, Simulation, TaskSpec};
+
+fn arb_tasks() -> impl Strategy<Value = Vec<TaskSpec>> {
+    proptest::collection::vec(
+        (0.01f64..50.0, 0u64..1_000_000).prop_map(|(cost, mem)| TaskSpec {
+            compute_cost: cost,
+            memory_bytes: mem,
+            ..TaskSpec::default()
+        }),
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The makespan is bounded below by both the critical task and the
+    /// capacity-optimal time, and bounded above by a serial execution on
+    /// the fastest node.
+    #[test]
+    fn makespan_bounds(tasks in arb_tasks()) {
+        let spec = paper_cluster();
+        let overhead = spec.task_launch_overhead;
+        let dispatch = spec.dispatch_interval;
+        let fastest: f64 =
+            spec.nodes.iter().map(|n| n.speed).fold(0.0, f64::max);
+        let slowest: f64 =
+            spec.nodes.iter().map(|n| n.speed).fold(f64::INFINITY, f64::min);
+        let capacity: f64 = spec.nodes.iter().map(|n| n.cores as f64 * n.speed).sum();
+
+        let mut sim = Simulation::new(spec);
+        let timing = sim.run_stage(&tasks);
+
+        let total_work: f64 = tasks.iter().map(|t| t.compute_cost).sum();
+        let max_task: f64 =
+            tasks.iter().map(|t| t.compute_cost).fold(0.0, f64::max);
+
+        // Lower bounds: critical task on the slowest node it could land on
+        // is not guaranteed (it may land on a fast node), so use the
+        // fastest-node time; capacity bound always holds.
+        prop_assert!(timing.duration() >= max_task / fastest + overhead - 1e-9);
+        prop_assert!(timing.duration() >= total_work / capacity - 1e-9);
+
+        // Upper bound: everything serial on the slowest node, plus
+        // overheads and dispatch.
+        let upper = total_work / slowest
+            + tasks.len() as f64 * (overhead + dispatch)
+            + 1e-6;
+        prop_assert!(timing.duration() <= upper,
+            "makespan {} exceeds serial upper bound {}", timing.duration(), upper);
+    }
+
+    /// Every task is placed on a valid node, starts after its dispatch
+    /// slot, and ends after it starts.
+    #[test]
+    fn placements_are_well_formed(tasks in arb_tasks()) {
+        let spec = uniform_cluster(4, 4, 2.0);
+        let nodes = spec.num_nodes();
+        let dispatch = spec.dispatch_interval;
+        let mut sim = Simulation::new(spec);
+        let t0 = sim.clock();
+        let timing = sim.run_stage(&tasks);
+        for (i, t) in timing.tasks.iter().enumerate() {
+            prop_assert!(t.node < nodes);
+            prop_assert!(t.end > t.start);
+            prop_assert!(t.start >= t0 + i as f64 * dispatch - 1e-12,
+                "task {i} started before its dispatch slot");
+        }
+        prop_assert!((timing.end - timing.tasks.iter().map(|t| t.end).fold(0.0, f64::max)).abs() < 1e-9);
+    }
+
+    /// No node ever runs more concurrent tasks than it has cores.
+    #[test]
+    fn core_capacity_is_never_exceeded(tasks in arb_tasks()) {
+        let spec = uniform_cluster(3, 2, 2.0);
+        let cores = 2usize;
+        let mut sim = Simulation::new(spec);
+        let timing = sim.run_stage(&tasks);
+        // Check overlap at every task start instant.
+        for probe in &timing.tasks {
+            for node in 0..3 {
+                let concurrent = timing
+                    .tasks
+                    .iter()
+                    .filter(|t| {
+                        t.node == node && t.start <= probe.start + 1e-12 && t.end > probe.start + 1e-9
+                    })
+                    .count();
+                prop_assert!(concurrent <= cores,
+                    "node {node} ran {concurrent} tasks at t={}", probe.start);
+            }
+        }
+    }
+
+    /// The virtual clock is monotone across stages and equals the last
+    /// stage's end.
+    #[test]
+    fn clock_monotonicity(batches in proptest::collection::vec(arb_tasks(), 1..4)) {
+        let mut sim = Simulation::new(uniform_cluster(2, 4, 2.0));
+        let mut last_end = 0.0;
+        for batch in &batches {
+            let timing = sim.run_stage(batch);
+            prop_assert!(timing.start >= last_end - 1e-12);
+            prop_assert!(timing.end >= timing.start);
+            last_end = timing.end;
+            prop_assert!((sim.clock() - last_end).abs() < 1e-12);
+        }
+    }
+
+    /// Identical inputs always produce identical schedules (determinism).
+    #[test]
+    fn schedules_are_deterministic(tasks in arb_tasks()) {
+        let run = || {
+            let mut sim = Simulation::new(paper_cluster());
+            sim.run_stage(&tasks)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// A uniformly slower cluster never finishes earlier.
+    #[test]
+    fn slower_cluster_is_never_faster(tasks in arb_tasks()) {
+        let fast = {
+            let mut sim = Simulation::new(uniform_cluster(3, 4, 2.5));
+            sim.run_stage(&tasks).duration()
+        };
+        let slow = {
+            let mut sim = Simulation::new(uniform_cluster(3, 4, 1.0));
+            sim.run_stage(&tasks).duration()
+        };
+        prop_assert!(slow >= fast - 1e-9, "slow {slow} < fast {fast}");
+    }
+
+    /// CPU utilization from the trace never exceeds 100 % and total busy
+    /// core-seconds equal the sum of task durations.
+    #[test]
+    fn trace_accounts_exact_busy_time(tasks in arb_tasks()) {
+        let spec = uniform_cluster(2, 8, 2.0);
+        let total_cores = spec.total_cores() as f64;
+        let mut sim = Simulation::with_trace_bucket(spec, 1.0);
+        let timing = sim.run_stage(&tasks);
+        let busy_expected: f64 = timing.tasks.iter().map(|t| t.end - t.start).sum();
+        let points = sim.trace().points();
+        let busy_traced: f64 = points
+            .iter()
+            .map(|p| p.cpu_pct / 100.0 * total_cores * 1.0)
+            .sum();
+        prop_assert!((busy_traced - busy_expected).abs() < 1e-6 * busy_expected.max(1.0),
+            "traced {busy_traced} vs actual {busy_expected}");
+        for p in &points {
+            prop_assert!(p.cpu_pct <= 100.0 + 1e-9);
+        }
+    }
+}

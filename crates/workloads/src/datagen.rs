@@ -1,0 +1,280 @@
+//! Deterministic data generators (the SparkBench data-generator analog).
+//!
+//! Every generator is a pure function of `(seed, global record index)` —
+//! crucially **independent of the partition count**, so retuning the number
+//! of partitions never changes the data itself, only how it is split. All
+//! randomness comes from a seeded xorshift generator; runs are exactly
+//! reproducible.
+
+use engine::{Key, Record, Value};
+use numeric::XorShift64;
+
+/// Monotone warp of `[0, 1]` used to make partition sizes uneven the way
+/// real input splits are: `x + A·sin(2πmx)/(2πm)` has derivative
+/// `1 + A·cos(2πmx)`, so with `|A| < 1` it stays strictly increasing while
+/// split sizes vary between `(1−A)×` and `(1+A)×` the mean. This is what
+/// gives small partition counts their straggler penalty (paper Fig. 3):
+/// with one task per core, the fattest split defines the stage makespan,
+/// while larger counts let the scheduler smooth the imbalance out.
+fn warp(x: f64) -> f64 {
+    const A: f64 = 0.7;
+    const M: f64 = 13.0;
+    x + A * (std::f64::consts::TAU * M * x).sin() / (std::f64::consts::TAU * M)
+}
+
+/// The record-index range `[start, end)` of partition `part` of `parts`
+/// over `n` records, with realistic split-size variance. Consecutive
+/// partitions tile `0..n` exactly; the union over all partitions is the
+/// whole dataset regardless of `parts`.
+pub fn skewed_range(n: u64, part: usize, parts: usize) -> (u64, u64) {
+    assert!(part < parts, "partition index out of range");
+    let lo = (warp(part as f64 / parts as f64) * n as f64).round() as u64;
+    let hi = (warp((part + 1) as f64 / parts as f64) * n as f64).round() as u64;
+    (lo.min(n), hi.min(n))
+}
+
+/// Per-record RNG: decorrelates consecutive indices via splitmix-style
+/// scrambling of the seed.
+fn record_rng(seed: u64, index: u64) -> XorShift64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    XorShift64::new(z ^ (z >> 31))
+}
+
+/// Standard-normal sample via Box–Muller.
+fn normal(rng: &mut XorShift64) -> f64 {
+    let u1 = rng.next_f64().max(1e-12);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gaussian-mixture generator for KMeans/PCA: `centers` cluster centers in
+/// `dim` dimensions, isotropic `spread` around each.
+#[derive(Debug, Clone)]
+pub struct PointGen {
+    /// Cluster centers.
+    pub centers: Vec<Vec<f64>>,
+    /// Standard deviation around each center.
+    pub spread: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl PointGen {
+    /// `k` deterministic centers on a scaled lattice in `dim` dimensions.
+    pub fn new(k: usize, dim: usize, spread: f64, seed: u64) -> Self {
+        assert!(k > 0 && dim > 0, "need at least one center and dimension");
+        let mut rng = XorShift64::new(seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1);
+        let centers = (0..k)
+            .map(|_| (0..dim).map(|_| (rng.next_f64() - 0.5) * 20.0).collect())
+            .collect();
+        PointGen { centers, spread, seed }
+    }
+
+    /// The dimensionality of generated points.
+    pub fn dim(&self) -> usize {
+        self.centers[0].len()
+    }
+
+    /// The point at global index `i`: a sample around center `i % k`.
+    pub fn point(&self, i: u64) -> Vec<f64> {
+        let mut rng = record_rng(self.seed, i);
+        let center = &self.centers[(i % self.centers.len() as u64) as usize];
+        center.iter().map(|&c| c + self.spread * normal(&mut rng)).collect()
+    }
+
+    /// The record at global index `i`: keyless vector payload.
+    pub fn record(&self, i: u64) -> Record {
+        Record::new(Key::Int(i as i64), Value::vector(self.point(i)))
+    }
+
+    /// Records for partition `part` of `parts` over `n` total points,
+    /// with realistic split-size variance (see [`skewed_range`]).
+    pub fn partition(&self, n: u64, part: usize, parts: usize) -> Vec<Record> {
+        let (start, end) = skewed_range(n, part, parts);
+        (start..end).map(|i| self.record(i)).collect()
+    }
+
+    /// Approximate serialized bytes of `n` points (for block-store sizing).
+    pub fn bytes(&self, n: u64) -> u64 {
+        n * (self.dim() as u64 * 8 + 22)
+    }
+}
+
+/// Zipf-distributed keyed-row generator for the SQL workload.
+#[derive(Debug, Clone)]
+pub struct TableGen {
+    cdf: Vec<f64>,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Bytes of string payload per row.
+    pub payload: usize,
+}
+
+impl TableGen {
+    /// A table whose keys follow a Zipf(`exponent`) law over `keys`
+    /// distinct values. `exponent = 0` is uniform; ~1 is web-like skew.
+    pub fn new(keys: usize, exponent: f64, payload: usize, seed: u64) -> Self {
+        assert!(keys > 0, "need at least one key");
+        let mut cdf = Vec::with_capacity(keys);
+        let mut acc = 0.0;
+        for k in 1..=keys {
+            acc += 1.0 / (k as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("non-empty");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        TableGen { cdf, seed, payload }
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The key of row `i` (Zipf-sampled).
+    pub fn key(&self, i: u64) -> i64 {
+        let mut rng = record_rng(self.seed, i);
+        let u = rng.next_f64();
+        // First CDF entry >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) as i64
+    }
+
+    /// The row at global index `i`: `(key, Pair(amount, payload))`.
+    pub fn record(&self, i: u64) -> Record {
+        let mut rng = record_rng(self.seed ^ 0xABCD, i);
+        let amount = (rng.next_f64() * 1000.0 * 100.0).round() / 100.0;
+        let payload: String = "x".repeat(self.payload);
+        Record::new(
+            Key::Int(self.key(i)),
+            Value::Pair(Box::new(Value::Float(amount)), Box::new(Value::str(&payload))),
+        )
+    }
+
+    /// Records for partition `part` of `parts` over `n` rows, with
+    /// realistic split-size variance (see [`skewed_range`]).
+    pub fn partition(&self, n: u64, part: usize, parts: usize) -> Vec<Record> {
+        let (start, end) = skewed_range(n, part, parts);
+        (start..end).map(|i| self.record(i)).collect()
+    }
+
+    /// Approximate serialized bytes of `n` rows.
+    pub fn bytes(&self, n: u64) -> u64 {
+        n * (self.payload as u64 + 40)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_deterministic() {
+        let g = PointGen::new(5, 8, 1.0, 42);
+        assert_eq!(g.point(17), g.point(17));
+        assert_ne!(g.point(17), g.point(18));
+        let g2 = PointGen::new(5, 8, 1.0, 43);
+        assert_ne!(g.point(17), g2.point(17), "seed changes data");
+    }
+
+    #[test]
+    fn partitioning_does_not_change_the_data() {
+        let g = PointGen::new(3, 4, 0.5, 7);
+        let n = 100;
+        let coarse: Vec<Record> =
+            (0..4).flat_map(|p| g.partition(n, p, 4)).collect();
+        let fine: Vec<Record> =
+            (0..10).flat_map(|p| g.partition(n, p, 10)).collect();
+        assert_eq!(coarse, fine, "same records regardless of split count");
+        assert_eq!(coarse.len(), 100);
+    }
+
+    #[test]
+    fn points_cluster_around_centers() {
+        let g = PointGen::new(2, 4, 0.1, 11);
+        // Point 0 belongs to center 0, point 1 to center 1.
+        let p0 = g.point(0);
+        let d0: f64 = p0.iter().zip(&g.centers[0]).map(|(a, b)| (a - b).powi(2)).sum();
+        let d1: f64 = p0.iter().zip(&g.centers[1]).map(|(a, b)| (a - b).powi(2)).sum();
+        assert!(d0 < d1, "point 0 is near its own center");
+    }
+
+    #[test]
+    fn zipf_keys_are_skewed_toward_small_ids() {
+        let g = TableGen::new(100, 1.2, 8, 3);
+        let mut counts = vec![0u64; 100];
+        for i in 0..20_000 {
+            counts[g.key(i) as usize] += 1;
+        }
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[90..].iter().sum();
+        assert!(head > 5 * tail, "zipf head must dominate: {head} vs {tail}");
+        assert!(counts.iter().all(|&c| c < 20_000), "but not a single key");
+    }
+
+    #[test]
+    fn uniform_exponent_is_flat() {
+        let g = TableGen::new(50, 0.0, 8, 5);
+        let mut counts = vec![0u64; 50];
+        for i in 0..20_000 {
+            counts[g.key(i) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = 20_000.0 / 50.0;
+        assert!(max / mean < 1.5, "uniform keys should be balanced");
+    }
+
+    #[test]
+    fn table_rows_have_expected_shape() {
+        let g = TableGen::new(10, 1.0, 16, 9);
+        let r = g.record(5);
+        match (&r.key, &r.value) {
+            (Key::Int(k), Value::Pair(amount, payload)) => {
+                assert!((0..10).contains(k));
+                assert!(amount.as_float() >= 0.0);
+                assert!(matches!(&**payload, Value::Str(s) if s.len() == 16));
+            }
+            other => panic!("unexpected row shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skewed_ranges_tile_exactly() {
+        for parts in [1usize, 3, 7, 100] {
+            let n = 10_000u64;
+            let mut expected_start = 0u64;
+            for p in 0..parts {
+                let (lo, hi) = skewed_range(n, p, parts);
+                assert_eq!(lo, expected_start, "partitions must tile contiguously");
+                assert!(hi >= lo);
+                expected_start = hi;
+            }
+            assert_eq!(expected_start, n, "last partition ends at n");
+        }
+    }
+
+    #[test]
+    fn skewed_ranges_vary_in_size() {
+        let n = 100_000u64;
+        let parts = 50;
+        let sizes: Vec<u64> =
+            (0..parts).map(|p| { let (lo, hi) = skewed_range(n, p, parts); hi - lo }).collect();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let min = *sizes.iter().min().unwrap() as f64;
+        let mean = n as f64 / parts as f64;
+        assert!(max / mean > 1.2, "fat splits exist: max={max} mean={mean}");
+        assert!(min / mean < 0.8, "thin splits exist: min={min} mean={mean}");
+    }
+
+    #[test]
+    fn byte_estimates_scale_linearly() {
+        let g = PointGen::new(2, 10, 1.0, 1);
+        assert_eq!(g.bytes(200), 2 * g.bytes(100));
+        let t = TableGen::new(10, 1.0, 32, 1);
+        assert!(t.bytes(1000) > 32_000);
+    }
+}

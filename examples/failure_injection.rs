@@ -1,0 +1,66 @@
+//! Failure injection (paper Section VI future work: "we will also explore
+//! how CHOPPER behaves under failures"): degrade and fail nodes mid-
+//! workload and watch the engine route around them — results stay correct,
+//! stages stretch, recovery restores capacity.
+//!
+//! ```text
+//! cargo run --release --example failure_injection
+//! ```
+
+use engine::{Context, EngineOptions, Key, Record, ReduceFn, Value};
+use std::sync::Arc;
+
+fn main() {
+    let mut ctx = Context::new(EngineOptions {
+        cluster: simcluster::paper_cluster(),
+        default_parallelism: 300,
+        ..EngineOptions::default()
+    });
+
+    // A cached dataset processed by repeated aggregation rounds.
+    let data: Vec<Record> =
+        (0..600_000).map(|i| Record::new(Key::Int(i % 500), Value::Int(1))).collect();
+    let points = ctx.parallelize(data, 300, "events");
+    ctx.cache(points);
+    ctx.count(points, "materialize");
+
+    let sum: ReduceFn = Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int()));
+    let round = |ctx: &mut Context, label: &'static str| -> (u64, f64) {
+        let m = ctx.map(points, Arc::new(|r: &Record| r.clone()), 4e-4, "process");
+        let red = ctx.reduce_by_key(m, Arc::clone(&sum), None, 1e-5, "aggregate");
+        let n = ctx.count(red, label);
+        (n, ctx.jobs().last().expect("job ran").duration())
+    };
+
+    let (keys_healthy, t_healthy) = round(&mut ctx, "healthy");
+    println!("healthy cluster:          {keys_healthy} keys in {t_healthy:.2}s");
+
+    // Node B degrades to quarter speed (contention, thermal throttling...).
+    ctx.inject_slowdown(1, 4.0);
+    let (keys_slow, t_slow) = round(&mut ctx, "slow-node");
+    println!("node B at quarter speed:  {keys_slow} keys in {t_slow:.2}s");
+
+    // Node A fails outright: its executor takes no more tasks; data
+    // materialized there is still fetchable.
+    ctx.inject_failure(0);
+    let (keys_failed, t_failed) = round(&mut ctx, "failed-node");
+    println!("node A failed as well:    {keys_failed} keys in {t_failed:.2}s");
+
+    // Both recover.
+    ctx.recover(0);
+    ctx.inject_slowdown(1, 1.0);
+    let (keys_recovered, t_recovered) = round(&mut ctx, "recovered");
+    println!("after recovery:           {keys_recovered} keys in {t_recovered:.2}s");
+
+    assert_eq!(keys_healthy, 500);
+    assert_eq!(keys_healthy, keys_slow);
+    assert_eq!(keys_healthy, keys_failed);
+    assert_eq!(keys_healthy, keys_recovered);
+    assert!(t_slow > t_healthy, "a straggler node must slow the barrier");
+    // Interestingly, failing A outright can be slightly *cheaper* than
+    // keeping it as a straggler trap would be — but it must still be worse
+    // than the healthy cluster.
+    assert!(t_failed > t_healthy, "a 32-core hole must show in the makespan");
+    assert!(t_recovered < t_failed, "recovery restores throughput");
+    println!("\nresults identical under every condition; only timing degraded.");
+}

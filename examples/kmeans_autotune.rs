@@ -1,0 +1,70 @@
+//! The paper's KMeans evaluation in miniature: run the 20-stage KMeans
+//! workload on the simulated 6-node heterogeneous cluster, train CHOPPER
+//! from lightweight test runs, and compare vanilla Spark defaults against
+//! the tuned configuration (paper Figs. 7-8, Tables II-III).
+//!
+//! ```text
+//! cargo run --release --example kmeans_autotune
+//! ```
+
+use chopper::{Autotuner, DecisionAction, TestRunPlan};
+use engine::{EngineOptions, PartitionerKind};
+use workloads::{KMeans, KMeansConfig};
+
+fn main() {
+    // A modest instance so the example finishes in seconds; the bench
+    // harness (`cargo run -p bench --bin repro`) runs the full-size one.
+    let mut cfg = KMeansConfig::paper();
+    cfg.points = 80_000;
+    let workload = KMeans::new(cfg);
+
+    let base = EngineOptions {
+        cluster: simcluster::paper_cluster(),
+        default_parallelism: 300, // the paper's vanilla setting
+        ..EngineOptions::default()
+    };
+    let mut tuner = Autotuner::new(base);
+    tuner.test_plan = TestRunPlan {
+        scales: vec![0.1, 0.3, 0.6],
+        partitions: vec![60, 150, 300, 600, 1200],
+        kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
+        probe_user_fixed: true,
+    };
+
+    println!(
+        "training CHOPPER from {} lightweight test runs...",
+        tuner.test_plan.num_runs()
+    );
+    let cmp = tuner.compare(&workload);
+
+    println!("\nper-stage comparison (vanilla P=300 vs CHOPPER):");
+    println!("{:>5} {:>10} {:>6} | {:>10} {:>6}", "stage", "Spark", "P", "CHOPPER", "P");
+    let v: Vec<_> = cmp.vanilla.all_stages().into_iter().cloned().collect();
+    let c: Vec<_> = cmp.chopper.all_stages().into_iter().cloned().collect();
+    for i in 0..v.len().max(c.len()) {
+        let (vd, vp) = v.get(i).map(|s| (s.duration(), s.num_tasks)).unwrap_or((0.0, 0));
+        let (cd, cp) = c.get(i).map(|s| (s.duration(), s.num_tasks)).unwrap_or((0.0, 0));
+        println!("{i:>5} {vd:>9.1}s {vp:>6} | {cd:>9.1}s {cp:>6}");
+    }
+
+    println!("\nCHOPPER's plan (stage signature -> scheme):");
+    for d in &cmp.plan.decisions {
+        match &d.action {
+            DecisionAction::Retune(s) | DecisionAction::RetuneGrouped(s) => {
+                println!("  {:016x} {:<14} -> {} {}", d.signature, d.name, s.kind, s.partitions)
+            }
+            other => println!("  {:016x} {:<14} -> {:?}", d.signature, d.name, other),
+        }
+    }
+
+    println!(
+        "\ntotal: vanilla {:.1}s -> CHOPPER {:.1}s ({:+.1}%)",
+        cmp.vanilla_time(),
+        cmp.chopper_time(),
+        cmp.improvement_pct()
+    );
+    assert!(
+        cmp.chopper_time() < cmp.vanilla_time(),
+        "CHOPPER should beat the static default on this workload"
+    );
+}

@@ -1,0 +1,90 @@
+//! Quickstart: run a small analytics job on the mini DAG engine, then let
+//! CHOPPER retune its partitioning.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use chopper::{Autotuner, TestRunPlan, Workload};
+use engine::{Context, EngineOptions, Key, Record, ReduceFn, Value, WorkloadConf};
+use std::sync::Arc;
+
+/// A classic word-count-shaped workload: keyed records, one shuffle.
+struct WordCount {
+    records: usize,
+    distinct_words: i64,
+}
+
+impl Workload for WordCount {
+    fn name(&self) -> &str {
+        "wordcount"
+    }
+
+    fn full_input_bytes(&self) -> u64 {
+        (self.records * 24) as u64
+    }
+
+    fn run(&self, opts: &EngineOptions, conf: &WorkloadConf, scale: f64) -> Context {
+        let mut ctx = Context::new(opts.clone());
+        ctx.set_conf(conf.clone());
+
+        let n = ((self.records as f64 * scale) as usize).max(1);
+        let words = self.distinct_words;
+        // One record per "word occurrence".
+        let data: Vec<Record> =
+            (0..n).map(|i| Record::new(Key::Int(i as i64 % words), Value::Int(1))).collect();
+        let src = ctx.parallelize(data, 8, "lines");
+
+        let sum: ReduceFn = Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int()));
+        // `None` scheme = tunable: the partitioner and partition count come
+        // from CHOPPER's configuration (or the engine default).
+        let counts = ctx.reduce_by_key(src, sum, None, 2e-4, "count-words");
+        let total_words = ctx.count(counts, "wordcount");
+        assert_eq!(total_words as i64, words.min(n as i64));
+        ctx
+    }
+}
+
+fn main() {
+    // A small homogeneous cluster and a deliberately oversized default
+    // parallelism, as an untuned deployment might have.
+    let opts = EngineOptions {
+        cluster: simcluster::uniform_cluster(4, 8, 2.0),
+        default_parallelism: 512,
+        ..EngineOptions::default()
+    };
+    let workload = WordCount { records: 200_000, distinct_words: 5_000 };
+
+    // 1. Run once, vanilla.
+    let ctx = workload.run_full(&opts, &WorkloadConf::new());
+    println!("vanilla run:");
+    for s in ctx.all_stages() {
+        println!(
+            "  stage {} [{}] tasks={} time={:.2}s shuffle={}B",
+            s.stage_id,
+            s.name,
+            s.num_tasks,
+            s.duration(),
+            s.shuffle_data()
+        );
+    }
+    let vanilla_total = ctx.jobs().last().map(|j| j.end).unwrap_or(0.0);
+    println!("  total: {vanilla_total:.2}s");
+
+    // 2. Train CHOPPER from lightweight test runs and retune.
+    let mut tuner = Autotuner::new(opts);
+    tuner.test_plan = TestRunPlan::quick();
+    let comparison = tuner.compare(&workload);
+
+    println!("\nCHOPPER decisions:");
+    for d in &comparison.plan.decisions {
+        println!("  {} -> {:?}", d.name, d.action);
+    }
+    println!("\ngenerated configuration file:\n{}", comparison.plan.conf.to_text());
+    println!(
+        "vanilla {:.2}s -> CHOPPER {:.2}s ({:+.1}% improvement)",
+        comparison.vanilla_time(),
+        comparison.chopper_time(),
+        comparison.improvement_pct()
+    );
+}

@@ -1,0 +1,55 @@
+//! Co-partitioning demo (paper Section III-C / Figs. 9-10): a SQL-style
+//! aggregate-aggregate-join pipeline where CHOPPER's co-partition-aware
+//! scheduling pins matching partitions of the two join sides to the same
+//! nodes, making the join read entirely node-locally.
+//!
+//! ```text
+//! cargo run --release --example sql_copartition
+//! ```
+
+use engine::{EngineOptions, StageKind, WorkloadConf};
+use workloads::{Sql, SqlConfig};
+
+fn run(copartition: bool) -> (f64, u64, u64) {
+    let opts = EngineOptions {
+        cluster: simcluster::paper_cluster(),
+        default_parallelism: 300,
+        copartition_scheduling: copartition,
+        ..EngineOptions::default()
+    };
+    let workload = Sql::new(SqlConfig {
+        orders: 120_000,
+        returns: 60_000,
+        keys: 30_000,
+        zipf: 0.9,
+        payload: 24,
+        seed: 99,
+    });
+    let result = workload.execute(&opts, &WorkloadConf::new(), 1.0);
+    let join = result
+        .ctx
+        .all_stages()
+        .into_iter()
+        .find(|s| s.kind == StageKind::Join)
+        .expect("pipeline ends in a join")
+        .clone();
+    let total = result.ctx.jobs().last().map(|j| j.end).unwrap_or(0.0);
+    (total, join.shuffle_read_bytes, join.remote_read_bytes)
+}
+
+fn main() {
+    let (t_vanilla, read_v, remote_v) = run(false);
+    let (t_chopper, read_c, remote_c) = run(true);
+
+    println!("join-stage input:  vanilla {} KB, co-partitioned {} KB (same data)", read_v / 1024, read_c / 1024);
+    println!("join-stage remote: vanilla {} KB, co-partitioned {} KB", remote_v / 1024, remote_c / 1024);
+    println!("total time:        vanilla {t_vanilla:.1}s, co-partitioned {t_chopper:.1}s");
+
+    assert_eq!(read_v, read_c, "both systems move the same join volume (paper: 4.7 GB)");
+    assert_eq!(remote_c, 0, "anchored partitions make the join fully node-local");
+    assert!(
+        remote_v > 0,
+        "vanilla placement scatters the two sides, paying network on the join"
+    );
+    println!("\nco-partitioning eliminated 100% of the join's network traffic.");
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the CHOPPER reproduction suite.
+//!
+//! Re-exports every layer of the stack so examples and integration tests
+//! can reach the whole system through one dependency:
+//!
+//! * [`chopper`] — the paper's contribution: cost models, Algorithms 1-3,
+//!   the workload database, and the auto-tuning façade.
+//! * [`engine`] — the mini Spark-like DAG analytics engine.
+//! * [`workloads`] — the KMeans / PCA / SQL evaluation workloads.
+//! * [`simcluster`] — the heterogeneous cluster simulator.
+//! * [`blockstore`] — the HDFS-like block storage substrate.
+//! * [`numeric`] — matrices, least squares, statistics, sampling.
+
+pub use blockstore;
+pub use chopper;
+pub use engine;
+pub use numeric;
+pub use simcluster;
+pub use workloads;
