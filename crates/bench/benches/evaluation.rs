@@ -29,6 +29,7 @@ fn tuner() -> Autotuner {
         partitions: vec![60, 150, 300, 600],
         kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
         probe_user_fixed: true,
+        parallelism: 2,
     };
     t
 }
@@ -72,10 +73,18 @@ fn fig8_table2(c: &mut Criterion) {
     );
     assert!(cmp.chopper_time() < cmp.vanilla_time());
     println!("table2: stage0 vanilla {v0:.1}s -> chopper {c0:.1}s");
-    for (i, (vs, cs)) in
-        cmp.vanilla.all_stages().iter().zip(cmp.chopper.all_stages()).enumerate()
+    for (i, (vs, cs)) in cmp
+        .vanilla
+        .all_stages()
+        .iter()
+        .zip(cmp.chopper.all_stages())
+        .enumerate()
     {
-        println!("fig8: stage {i} {:.2}s -> {:.2}s", vs.duration(), cs.duration());
+        println!(
+            "fig8: stage {i} {:.2}s -> {:.2}s",
+            vs.duration(),
+            cs.duration()
+        );
     }
     // Measured kernel: one vanilla full run (the Fig 8 baseline column).
     let w = workload();
@@ -92,10 +101,17 @@ fn fig8_table2(c: &mut Criterion) {
 
 fn table3(c: &mut Criterion) {
     let cmp = compare_once();
-    let counts: Vec<usize> =
-        cmp.chopper.all_stages().iter().map(|s| s.num_tasks).collect();
+    let counts: Vec<usize> = cmp
+        .chopper
+        .all_stages()
+        .iter()
+        .map(|s| s.num_tasks)
+        .collect();
     let distinct: std::collections::HashSet<usize> = counts.iter().copied().collect();
-    assert!(distinct.len() >= 2, "table3 shape: per-stage variety, got {counts:?}");
+    assert!(
+        distinct.len() >= 2,
+        "table3 shape: per-stage variety, got {counts:?}"
+    );
     // Iterations (the repeated update stages) share one count.
     let kcfg = workload().config.clone();
     let first_iter = 1 + kcfg.prep_passes;
@@ -118,7 +134,9 @@ fn table3(c: &mut Criterion) {
 }
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
 }
 
 criterion_group! {

@@ -10,7 +10,9 @@ use simcluster::{paper_cluster, Simulation, TaskSpec};
 use std::sync::Arc;
 
 fn records(n: usize, keys: i64) -> Vec<Record> {
-    (0..n).map(|i| Record::new(Key::Int(i as i64 % keys), Value::Int(1))).collect()
+    (0..n)
+        .map(|i| Record::new(Key::Int(i as i64 % keys), Value::Int(1)))
+        .collect()
 }
 
 fn partitioners(c: &mut Criterion) {
@@ -79,8 +81,9 @@ fn simulator(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let sim = Simulation::new(paper_cluster());
-                    let specs: Vec<TaskSpec> =
-                        (0..tasks).map(|i| TaskSpec::compute(1.0 + (i % 7) as f64)).collect();
+                    let specs: Vec<TaskSpec> = (0..tasks)
+                        .map(|i| TaskSpec::compute(1.0 + (i % 7) as f64))
+                        .collect();
                     (sim, specs)
                 },
                 |(mut sim, specs)| sim.run_stage(&specs),
@@ -92,7 +95,9 @@ fn simulator(c: &mut Criterion) {
 }
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4))
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(4))
 }
 
 criterion_group! {

@@ -42,7 +42,10 @@ fn sweep(p: usize) -> (Vec<f64>, Vec<u64>, f64) {
 
 fn table1(c: &mut Criterion) {
     let w = workload();
-    println!("table1: kmeans reduced input = {} bytes", w.full_input_bytes());
+    println!(
+        "table1: kmeans reduced input = {} bytes",
+        w.full_input_bytes()
+    );
     c.bench_function("table1/input-generation", |b| {
         b.iter(|| {
             let gen = workloads::PointGen::new(10, 20, 2.0, 1);
@@ -54,8 +57,8 @@ fn table1(c: &mut Criterion) {
 fn fig2(c: &mut Criterion) {
     let (d100, _, _) = sweep(100);
     let (d500, _, _) = sweep(500);
-    let both_win = d100.iter().zip(&d500).any(|(a, b)| a < b)
-        && d100.iter().zip(&d500).any(|(a, b)| a > b);
+    let both_win =
+        d100.iter().zip(&d500).any(|(a, b)| a < b) && d100.iter().zip(&d500).any(|(a, b)| a > b);
     assert!(both_win, "fig2 shape: no single P wins every stage");
     println!("fig2: per-stage times P=100 {d100:.1?}");
     println!("fig2: per-stage times P=500 {d500:.1?}");
@@ -66,7 +69,10 @@ fn fig3(c: &mut Criterion) {
     let t100 = sweep(100).0[0];
     let t300 = sweep(300).0[0];
     let t500 = sweep(500).0[0];
-    assert!(t100 > t300 && t300 > t500, "fig3 shape: stage-0 improves 100→500");
+    assert!(
+        t100 > t300 && t300 > t500,
+        "fig3 shape: stage-0 improves 100→500"
+    );
     println!("fig3: stage0 P=100 {t100:.1}s, P=300 {t300:.1}s, P=500 {t500:.1}s");
     c.bench_function("fig3/stage0-sweep-point", |b| b.iter(|| sweep(100).0[0]));
 }
@@ -91,7 +97,9 @@ fn sec2b(c: &mut Criterion) {
 }
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
 }
 
 criterion_group! {

@@ -33,13 +33,33 @@ fn fig9(c: &mut Criterion) {
     let w = workload();
     let vanilla = w.run(&engine(false), &WorkloadConf::new(), 1.0);
     let chopper = w.run(&engine(true), &WorkloadConf::new(), 1.0);
-    let v: Vec<u64> = vanilla.all_stages().iter().map(|s| s.shuffle_data()).collect();
-    let ch: Vec<u64> = chopper.all_stages().iter().map(|s| s.shuffle_data()).collect();
+    let v: Vec<u64> = vanilla
+        .all_stages()
+        .iter()
+        .map(|s| s.shuffle_data())
+        .collect();
+    let ch: Vec<u64> = chopper
+        .all_stages()
+        .iter()
+        .map(|s| s.shuffle_data())
+        .collect();
     // Stage 4 (the join) moves identical volume under both systems.
-    assert_eq!(v[4], ch[4], "fig9 shape: join volume is placement-independent");
-    assert!(v[..4].iter().all(|&b| b > 0), "fig9 shape: stages 0-3 shuffle");
-    println!("fig9: shuffle KB vanilla {:?}", v.iter().map(|b| b / 1024).collect::<Vec<_>>());
-    println!("fig9: shuffle KB chopper {:?}", ch.iter().map(|b| b / 1024).collect::<Vec<_>>());
+    assert_eq!(
+        v[4], ch[4],
+        "fig9 shape: join volume is placement-independent"
+    );
+    assert!(
+        v[..4].iter().all(|&b| b > 0),
+        "fig9 shape: stages 0-3 shuffle"
+    );
+    println!(
+        "fig9: shuffle KB vanilla {:?}",
+        v.iter().map(|b| b / 1024).collect::<Vec<_>>()
+    );
+    println!(
+        "fig9: shuffle KB chopper {:?}",
+        ch.iter().map(|b| b / 1024).collect::<Vec<_>>()
+    );
     c.bench_function("fig9/sql-pipeline", |b| {
         b.iter(|| w.run(&engine(false), &WorkloadConf::new(), 1.0))
     });
@@ -54,7 +74,10 @@ fn fig10(c: &mut Criterion) {
         .find(|s| s.kind == StageKind::Join)
         .expect("stage 4 is the join")
         .clone();
-    assert_eq!(join.remote_read_bytes, 0, "fig10 shape: co-partitioned join reads locally");
+    assert_eq!(
+        join.remote_read_bytes, 0,
+        "fig10 shape: co-partitioned join reads locally"
+    );
     println!(
         "fig10: join stage {:.2}s, {} KB read, {} KB remote",
         join.duration(),
@@ -67,7 +90,9 @@ fn fig10(c: &mut Criterion) {
 }
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
 }
 
 criterion_group! {

@@ -28,7 +28,9 @@ fn assert_series(points: &[TracePoint], metric: fn(&TracePoint) -> f64, name: &s
         points.iter().any(|p| metric(p) > 0.0),
         "{name}: the series must show activity"
     );
-    assert!(points.iter().all(|p| metric(p).is_finite() && metric(p) >= 0.0));
+    assert!(points
+        .iter()
+        .all(|p| metric(p).is_finite() && metric(p) >= 0.0));
 }
 
 fn fig11(c: &mut Criterion) {
@@ -37,7 +39,10 @@ fn fig11(c: &mut Criterion) {
     assert!(pts.iter().all(|p| p.cpu_pct <= 100.0 + 1e-6));
     println!(
         "fig11: cpu%% series (first 10 buckets) {:?}",
-        pts.iter().take(10).map(|p| p.cpu_pct.round()).collect::<Vec<_>>()
+        pts.iter()
+            .take(10)
+            .map(|p| p.cpu_pct.round())
+            .collect::<Vec<_>>()
     );
     c.bench_function("fig11/traced-run", |b| b.iter(run_traced));
 }
@@ -74,7 +79,9 @@ fn fig14(c: &mut Criterion) {
     assert_series(&pts, |p| p.transactions_per_sec, "fig14 transactions");
     println!(
         "fig14: peak transactions/s {:.0}",
-        pts.iter().map(|p| p.transactions_per_sec).fold(0.0, f64::max)
+        pts.iter()
+            .map(|p| p.transactions_per_sec)
+            .fold(0.0, f64::max)
     );
     c.bench_function("fig14/trace-render", |b| {
         let pts = run_traced();
@@ -83,7 +90,9 @@ fn fig14(c: &mut Criterion) {
 }
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
 }
 
 criterion_group! {

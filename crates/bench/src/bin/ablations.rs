@@ -24,8 +24,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "weights", "gamma", "copartition", "clamp", "transfer", "algorithms",
-            "speculation", "basis", "significance",
+            "weights",
+            "gamma",
+            "copartition",
+            "clamp",
+            "transfer",
+            "algorithms",
+            "speculation",
+            "basis",
+            "significance",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -115,8 +122,9 @@ fn ablate_gamma() -> String {
             let mut ctx = engine::Context::new(opts.clone());
             ctx.set_conf(conf.clone());
             let n = (200_000.0 * scale) as i64;
-            let data: Vec<Record> =
-                (0..n).map(|i| Record::new(Key::Int(i % 1000), Value::Int(1))).collect();
+            let data: Vec<Record> = (0..n)
+                .map(|i| Record::new(Key::Int(i % 1000), Value::Int(1)))
+                .collect();
             let src = ctx.parallelize(data, 16, "src");
             // The user pinned an absurd width; CHOPPER may not change it,
             // only insert a repartition phase after it (Algorithm 3). The
@@ -125,9 +133,7 @@ fn ablate_gamma() -> String {
             // blow-up case.
             let fixed = ctx.reduce_by_key(
                 src,
-                std::sync::Arc::new(|a: &Value, b: &Value| {
-                    Value::Int(a.as_int() + b.as_int())
-                }),
+                std::sync::Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int())),
                 Some(PartitionerSpec::hash(1900)),
                 2e-4,
                 "user-fixed-agg",
@@ -154,6 +160,7 @@ fn ablate_gamma() -> String {
             partitions: vec![60, 150, 300, 600, 1200],
             kinds: vec![engine::PartitionerKind::Hash],
             probe_user_fixed: true,
+            parallelism: 2,
         };
         let cmp = tuner.compare(&FixedBad);
         let inserted = !cmp.plan.conf.insert_repartition.is_empty();
@@ -205,7 +212,10 @@ fn ablate_copartition() -> String {
 fn ablate_clamp() -> String {
     let w = small_kmeans();
     let mut t = Table::new(&["grid search", "stage-0 P", "total time"]);
-    for (label, clamp) in [("clamped to trained range", true), ("free extrapolation", false)] {
+    for (label, clamp) in [
+        ("clamped to trained range", true),
+        ("free extrapolation", false),
+    ] {
         let mut tuner = paper_autotuner();
         tuner.optimizer.clamp_to_trained_range = clamp;
         let cmp = tuner.compare(&w);
@@ -255,8 +265,14 @@ fn ablate_transfer() -> String {
 
     let total = |ctx: &engine::Context| ctx.jobs().last().expect("ran").end;
     let mut t = Table::new(&["configuration", "total time"]);
-    t.row(vec!["vanilla (degraded cluster)".into(), format!("{:.1}s", total(&vanilla))]);
-    t.row(vec!["stale CHOPPER plan".into(), format!("{:.1}s", total(&stale))]);
+    t.row(vec![
+        "vanilla (degraded cluster)".into(),
+        format!("{:.1}s", total(&vanilla)),
+    ]);
+    t.row(vec![
+        "stale CHOPPER plan".into(),
+        format!("{:.1}s", total(&stale)),
+    ]);
     t.row(vec![
         "retrained CHOPPER plan".into(),
         format!("{:.1}s", retrained_cmp.chopper_time()),
@@ -301,13 +317,23 @@ fn ablate_algorithms() -> String {
     };
     let (t_vanilla, _, _, _) = {
         let st = stages(&vanilla);
-        (vanilla.jobs().last().expect("ran").end, st.len(), 0u64, 0u64)
+        (
+            vanilla.jobs().last().expect("ran").end,
+            st.len(),
+            0u64,
+            0u64,
+        )
     };
     let (t_naive, stages_naive, join_read_naive, _) = run_with(&naive.conf);
     let (t_global, stages_global, join_read_global, remote_global) = run_with(&global.conf);
 
     let mut t = Table::new(&["plan", "total time", "stages run", "join input KB"]);
-    t.row(vec!["vanilla (hash 300)".into(), format!("{t_vanilla:.1}s"), "5".into(), "-".into()]);
+    t.row(vec![
+        "vanilla (hash 300)".into(),
+        format!("{t_vanilla:.1}s"),
+        "5".into(),
+        "-".into(),
+    ]);
     t.row(vec![
         "Algorithm 2 (per-stage)".into(),
         format!("{t_naive:.1}s"),
@@ -318,8 +344,11 @@ fn ablate_algorithms() -> String {
         "Algorithm 3 (global)".into(),
         format!("{t_global:.1}s"),
         stages_global.to_string(),
-        format!("{:.0} (remote {:.0})", join_read_global as f64 / 1024.0,
-            remote_global as f64 / 1024.0),
+        format!(
+            "{:.0} (remote {:.0})",
+            join_read_global as f64 / 1024.0,
+            remote_global as f64 / 1024.0
+        ),
     ]);
     section(
         "Ablation: Algorithm 2 (naive per-stage) vs Algorithm 3 (global)",
@@ -342,7 +371,9 @@ fn ablate_speculation() -> String {
         c
     });
 
-    let run = |speculation: Option<f64>, slowdown: Option<(usize, f64)>, conf: &WorkloadConf,
+    let run = |speculation: Option<f64>,
+               slowdown: Option<(usize, f64)>,
+               conf: &WorkloadConf,
                copart: bool| {
         let mut opts = paper_engine(300, copart);
         opts.workers = 2;
@@ -369,7 +400,10 @@ fn ablate_speculation() -> String {
     let empty = WorkloadConf::new();
 
     let mut t = Table::new(&["scenario", "vanilla", "+speculation", "CHOPPER", "both"]);
-    for (label, slow) in [("healthy cluster", None), ("node A at 1/3 speed", Some((0usize, 3.0)))] {
+    for (label, slow) in [
+        ("healthy cluster", None),
+        ("node A at 1/3 speed", Some((0usize, 3.0))),
+    ] {
         t.row(vec![
             label.into(),
             format!("{:.1}s", run(None, slow, &empty, false)),
@@ -391,7 +425,10 @@ fn ablate_basis() -> String {
     let mut t = Table::new(&["basis", "stage-0 P", "total time"]);
     for (label, basis) in [
         ("paper (Eq. 1-2 exactly)", chopper::ModelBasis::Paper),
-        ("extended (+D/P, D*P, D/sqrt(P))", chopper::ModelBasis::Extended),
+        (
+            "extended (+D/P, D*P, D/sqrt(P))",
+            chopper::ModelBasis::Extended,
+        ),
     ] {
         let mut tuner = paper_autotuner();
         tuner.optimizer.basis = basis;
@@ -416,7 +453,10 @@ fn ablate_significance() -> String {
     let mut t = Table::new(&["beta weighting", "parse P", "total time"]);
     for (label, bw) in [
         ("raw Eq. 3 (significance off)", None),
-        ("significance-weighted (default)", Some(4e8 / bench::DATA_SCALE as f64)),
+        (
+            "significance-weighted (default)",
+            Some(4e8 / bench::DATA_SCALE as f64),
+        ),
     ] {
         let mut tuner = paper_autotuner();
         tuner.optimizer.shuffle_bandwidth = bw;

@@ -16,8 +16,12 @@ fn main() {
         for p in [100, 200, 300, 400, 500, 2000] {
             let ctx = w.run(&paper_engine(p, false), &WorkloadConf::new(), 1.0);
             let st = stages(&ctx);
-            let shuffle17: u64 = st.iter().rev().find(|s| s.shuffle_data() > 0)
-                .map(|s| s.shuffle_data()).unwrap_or(0);
+            let shuffle17: u64 = st
+                .iter()
+                .rev()
+                .find(|s| s.shuffle_data() > 0)
+                .map(|s| s.shuffle_data())
+                .unwrap_or(0);
             println!(
                 "P={p:>5}  stage0={:>7.1}s  total={:>7.1}s  last-shuffle={:>8.1}KB",
                 st[0].duration(),

@@ -7,7 +7,12 @@
 //!
 //! Output goes to stdout and, per experiment, to `results/<id>.txt`.
 //! Experiment ids: table1, fig2, fig3, fig4, sec2b, fig7, fig8, table2,
-//! table3, fig9, fig10, fig11, fig12, fig13, fig14.
+//! table3, fig9, fig10, fig11, fig12, fig13, fig14, dataplane.
+//!
+//! `dataplane` additionally writes `results/BENCH_dataplane.json`: host
+//! wall-clock of the executor's before/after kernels (seed spawn dispatch
+//! vs persistent pool, op-at-a-time vs fused chain, seed vs hash-once
+//! bucketize) plus real-workload wall-clock across worker counts.
 
 use bench::{
     fmt_kb, fmt_time, kmeans_motivation, kmeans_paper, paper_autotuner, paper_engine, pca_paper,
@@ -22,8 +27,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table1", "fig2", "fig3", "fig4", "sec2b", "fig7", "fig8", "table2", "table3",
-            "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "table1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "sec2b",
+            "fig7",
+            "fig8",
+            "table2",
+            "table3",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "dataplane",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -52,6 +71,7 @@ fn main() {
             "fig14" => runner.trace_figure("fig14", "Disk transactions per second", |p| {
                 p.transactions_per_sec
             }),
+            "dataplane" => dataplane(),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 continue;
@@ -108,14 +128,24 @@ impl Runner {
     fn fig7(&mut self) -> String {
         let mut t = Table::new(&["workload", "Spark", "CHOPPER", "improvement", "paper"]);
         let rows = [
-            ("PCA", self.pca_cmp().vanilla_time(), self.pca_cmp().chopper_time(), "23.6%"),
+            (
+                "PCA",
+                self.pca_cmp().vanilla_time(),
+                self.pca_cmp().chopper_time(),
+                "23.6%",
+            ),
             (
                 "KMeans",
                 self.kmeans_cmp().vanilla_time(),
                 self.kmeans_cmp().chopper_time(),
                 "35.2%",
             ),
-            ("SQL", self.sql_cmp().vanilla_time(), self.sql_cmp().chopper_time(), "33.9%"),
+            (
+                "SQL",
+                self.sql_cmp().vanilla_time(),
+                self.sql_cmp().chopper_time(),
+                "33.9%",
+            ),
         ];
         for (name, v, c, paper) in rows {
             t.row(vec![
@@ -161,7 +191,11 @@ impl Runner {
         let v = &stages(&cmp.vanilla)[0];
         let c = &stages(&cmp.chopper)[0];
         let mut t = Table::new(&["system", "stage-0 time", "paper"]);
-        t.row(vec!["CHOPPER".into(), fmt_time(c.duration()), "250s".into()]);
+        t.row(vec![
+            "CHOPPER".into(),
+            fmt_time(c.duration()),
+            "250s".into(),
+        ]);
         t.row(vec!["Spark".into(), fmt_time(v.duration()), "372s".into()]);
         section(
             "Table II — Execution time for stage 0 in KMeans",
@@ -183,8 +217,12 @@ impl Runner {
                 .unwrap_or_default();
             t.row(vec![
                 i.to_string(),
-                c.get(i).map(|s| s.num_tasks.to_string()).unwrap_or_default(),
-                v.get(i).map(|s| s.num_tasks.to_string()).unwrap_or_default(),
+                c.get(i)
+                    .map(|s| s.num_tasks.to_string())
+                    .unwrap_or_default(),
+                v.get(i)
+                    .map(|s| s.num_tasks.to_string())
+                    .unwrap_or_default(),
                 scheme,
             ]);
         }
@@ -235,7 +273,9 @@ impl Runner {
                 i.to_string(),
                 v.get(i).map(|s| fmt_time(s.duration())).unwrap_or_default(),
                 c.get(i).map(|s| fmt_time(s.duration())).unwrap_or_default(),
-                c.get(i).map(|s| fmt_kb(s.remote_read_bytes)).unwrap_or_default(),
+                c.get(i)
+                    .map(|s| fmt_kb(s.remote_read_bytes))
+                    .unwrap_or_default(),
             ]);
         }
         section(
@@ -256,12 +296,30 @@ impl Runner {
         metric: fn(&simcluster::TracePoint) -> f64,
     ) -> String {
         let series: Vec<(String, Vec<simcluster::TracePoint>)> = vec![
-            ("PCA-Spark".into(), self.pca_cmp().vanilla.sim().trace().points()),
-            ("PCA-CHOPPER".into(), self.pca_cmp().chopper.sim().trace().points()),
-            ("KMeans-Spark".into(), self.kmeans_cmp().vanilla.sim().trace().points()),
-            ("KMeans-CHOPPER".into(), self.kmeans_cmp().chopper.sim().trace().points()),
-            ("SQL-Spark".into(), self.sql_cmp().vanilla.sim().trace().points()),
-            ("SQL-CHOPPER".into(), self.sql_cmp().chopper.sim().trace().points()),
+            (
+                "PCA-Spark".into(),
+                self.pca_cmp().vanilla.sim().trace().points(),
+            ),
+            (
+                "PCA-CHOPPER".into(),
+                self.pca_cmp().chopper.sim().trace().points(),
+            ),
+            (
+                "KMeans-Spark".into(),
+                self.kmeans_cmp().vanilla.sim().trace().points(),
+            ),
+            (
+                "KMeans-CHOPPER".into(),
+                self.kmeans_cmp().chopper.sim().trace().points(),
+            ),
+            (
+                "SQL-Spark".into(),
+                self.sql_cmp().vanilla.sim().trace().points(),
+            ),
+            (
+                "SQL-CHOPPER".into(),
+                self.sql_cmp().chopper.sim().trace().points(),
+            ),
         ];
         let max_len = series.iter().map(|(_, p)| p.len()).max().unwrap_or(0);
         let header: Vec<&str> = std::iter::once("time(s)")
@@ -273,17 +331,15 @@ impl Runner {
             let mut row = vec![format!("{}", b * 10)];
             for (_, pts) in &series {
                 row.push(
-                    pts.get(b).map(|p| format!("{:.1}", metric(p))).unwrap_or_default(),
+                    pts.get(b)
+                        .map(|p| format!("{:.1}", metric(p)))
+                        .unwrap_or_default(),
                 );
             }
             t.row(row);
         }
         section(
-            &format!(
-                "Fig {} — {} over workload execution",
-                &id[3..],
-                label
-            ),
+            &format!("Fig {} — {} over workload execution", &id[3..], label),
             "Paper: CHOPPER's utilization is equivalent or better than vanilla \
              Spark's, and its runs finish sooner (series end earlier). Shape \
              criterion: comparable peaks, earlier completion for CHOPPER.",
@@ -300,7 +356,12 @@ fn table1() -> String {
         ("SQL", Box::new(sql_paper()), 34.5),
     ];
     let kmeans_bytes = workloads[0].1.full_input_bytes() as f64;
-    let mut t = Table::new(&["workload", "input (MB, scaled)", "ratio vs KMeans", "paper (GB)"]);
+    let mut t = Table::new(&[
+        "workload",
+        "input (MB, scaled)",
+        "ratio vs KMeans",
+        "paper (GB)",
+    ]);
     for (name, w, paper_gb) in &workloads {
         let bytes = w.full_input_bytes() as f64;
         t.row(vec![
@@ -394,7 +455,10 @@ impl MotivationSweep {
         for (p, st, _) in self.sweep_points() {
             for s in st {
                 if s.shuffle_data() > 0 {
-                    by_stage.entry(s.stage_id).or_default().push((*p, s.shuffle_data()));
+                    by_stage
+                        .entry(s.stage_id)
+                        .or_default()
+                        .push((*p, s.shuffle_data()));
                 }
             }
         }
@@ -406,7 +470,11 @@ impl MotivationSweep {
         for (stage, vals) in &by_stage {
             let mut row = vec![stage.to_string()];
             for (p, _, _) in self.sweep_points() {
-                let v = vals.iter().find(|(vp, _)| vp == p).map(|(_, b)| *b).unwrap_or(0);
+                let v = vals
+                    .iter()
+                    .find(|(vp, _)| vp == p)
+                    .map(|(_, b)| *b)
+                    .unwrap_or(0);
                 row.push(format!("{:.1}", v as f64 / 1024.0));
             }
             t.row(row);
@@ -431,9 +499,18 @@ impl MotivationSweep {
             .iter()
             .find(|(p, _, _)| *p == 2000)
             .expect("2000-partition run present");
-        let last_shuffle =
-            |st: &[StageMetrics]| st.iter().rev().find(|s| s.shuffle_data() > 0).map(|s| s.shuffle_data()).unwrap_or(0);
-        let best_st = &self.sweep_points().find(|(p, _, _)| *p == best.0).expect("present").1;
+        let last_shuffle = |st: &[StageMetrics]| {
+            st.iter()
+                .rev()
+                .find(|s| s.shuffle_data() > 0)
+                .map(|s| s.shuffle_data())
+                .unwrap_or(0)
+        };
+        let best_st = &self
+            .sweep_points()
+            .find(|(p, _, _)| *p == best.0)
+            .expect("present")
+            .1;
         let mut t = Table::new(&["config", "total time", "last shuffle stage KB"]);
         t.row(vec![
             format!("best sweep point (P={})", best.0),
@@ -463,12 +540,175 @@ impl MotivationSweep {
     }
 }
 
+// ---- Data-plane before/after benchmark -----------------------------------
+
+/// Best-of-5 host wall-clock of `f`, in milliseconds.
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn dataplane() -> String {
+    use bench::dataplane::{fused_chain, seed_bucketize, seed_chain, spawn_par_map, ChainOp};
+    use engine::{
+        shuffle::bucketize, EngineOptions, HashPartitioner, Key, Record, ReduceFn, Value,
+        WorkerPool,
+    };
+    use workloads::{KMeans, KMeansConfig};
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(4);
+
+    // Kernel 1: dispatch of 256 compute-bound tasks.
+    let tasks = 256;
+    let work = |i: usize| -> u64 {
+        let mut acc = i as u64;
+        for _ in 0..20_000 {
+            acc = acc.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        }
+        acc
+    };
+    let dispatch_before = time_ms(|| {
+        std::hint::black_box(spawn_par_map(workers, tasks, work));
+    });
+    let pool = WorkerPool::new(workers);
+    let dispatch_after = time_ms(|| {
+        std::hint::black_box(pool.map(tasks, work));
+    });
+
+    // Kernel 2: narrow chain over 200k records (deep-copy + one pass per op
+    // vs borrowed fused single pass).
+    let input: Vec<Record> = (0..200_000)
+        .map(|i| Record::new(Key::Int(i % 1000), Value::Int(i)))
+        .collect();
+    let ops = vec![
+        ChainOp::Filter(Box::new(|r: &Record| r.value.as_int() % 5 != 0)),
+        ChainOp::Map(Box::new(|r: &Record| {
+            Record::new(r.key.clone(), Value::Int(r.value.as_int() + 1))
+        })),
+        ChainOp::Filter(Box::new(|r: &Record| r.value.as_int() % 2 == 0)),
+    ];
+    assert_eq!(seed_chain(&input, &ops), fused_chain(&input, &ops));
+    let chain_before = time_ms(|| {
+        std::hint::black_box(seed_chain(&input, &ops));
+    });
+    let chain_after = time_ms(|| {
+        std::hint::black_box(fused_chain(&input, &ops));
+    });
+
+    // Kernel 3: shuffle-write bucketize, with and without map-side combine.
+    let part = HashPartitioner::new(300);
+    let sum: ReduceFn =
+        std::sync::Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int()));
+    let nb_before = time_ms(|| {
+        std::hint::black_box(seed_bucketize(&input, &part, None));
+    });
+    let nb_after = time_ms(|| {
+        std::hint::black_box(bucketize(&input, &part, None));
+    });
+    let cb_before = time_ms(|| {
+        std::hint::black_box(seed_bucketize(&input, &part, Some(&sum)));
+    });
+    let cb_after = time_ms(|| {
+        std::hint::black_box(bucketize(&input, &part, Some(&sum)));
+    });
+
+    // Real workload: end-to-end host wall-clock of a reduced KMeans run on
+    // the persistent pool, single lane vs `workers` lanes.
+    let mut cfg = KMeansConfig::paper();
+    cfg.points = 20_000;
+    let w = KMeans::new(cfg);
+    let run_with = |lanes: usize| {
+        let opts = EngineOptions {
+            workers: lanes,
+            ..bench::paper_engine(300, false)
+        };
+        time_ms(|| {
+            std::hint::black_box(w.run(&opts, &engine::WorkloadConf::new(), 1.0));
+        })
+    };
+    let run_one = run_with(1);
+    let run_many = run_with(workers);
+
+    let kernels = [
+        ("dispatch_spawn_vs_pool", dispatch_before, dispatch_after),
+        (
+            "narrow_chain_materialized_vs_fused",
+            chain_before,
+            chain_after,
+        ),
+        ("bucketize_no_combine", nb_before, nb_after),
+        ("bucketize_combine", cb_before, cb_after),
+    ];
+    let mut json = String::from("{\n  \"experiment\": \"dataplane\",\n");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    json.push_str("  \"kernels\": [\n");
+    for (i, (name, before, after)) in kernels.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"before_ms\": {before:.3}, \
+             \"after_ms\": {after:.3}, \"speedup\": {:.2}}}{}",
+            before / after,
+            if i + 1 < kernels.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n  \"workload_wallclock\": [\n");
+    let _ = writeln!(
+        json,
+        "    {{\"workload\": \"kmeans-20k\", \"workers\": 1, \"host_ms\": {run_one:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"workload\": \"kmeans-20k\", \"workers\": {workers}, \
+         \"host_ms\": {run_many:.3}}}"
+    );
+    json.push_str("  ]\n}\n");
+    std::fs::write("results/BENCH_dataplane.json", &json)
+        .expect("write results/BENCH_dataplane.json");
+
+    let mut t = Table::new(&["kernel", "before ms", "after ms", "speedup"]);
+    for (name, before, after) in kernels {
+        t.row(vec![
+            name.into(),
+            format!("{before:.2}"),
+            format!("{after:.2}"),
+            format!("{:.2}x", before / after),
+        ]);
+    }
+    t.row(vec![
+        format!("kmeans-20k wall-clock 1 -> {workers} workers"),
+        format!("{run_one:.1}"),
+        format!("{run_many:.1}"),
+        format!("{:.2}x", run_one / run_many),
+    ]);
+    section(
+        "Data plane — before/after host wall-clock (BENCH_dataplane.json)",
+        "Before = seed kernels (scoped spawn dispatch, deep-copy + op-at-a-time \
+         chains, re-hashing bucketize); after = persistent pool + fused \
+         zero-copy data plane. Timings are best-of-5 host milliseconds.",
+        t.render(),
+    )
+}
+
 fn section(title: &str, context: &str, body: String) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "================================================================");
+    let _ = writeln!(
+        s,
+        "================================================================"
+    );
     let _ = writeln!(s, "{title}");
     let _ = writeln!(s, "{context}");
-    let _ = writeln!(s, "----------------------------------------------------------------");
+    let _ = writeln!(
+        s,
+        "----------------------------------------------------------------"
+    );
     let _ = writeln!(s, "{body}");
     s
 }

@@ -1,0 +1,221 @@
+//! Before/after kernels for the data-plane benchmarks.
+//!
+//! The executor rewrite replaced three seed-era kernels: per-stage scoped
+//! thread spawning with one mutex per result, deep-copied task inputs run
+//! through one materialized pass per narrow op, and a bucketize that
+//! re-hashed every key through `SipHash` twice. The "before" functions here
+//! reimplement those seed kernels verbatim so `cargo bench --bench
+//! data_plane` and `repro -- dataplane` can quantify the persistent-pool +
+//! zero-copy data plane against the code it replaced, on identical inputs.
+
+use engine::shuffle::TaskBuckets;
+use engine::{batch_size, Partitioner, Record, ReduceFn};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The seed's per-stage dispatch: fresh scoped threads per call, a shared
+/// `fetch_add` cursor with chunk size 1, and one mutex per result slot.
+pub fn spawn_par_map<U, F>(workers: usize, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *out[i].lock().expect("result slot") = Some(v);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().expect("slot").expect("every index computed"))
+        .collect()
+}
+
+/// The seed's map-side bucketize: `partition()` re-hashes every key, the
+/// combine index re-hashes it a second time through `SipHash`, and buckets
+/// grow on demand.
+pub fn seed_bucketize(
+    records: &[Record],
+    partitioner: &dyn Partitioner,
+    combine: Option<&ReduceFn>,
+) -> (TaskBuckets, u64) {
+    let p = partitioner.num_partitions();
+    let mut combine_ops = 0u64;
+    let buckets: Vec<Vec<Record>> = match combine {
+        None => {
+            let mut out: Vec<Vec<Record>> = vec![Vec::new(); p];
+            for r in records {
+                out[partitioner.partition(&r.key)].push(r.clone());
+            }
+            out
+        }
+        Some(f) => {
+            let mut out: Vec<Vec<Record>> = vec![Vec::new(); p];
+            let mut index: Vec<HashMap<engine::Key, usize>> = vec![HashMap::new(); p];
+            for r in records {
+                let b = partitioner.partition(&r.key);
+                match index[b].get(&r.key) {
+                    Some(&i) => {
+                        let merged = f(&out[b][i].value, &r.value);
+                        out[b][i].value = merged;
+                        combine_ops += 1;
+                    }
+                    None => {
+                        index[b].insert(r.key.clone(), out[b].len());
+                        out[b].push(r.clone());
+                    }
+                }
+            }
+            out
+        }
+    };
+    let bytes = buckets.iter().map(|b| batch_size(b)).collect();
+    (
+        TaskBuckets {
+            buckets: buckets.into_iter().map(Arc::new).collect(),
+            bytes,
+        },
+        combine_ops,
+    )
+}
+
+/// A boxed record-to-records expansion, as in the engine's `FlatMapFn`.
+pub type FlatMapOp = Box<dyn Fn(&Record) -> Vec<Record> + Send + Sync>;
+
+/// A narrow op for the chain kernels below.
+pub enum ChainOp {
+    Map(Box<dyn Fn(&Record) -> Record + Send + Sync>),
+    Filter(Box<dyn Fn(&Record) -> bool + Send + Sync>),
+    FlatMap(FlatMapOp),
+}
+
+/// The seed's narrow-chain execution: deep-copy the task's input slice,
+/// then materialize a fresh vector per op.
+pub fn seed_chain(input: &[Record], ops: &[ChainOp]) -> Vec<Record> {
+    let mut records = input.to_vec();
+    for op in ops {
+        records = match op {
+            ChainOp::Map(f) => records.iter().map(f).collect(),
+            ChainOp::Filter(f) => records.into_iter().filter(|r| f(r)).collect(),
+            ChainOp::FlatMap(f) => records.iter().flat_map(f).collect(),
+        };
+    }
+    records
+}
+
+/// The rewrite's narrow-chain execution: borrow the input slice and stream
+/// each record through the whole chain in one pass, cloning only records
+/// that survive to the output.
+pub fn fused_chain(input: &[Record], ops: &[ChainOp]) -> Vec<Record> {
+    let mut out = Vec::new();
+    for rec in input {
+        feed_ref(ops, rec, &mut out);
+    }
+    out
+}
+
+fn feed_ref(ops: &[ChainOp], rec: &Record, out: &mut Vec<Record>) {
+    let Some((head, rest)) = ops.split_first() else {
+        out.push(rec.clone());
+        return;
+    };
+    match head {
+        ChainOp::Map(f) => feed_owned(rest, f(rec), out),
+        ChainOp::Filter(f) => {
+            if f(rec) {
+                feed_ref(rest, rec, out);
+            }
+        }
+        ChainOp::FlatMap(f) => {
+            for r in f(rec) {
+                feed_owned(rest, r, out);
+            }
+        }
+    }
+}
+
+fn feed_owned(ops: &[ChainOp], rec: Record, out: &mut Vec<Record>) {
+    let Some((head, rest)) = ops.split_first() else {
+        out.push(rec);
+        return;
+    };
+    match head {
+        ChainOp::Map(f) => feed_owned(rest, f(&rec), out),
+        ChainOp::Filter(f) => {
+            if f(&rec) {
+                feed_owned(rest, rec, out);
+            }
+        }
+        ChainOp::FlatMap(f) => {
+            for r in f(&rec) {
+                feed_owned(rest, r, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::{Key, Value};
+
+    fn data(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(Key::Int(i as i64 % 37), Value::Int(i as i64)))
+            .collect()
+    }
+
+    fn chain() -> Vec<ChainOp> {
+        vec![
+            ChainOp::Filter(Box::new(|r: &Record| r.value.as_int() % 3 != 0)),
+            ChainOp::Map(Box::new(|r: &Record| {
+                Record::new(r.key.clone(), Value::Int(r.value.as_int() * 2))
+            })),
+        ]
+    }
+
+    #[test]
+    fn fused_chain_matches_seed_chain() {
+        let input = data(500);
+        let ops = chain();
+        assert_eq!(seed_chain(&input, &ops), fused_chain(&input, &ops));
+    }
+
+    #[test]
+    fn seed_bucketize_matches_current() {
+        let input = data(2000);
+        let part = engine::HashPartitioner::new(16);
+        let sum: ReduceFn = Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int()));
+        for combine in [None, Some(&sum)] {
+            let (old, old_ops) = seed_bucketize(&input, &part, combine);
+            let (new, new_ops) = engine::shuffle::bucketize(&input, &part, combine);
+            assert_eq!(old_ops, new_ops);
+            assert_eq!(old.bytes, new.bytes);
+            for (a, b) in old.buckets.iter().zip(new.buckets.iter()) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_par_map_covers_all_indices() {
+        let out = spawn_par_map(4, 100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

@@ -5,6 +5,8 @@
 //! benches under `benches/` exercise reduced-size versions of the same
 //! experiments so `cargo bench` stays tractable.
 
+pub mod dataplane;
+
 use chopper::{Autotuner, TestRunPlan};
 use engine::{Context, EngineOptions, StageMetrics};
 use simcluster::paper_cluster;
@@ -71,6 +73,12 @@ pub fn sql_paper() -> Sql {
 pub fn paper_autotuner() -> Autotuner {
     let mut t = Autotuner::new(paper_engine(300, false));
     t.test_plan = TestRunPlan::default();
+    // Grid cells are independent sandboxed runs and their recorded metrics
+    // are plan-determined, so fanning them out is free wall-clock.
+    t.test_plan.parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4);
     // Shuffle significance is judged against the scaled virtual bandwidth.
     t.optimizer.shuffle_bandwidth = Some(4e8 / DATA_SCALE as f64);
     t
@@ -109,7 +117,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).

@@ -112,7 +112,9 @@ impl BlockStore {
         let mut blocks = Vec::new();
         let mut remaining = total_bytes;
         while remaining > 0 || blocks.is_empty() {
-            let size = remaining.min(self.block_size).max(if total_bytes == 0 { 0 } else { 1 });
+            let size = remaining
+                .min(self.block_size)
+                .max(if total_bytes == 0 { 0 } else { 1 });
             let replicas = Self::place(&inner.used_bytes, self.replication);
             for &n in &replicas {
                 inner.used_bytes[n] += size;
@@ -146,7 +148,11 @@ impl BlockStore {
 
     /// Total length of a file in bytes.
     pub fn file_len(&self, name: &str) -> Option<u64> {
-        self.inner.lock().files.get(name).map(|bs| bs.iter().map(|b| b.size).sum())
+        self.inner
+            .lock()
+            .files
+            .get(name)
+            .map(|bs| bs.iter().map(|b| b.size).sum())
     }
 
     /// Records a full read of the file, charging one read transaction per
@@ -203,7 +209,10 @@ mod tests {
         let n = s.create_file("f", 250);
         assert_eq!(n, 3);
         let blocks = s.file_blocks("f").unwrap();
-        assert_eq!(blocks.iter().map(|b| b.size).collect::<Vec<_>>(), vec![100, 100, 50]);
+        assert_eq!(
+            blocks.iter().map(|b| b.size).collect::<Vec<_>>(),
+            vec![100, 100, 50]
+        );
         assert_eq!(s.file_len("f"), Some(250));
     }
 
@@ -233,7 +242,10 @@ mod tests {
         let s = BlockStore::with_config(4, 100, 1);
         s.create_file("f", 100 * 8); // 8 blocks over 4 nodes
         let used = s.used_bytes();
-        assert!(used.iter().all(|&u| u == 200), "even spread expected, got {used:?}");
+        assert!(
+            used.iter().all(|&u| u == 200),
+            "even spread expected, got {used:?}"
+        );
     }
 
     #[test]

@@ -40,12 +40,16 @@ impl Args {
             .next()
             .ok_or_else(|| ParseError("missing command (try `chopper-cli help`)".into()))?;
         if command.starts_with("--") {
-            return Err(ParseError(format!("expected a command, got flag {command}")));
+            return Err(ParseError(format!(
+                "expected a command, got flag {command}"
+            )));
         }
         let mut flags = HashMap::new();
         while let Some(tok) = iter.next() {
             let Some(name) = tok.strip_prefix("--") else {
-                return Err(ParseError(format!("unexpected positional argument '{tok}'")));
+                return Err(ParseError(format!(
+                    "unexpected positional argument '{tok}'"
+                )));
             };
             if name.is_empty() {
                 return Err(ParseError("empty flag name".into()));
@@ -53,9 +57,8 @@ impl Args {
             let value = if BOOLEAN_FLAGS.contains(&name) {
                 "true".to_string()
             } else {
-                iter.next().ok_or_else(|| {
-                    ParseError(format!("flag --{name} requires a value"))
-                })?
+                iter.next()
+                    .ok_or_else(|| ParseError(format!("flag --{name} requires a value")))?
             };
             if flags.insert(name.to_string(), value).is_some() {
                 return Err(ParseError(format!("flag --{name} given twice")));
@@ -71,7 +74,8 @@ impl Args {
 
     /// A required string flag.
     pub fn require(&self, name: &str) -> Result<&str, ParseError> {
-        self.get(name).ok_or_else(|| ParseError(format!("missing required flag --{name}")))
+        self.get(name)
+            .ok_or_else(|| ParseError(format!("missing required flag --{name}")))
     }
 
     /// A boolean flag (present = true).
@@ -164,7 +168,10 @@ mod tests {
     #[test]
     fn num_list_parses_csv() {
         let a = parse(&["tune", "--scales", "0.1, 0.3,0.6"]).unwrap();
-        assert_eq!(a.num_list("scales", vec![1.0]).unwrap(), vec![0.1, 0.3, 0.6]);
+        assert_eq!(
+            a.num_list("scales", vec![1.0]).unwrap(),
+            vec![0.1, 0.3, 0.6]
+        );
         let bad = parse(&["tune", "--scales", "0.1,zebra"]).unwrap();
         assert!(bad.num_list::<f64>("scales", vec![]).is_err());
     }

@@ -16,6 +16,7 @@ commands:
            [--cluster paper|uniform:N,C,GHz]
   tune     --workload W --db FILE [--out-conf FILE]
            [--scales 0.1,0.3,0.6] [--partitions 60,150,300,600,1200]
+           [--test-parallelism N]
   plan     --workload W --db FILE [--out-conf FILE] [--partitions N]
   compare  --workload W [--partitions N]
   inspect  --db FILE
@@ -31,7 +32,9 @@ fn workload(args: &Args) -> Result<Box<dyn Workload>, String> {
         "pca" => Ok(Box::new(Pca::new(PcaConfig::paper()))),
         "sql" => Ok(Box::new(Sql::new(SqlConfig::paper()))),
         "logreg" => Ok(Box::new(LogReg::new(LogRegConfig::paper()))),
-        other => Err(format!("unknown workload '{other}' (kmeans|pca|sql|logreg)")),
+        other => Err(format!(
+            "unknown workload '{other}' (kmeans|pca|sql|logreg)"
+        )),
     }
 }
 
@@ -65,8 +68,7 @@ fn load_conf(args: &Args) -> Result<WorkloadConf, String> {
     match args.get("conf") {
         None => Ok(WorkloadConf::new()),
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
             WorkloadConf::from_text(&text)
         }
     }
@@ -90,7 +92,11 @@ fn print_stages(ctx: &Context) {
         );
     }
     if let (Some(first), Some(last)) = (ctx.jobs().first(), ctx.jobs().last()) {
-        println!("total: {:.2}s over {} jobs", last.end - first.start, ctx.jobs().len());
+        println!(
+            "total: {:.2}s over {} jobs",
+            last.end - first.start,
+            ctx.jobs().len()
+        );
     }
 }
 
@@ -98,12 +104,15 @@ fn tuner(args: &Args) -> Result<Autotuner, String> {
     let opts = engine_opts(args)?;
     let mut t = Autotuner::new(opts);
     t.test_plan = TestRunPlan {
-        scales: args.num_list("scales", vec![0.1, 0.3, 0.6]).map_err(|e| e.to_string())?,
+        scales: args
+            .num_list("scales", vec![0.1, 0.3, 0.6])
+            .map_err(|e| e.to_string())?,
         partitions: args
             .num_list("test-partitions", vec![60, 150, 300, 600, 1200])
             .map_err(|e| e.to_string())?,
         kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
         probe_user_fixed: true,
+        parallelism: args.num("test-parallelism", 1).map_err(|e| e.to_string())?,
     };
     Ok(t)
 }
@@ -127,8 +136,11 @@ pub fn run(args: &Args) -> CmdResult {
                 end: s.end,
                 tasks: s.placements.clone(),
             };
-            println!("
-stage {} [{}]", s.stage_id, s.name);
+            println!(
+                "
+stage {} [{}]",
+                s.stage_id, s.name
+            );
             print!("{}", simcluster::render_gantt(&opts.cluster, &timing, 80));
         }
     }
@@ -146,7 +158,8 @@ pub fn tune(args: &Args) -> CmdResult {
     };
     let t = tuner(args)?;
     let runs = t.train(w.as_ref(), &mut db);
-    db.save(std::path::Path::new(db_path)).map_err(|e| e.to_string())?;
+    db.save(std::path::Path::new(db_path))
+        .map_err(|e| e.to_string())?;
     println!("recorded {runs} test runs into {db_path}");
     if let Some(path) = args.get("out-conf") {
         let plan = t.plan(w.as_ref(), &db);
@@ -164,7 +177,10 @@ pub fn plan(args: &Args) -> CmdResult {
     let t = tuner(args)?;
     let plan = t.plan(w.as_ref(), &db);
     if plan.decisions.is_empty() {
-        return Err(format!("no observations for workload '{}' in {db_path}", w.name()));
+        return Err(format!(
+            "no observations for workload '{}' in {db_path}",
+            w.name()
+        ));
     }
     println!("{:>18} {:>16}  decision", "signature", "stage");
     for d in &plan.decisions {
@@ -289,10 +305,22 @@ mod tests {
 
     #[test]
     fn workload_selection() {
-        assert_eq!(workload(&args(&["run", "--workload", "kmeans"])).unwrap().name(), "kmeans");
-        assert_eq!(workload(&args(&["run", "--workload", "sql"])).unwrap().name(), "sql");
         assert_eq!(
-            workload(&args(&["run", "--workload", "logreg"])).unwrap().name(),
+            workload(&args(&["run", "--workload", "kmeans"]))
+                .unwrap()
+                .name(),
+            "kmeans"
+        );
+        assert_eq!(
+            workload(&args(&["run", "--workload", "sql"]))
+                .unwrap()
+                .name(),
+            "sql"
+        );
+        assert_eq!(
+            workload(&args(&["run", "--workload", "logreg"]))
+                .unwrap()
+                .name(),
             "logreg"
         );
         assert!(workload(&args(&["run", "--workload", "zebra"])).is_err());
@@ -327,10 +355,19 @@ mod tests {
 
     #[test]
     fn tuner_grid_flags() {
-        let t = tuner(&args(&["tune", "--scales", "0.2,0.4", "--test-partitions", "10,20"]))
-            .unwrap();
+        let t = tuner(&args(&[
+            "tune",
+            "--scales",
+            "0.2,0.4",
+            "--test-partitions",
+            "10,20",
+        ]))
+        .unwrap();
         assert_eq!(t.test_plan.scales, vec![0.2, 0.4]);
         assert_eq!(t.test_plan.partitions, vec![10, 20]);
+        assert_eq!(t.test_plan.parallelism, 1, "serial grid by default");
+        let t = tuner(&args(&["tune", "--test-parallelism", "4"])).unwrap();
+        assert_eq!(t.test_plan.parallelism, 4);
     }
 
     #[test]

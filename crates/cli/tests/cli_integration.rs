@@ -62,7 +62,10 @@ fn run_prints_stage_table() {
         "16",
     ]));
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("join-revenue"), "stage table expected:\n{text}");
+    assert!(
+        text.contains("join-revenue"),
+        "stage table expected:\n{text}"
+    );
     assert!(text.contains("total:"));
 }
 
@@ -141,7 +144,10 @@ fn conf_rejects_garbage() {
     let dir = tmpdir("badconf");
     let path = dir.join("bad.txt");
     std::fs::write(&path, "stage zz hash ten\n").unwrap();
-    let out = bin().args(["conf", "--file", path.to_str().unwrap()]).output().expect("runs");
+    let out = bin()
+        .args(["conf", "--file", path.to_str().unwrap()])
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }

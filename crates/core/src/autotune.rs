@@ -69,9 +69,7 @@ impl Autotuner {
             return TuningPlan::default();
         };
         let mut plan = TuningPlan::default();
-        for (stage, par) in
-            get_workload_par(rec, workload.full_input_bytes(), &self.optimizer)
-        {
+        for (stage, par) in get_workload_par(rec, workload.full_input_bytes(), &self.optimizer) {
             let action = match par {
                 Some(par) if stage.configurable && !stage.user_fixed => {
                     let spec = engine::PartitionerSpec {
@@ -139,7 +137,13 @@ impl Comparison {
         plan: TuningPlan,
         db: WorkloadDb,
     ) -> Self {
-        Comparison { workload: workload.to_string(), vanilla, chopper, plan, db }
+        Comparison {
+            workload: workload.to_string(),
+            vanilla,
+            chopper,
+            plan,
+            db,
+        }
     }
 
     /// Total vanilla execution time (virtual seconds).
@@ -193,6 +197,7 @@ mod tests {
             partitions: vec![6, 12, 50, 150, 400],
             kinds: vec![engine::PartitionerKind::Hash],
             probe_user_fixed: true,
+            parallelism: 2,
         };
         t.optimizer.default_parallelism = 400;
         t.optimizer.candidates = vec![6, 12, 25, 50, 100, 200, 400, 800];
@@ -201,7 +206,10 @@ mod tests {
 
     #[test]
     fn end_to_end_tuning_beats_bad_default() {
-        let w = MiniAgg { records_full: 30_000, keys: 40 };
+        let w = MiniAgg {
+            records_full: 30_000,
+            keys: 40,
+        };
         let cmp = tuner().compare(&w);
         assert!(
             cmp.chopper_time() < cmp.vanilla_time(),
@@ -216,7 +224,10 @@ mod tests {
 
     #[test]
     fn plan_chooses_moderate_parallelism_for_small_workload() {
-        let w = MiniAgg { records_full: 30_000, keys: 40 };
+        let w = MiniAgg {
+            records_full: 30_000,
+            keys: 40,
+        };
         let t = tuner();
         let mut db = WorkloadDb::new();
         t.train(&w, &mut db);
@@ -237,7 +248,10 @@ mod tests {
 
     #[test]
     fn naive_plan_covers_every_stage_without_grouping() {
-        let w = MiniAgg { records_full: 30_000, keys: 40 };
+        let w = MiniAgg {
+            records_full: 30_000,
+            keys: 40,
+        };
         let t = tuner();
         let mut db = WorkloadDb::new();
         t.train(&w, &mut db);
@@ -254,7 +268,10 @@ mod tests {
 
     #[test]
     fn plan_without_training_is_empty() {
-        let w = MiniAgg { records_full: 1000, keys: 5 };
+        let w = MiniAgg {
+            records_full: 1000,
+            keys: 5,
+        };
         let t = tuner();
         let db = WorkloadDb::new();
         let plan = t.plan(&w, &db);
@@ -263,7 +280,10 @@ mod tests {
 
     #[test]
     fn comparison_accounts_full_span() {
-        let w = MiniAgg { records_full: 10_000, keys: 10 };
+        let w = MiniAgg {
+            records_full: 10_000,
+            keys: 10,
+        };
         let cmp = tuner().compare(&w);
         assert!(cmp.vanilla_time() > 0.0);
         assert!(cmp.chopper_time() > 0.0);

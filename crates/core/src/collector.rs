@@ -149,9 +149,13 @@ pub fn collect_dag(jobs: &[JobMetrics], run_input_bytes: u64) -> RunSnapshot {
             multiplicity: occurrences[&stage_key(s)],
         })
         .collect();
-    let duration = jobs.last().map(|j| j.end).unwrap_or(0.0)
-        - jobs.first().map(|j| j.start).unwrap_or(0.0);
-    RunSnapshot { input_bytes: run_input_bytes, dag, duration }
+    let duration =
+        jobs.last().map(|j| j.end).unwrap_or(0.0) - jobs.first().map(|j| j.start).unwrap_or(0.0);
+    RunSnapshot {
+        input_bytes: run_input_bytes,
+        dag,
+        duration,
+    }
 }
 
 fn stages_of(jobs: &[JobMetrics]) -> impl Iterator<Item = &StageMetrics> {
@@ -167,7 +171,10 @@ mod tests {
     use simcluster::uniform_cluster;
 
     fn run_mini() -> (engine::Context, u64) {
-        let w = MiniAgg { records_full: 2000, keys: 20 };
+        let w = MiniAgg {
+            records_full: 2000,
+            keys: 20,
+        };
         let opts = EngineOptions {
             cluster: uniform_cluster(3, 4, 2.0),
             default_parallelism: 6,
@@ -206,7 +213,10 @@ mod tests {
         let (ctx, bytes) = run_mini();
         let snap = collect_dag(ctx.jobs(), bytes);
         assert_eq!(snap.dag.len(), 2);
-        assert!(snap.dag[0].parents.is_empty(), "source stage has no parents");
+        assert!(
+            snap.dag[0].parents.is_empty(),
+            "source stage has no parents"
+        );
         assert_eq!(snap.dag[1].parents, vec![snap.dag[0].signature]);
         assert!(snap.duration > 0.0);
         assert_eq!(snap.input_bytes, bytes);

@@ -156,7 +156,12 @@ mod tests {
     use crate::collector::DagStage;
 
     fn obs(d: f64, p: f64) -> Observation {
-        Observation { d, p, t_exe: d / 100.0 + p / 10.0, s_shuffle: p * 3.0 }
+        Observation {
+            d,
+            p,
+            t_exe: d / 100.0 + p / 10.0,
+            s_shuffle: p * 3.0,
+        }
     }
 
     fn snapshot(input: u64) -> RunSnapshot {
@@ -191,7 +196,11 @@ mod tests {
             ],
             snapshot(100),
         );
-        db.record_run("w", vec![(7, PartitionerKind::Hash, obs(200.0, 20.0))], snapshot(200));
+        db.record_run(
+            "w",
+            vec![(7, PartitionerKind::Hash, obs(200.0, 20.0))],
+            snapshot(200),
+        );
         let rec = db.workload("w").unwrap();
         assert_eq!(rec.observations(7, PartitionerKind::Hash).len(), 2);
         assert_eq!(rec.observations(7, PartitionerKind::Range).len(), 1);
@@ -205,7 +214,14 @@ mod tests {
         db.record_run("w", vec![], snapshot(50));
         db.record_run("w", vec![], snapshot(500));
         db.record_run("w", vec![], snapshot(200));
-        assert_eq!(db.workload("w").unwrap().reference_run().unwrap().input_bytes, 500);
+        assert_eq!(
+            db.workload("w")
+                .unwrap()
+                .reference_run()
+                .unwrap()
+                .input_bytes,
+            500
+        );
     }
 
     #[test]
@@ -216,20 +232,36 @@ mod tests {
     #[test]
     fn json_roundtrip_preserves_everything() {
         let mut db = WorkloadDb::new();
-        db.record_run("kmeans", vec![(1, PartitionerKind::Range, obs(5.0, 2.0))], snapshot(10));
-        db.record_run("sql", vec![(2, PartitionerKind::Hash, obs(9.0, 3.0))], snapshot(20));
+        db.record_run(
+            "kmeans",
+            vec![(1, PartitionerKind::Range, obs(5.0, 2.0))],
+            snapshot(10),
+        );
+        db.record_run(
+            "sql",
+            vec![(2, PartitionerKind::Hash, obs(9.0, 3.0))],
+            snapshot(20),
+        );
         let back = WorkloadDb::from_json(&db.to_json()).unwrap();
         assert_eq!(back.workload_names(), vec!["kmeans", "sql"]);
         assert_eq!(
-            back.workload("kmeans").unwrap().observations(1, PartitionerKind::Range),
-            db.workload("kmeans").unwrap().observations(1, PartitionerKind::Range)
+            back.workload("kmeans")
+                .unwrap()
+                .observations(1, PartitionerKind::Range),
+            db.workload("kmeans")
+                .unwrap()
+                .observations(1, PartitionerKind::Range)
         );
     }
 
     #[test]
     fn file_persistence_roundtrip() {
         let mut db = WorkloadDb::new();
-        db.record_run("w", vec![(3, PartitionerKind::Hash, obs(1.0, 1.0))], snapshot(1));
+        db.record_run(
+            "w",
+            vec![(3, PartitionerKind::Hash, obs(1.0, 1.0))],
+            snapshot(1),
+        );
         let dir = std::env::temp_dir().join("chopper-db-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("db.json");
@@ -266,10 +298,22 @@ mod tests {
     #[test]
     fn merge_combines_databases() {
         let mut a = WorkloadDb::new();
-        a.record_run("w", vec![(1, PartitionerKind::Hash, obs(1.0, 1.0))], snapshot(10));
+        a.record_run(
+            "w",
+            vec![(1, PartitionerKind::Hash, obs(1.0, 1.0))],
+            snapshot(10),
+        );
         let mut b = WorkloadDb::new();
-        b.record_run("w", vec![(1, PartitionerKind::Hash, obs(2.0, 2.0))], snapshot(20));
-        b.record_run("other", vec![(9, PartitionerKind::Range, obs(3.0, 3.0))], snapshot(30));
+        b.record_run(
+            "w",
+            vec![(1, PartitionerKind::Hash, obs(2.0, 2.0))],
+            snapshot(20),
+        );
+        b.record_run(
+            "other",
+            vec![(9, PartitionerKind::Range, obs(3.0, 3.0))],
+            snapshot(30),
+        );
         a.merge(&b);
         assert_eq!(a.workload_names(), vec!["other", "w"]);
         let rec = a.workload("w").unwrap();

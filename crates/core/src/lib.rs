@@ -67,7 +67,10 @@ pub mod workload;
 pub use autotune::{Autotuner, Comparison};
 pub use collector::{collect_dag, collect_observations, DagStage, Observation, RunSnapshot};
 pub use db::{WorkloadDb, WorkloadRecord};
-pub use model::{cost, cost_with_baseline, cross_validation_error, CostWeights, ModelBasis, StageModel, MIN_OBSERVATIONS};
+pub use model::{
+    cost, cost_with_baseline, cross_validation_error, CostWeights, ModelBasis, StageModel,
+    MIN_OBSERVATIONS,
+};
 pub use optimizer::{
     get_global_par, get_stage_par, get_workload_par, DecisionAction, OptimizerOptions,
     StageDecision, StagePar, TuningPlan,

@@ -57,10 +57,7 @@ impl StageModel {
     }
 
     /// Fits a model over an explicit feature basis.
-    pub fn fit_with_basis(
-        observations: &[Observation],
-        basis: ModelBasis,
-    ) -> Option<StageModel> {
+    pub fn fit_with_basis(observations: &[Observation], basis: ModelBasis) -> Option<StageModel> {
         if observations.len() < MIN_OBSERVATIONS {
             return None;
         }
@@ -154,10 +151,8 @@ pub fn cross_validation_error(observations: &[Observation], folds: usize) -> Opt
     let mut count = 0usize;
     for fold in 0..folds {
         // Deterministic striped split: every `folds`-th point is held out.
-        let (train, test): (Vec<Observation>, Vec<Observation>) = observations
-            .iter()
-            .enumerate()
-            .partition_map(|(i, &o)| {
+        let (train, test): (Vec<Observation>, Vec<Observation>) =
+            observations.iter().enumerate().partition_map(|(i, &o)| {
                 if i % folds == fold {
                     Either::Right(o)
                 } else {
@@ -217,7 +212,10 @@ impl Default for CostWeights {
     fn default() -> Self {
         // Paper: "we set the constants to a default value of 0.5, making
         // them equally important".
-        CostWeights { alpha: 0.5, beta: 0.5 }
+        CostWeights {
+            alpha: 0.5,
+            beta: 0.5,
+        }
     }
 }
 
@@ -245,8 +243,16 @@ pub fn cost_with_baseline(
     significance: f64,
 ) -> f64 {
     debug_assert!((0.0..=1.0).contains(&significance));
-    let t_term = if t0 > 1e-12 { model.predict_time(d, p) / t0 } else { 1.0 };
-    let s_ratio = if s0 > 1e-9 { model.predict_shuffle(d, p) / s0 } else { 1.0 };
+    let t_term = if t0 > 1e-12 {
+        model.predict_time(d, p) / t0
+    } else {
+        1.0
+    };
+    let s_ratio = if s0 > 1e-9 {
+        model.predict_shuffle(d, p) / s0
+    } else {
+        1.0
+    };
     // Blend toward neutral (1.0) as the shuffle loses significance, so the
     // cost at the default parallelism stays exactly α + β.
     let s_term = significance * s_ratio + (1.0 - significance);
@@ -280,7 +286,12 @@ mod tests {
         let mut obs = Vec::new();
         for &d in &[0.7e8, 1e8, 2e8, 3.3e8, 4e8, 8e8] {
             for &p in &[50.0, 100.0, 200.0, 400.0, 650.0, 800.0] {
-                obs.push(Observation { d, p, t_exe: f_t(d, p), s_shuffle: f_s(d, p) });
+                obs.push(Observation {
+                    d,
+                    p,
+                    t_exe: f_t(d, p),
+                    s_shuffle: f_s(d, p),
+                });
             }
         }
         obs
@@ -288,7 +299,15 @@ mod tests {
 
     #[test]
     fn refuses_to_fit_with_too_few_points() {
-        let obs = vec![Observation { d: 1.0, p: 1.0, t_exe: 1.0, s_shuffle: 1.0 }; 3];
+        let obs = vec![
+            Observation {
+                d: 1.0,
+                p: 1.0,
+                t_exe: 1.0,
+                s_shuffle: 1.0
+            };
+            3
+        ];
         assert!(StageModel::fit(&obs).is_none());
     }
 
@@ -325,8 +344,14 @@ mod tests {
         let t100 = m.predict_time(d, 100.0);
         let t50 = m.predict_time(d, 50.0);
         let t800 = m.predict_time(d, 800.0);
-        assert!(t100 < t800, "overhead should penalize large P: {t100} vs {t800}");
-        assert!(t100 < t50 * 1.5, "mid P should not look far worse than small P");
+        assert!(
+            t100 < t800,
+            "overhead should penalize large P: {t100} vs {t800}"
+        );
+        assert!(
+            t100 < t50 * 1.5,
+            "mid P should not look far worse than small P"
+        );
     }
 
     #[test]
@@ -354,9 +379,15 @@ mod tests {
     fn cost_at_default_parallelism_is_alpha_plus_beta() {
         let obs = synth(|d, p| d / 1e8 + p / 100.0, |_d, p| p * 7.0);
         let m = StageModel::fit(&obs).unwrap();
-        let w = CostWeights { alpha: 0.3, beta: 0.7 };
+        let w = CostWeights {
+            alpha: 0.3,
+            beta: 0.7,
+        };
         let c = cost(&m, w, 4e8, 300.0, 300);
-        assert!((c - 1.0).abs() < 1e-6, "normalized cost at P₀ is α+β = 1, got {c}");
+        assert!(
+            (c - 1.0).abs() < 1e-6,
+            "normalized cost at P₀ is α+β = 1, got {c}"
+        );
     }
 
     #[test]
@@ -403,7 +434,10 @@ mod tests {
         // A surface inside the basis cross-validates near zero.
         let clean = synth(|d, p| 2.0 + d / 1e8 + p / 100.0, |_d, p| p);
         let cv_clean = cross_validation_error(&clean, 4).expect("enough points");
-        assert!(cv_clean < 0.05, "in-basis surface should CV cleanly, got {cv_clean}");
+        assert!(
+            cv_clean < 0.05,
+            "in-basis surface should CV cleanly, got {cv_clean}"
+        );
     }
 
     #[test]
@@ -414,15 +448,17 @@ mod tests {
         // ModelBasis::Extended being the default.
         let work = synth(|d, p| d / 1e6 / p, |_d, _p| 0.0);
         let paper = StageModel::fit_with_basis(&work, ModelBasis::Paper).expect("fits");
-        let extended =
-            StageModel::fit_with_basis(&work, ModelBasis::Extended).expect("fits");
+        let extended = StageModel::fit_with_basis(&work, ModelBasis::Extended).expect("fits");
         let err_paper = paper.time_error(&work);
         let err_extended = extended.time_error(&work);
         assert!(
             err_extended < err_paper / 5.0,
             "interaction terms must dominate: extended {err_extended} vs paper {err_paper}"
         );
-        assert!(err_extended < 0.05, "D/P surface is in the extended span: {err_extended}");
+        assert!(
+            err_extended < 0.05,
+            "D/P surface is in the extended span: {err_extended}"
+        );
         assert_eq!(paper.basis(), ModelBasis::Paper);
         assert_eq!(extended.basis(), ModelBasis::Extended);
     }

@@ -174,11 +174,13 @@ fn get_min_par(
         .candidates
         .iter()
         .copied()
-        .filter(|&p| {
-            !opts.clamp_to_trained_range || ((p as f64) >= p_lo && (p as f64) <= p_hi)
-        })
+        .filter(|&p| !opts.clamp_to_trained_range || ((p as f64) >= p_lo && (p as f64) <= p_hi))
         .collect();
-    let candidates = if in_range.is_empty() { opts.candidates.clone() } else { in_range };
+    let candidates = if in_range.is_empty() {
+        opts.candidates.clone()
+    } else {
+        in_range
+    };
     candidates
         .iter()
         .map(|&p| {
@@ -186,7 +188,13 @@ fn get_min_par(
             (
                 p,
                 cost_with_baseline(
-                    model, opts.weights, d, p as f64, baseline.0, baseline.1, baseline.2,
+                    model,
+                    opts.weights,
+                    d,
+                    p as f64,
+                    baseline.0,
+                    baseline.1,
+                    baseline.2,
                 ),
             )
         })
@@ -293,7 +301,11 @@ fn input_response(
 ) -> InputResponse {
     let mut pts: Vec<(f64, f64)> = Vec::new(); // (p, d)
     for kind in [PartitionerKind::Hash, PartitionerKind::Range] {
-        pts.extend(rec.observations(stage.signature, kind).iter().map(|o| (o.p, o.d)));
+        pts.extend(
+            rec.observations(stage.signature, kind)
+                .iter()
+                .map(|o| (o.p, o.d)),
+        );
     }
     let fixed = InputResponse::Fixed(stage_input(stage, target_input_bytes));
     if pts.len() < 4 {
@@ -302,7 +314,11 @@ fn input_response(
     let n = pts.len() as f64;
     let mean_p = pts.iter().map(|(p, _)| p).sum::<f64>() / n;
     let mean_d = pts.iter().map(|(_, d)| d).sum::<f64>() / n;
-    let cov: f64 = pts.iter().map(|(p, d)| (p - mean_p) * (d - mean_d)).sum::<f64>() / n;
+    let cov: f64 = pts
+        .iter()
+        .map(|(p, d)| (p - mean_p) * (d - mean_d))
+        .sum::<f64>()
+        / n;
     let var_p: f64 = pts.iter().map(|(p, _)| (p - mean_p).powi(2)).sum::<f64>() / n;
     let var_d: f64 = pts.iter().map(|(_, d)| (d - mean_d).powi(2)).sum::<f64>() / n;
     if var_p <= 1e-12 || var_d <= 1e-12 {
@@ -372,8 +388,11 @@ pub fn get_global_par(
 
     // ---- getReGroupedDAG: union joins with their direct parents, and
     // partition-dependent stages with their producers ----------------------
-    let index_of: HashMap<u64, usize> =
-        dag.iter().enumerate().map(|(i, s)| (s.signature, i)).collect();
+    let index_of: HashMap<u64, usize> = dag
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.signature, i))
+        .collect();
     let mut group_id: Vec<usize> = (0..dag.len()).collect();
     fn find(group_id: &mut [usize], i: usize) -> usize {
         let mut root = i;
@@ -438,16 +457,25 @@ pub fn get_global_par(
             let input = input_response(rec, stage, target_input_bytes);
             if let Some(par) = get_stage_par_with_input(rec, stage.signature, input, opts) {
                 push(
-                    PartitionerSpec { kind: par.kind, partitions: par.partitions },
+                    PartitionerSpec {
+                        kind: par.kind,
+                        partitions: par.partitions,
+                    },
                     &mut candidates,
                 );
             }
             push(
-                PartitionerSpec { kind: stage.observed_kind, partitions: stage.observed_partitions },
+                PartitionerSpec {
+                    kind: stage.observed_kind,
+                    partitions: stage.observed_partitions,
+                },
                 &mut candidates,
             );
         }
-        push(PartitionerSpec::hash(opts.default_parallelism), &mut candidates);
+        push(
+            PartitionerSpec::hash(opts.default_parallelism),
+            &mut candidates,
+        );
         let best = candidates
             .iter()
             .filter_map(|&spec| {
@@ -506,12 +534,18 @@ fn decide_single(
     let par = get_stage_par_with_input(rec, stage.signature, input, opts);
     match par {
         Some(par) if stage.configurable && !stage.user_fixed => {
-            DecisionAction::Retune(PartitionerSpec { kind: par.kind, partitions: par.partitions })
+            DecisionAction::Retune(PartitionerSpec {
+                kind: par.kind,
+                partitions: par.partitions,
+            })
         }
         Some(par) if stage.user_fixed => decide_fixed(
             rec,
             stage,
-            Some(PartitionerSpec { kind: par.kind, partitions: par.partitions }),
+            Some(PartitionerSpec {
+                kind: par.kind,
+                partitions: par.partitions,
+            }),
             target_input_bytes,
             opts,
         ),
@@ -548,7 +582,10 @@ fn decide_fixed(
     };
     let opt_time = opt_model.predict_time(d, spec.partitions as f64);
     let scale = target_input_bytes as f64
-        / rec.reference_run().map(|r| r.input_bytes.max(1)).unwrap_or(1) as f64;
+        / rec
+            .reference_run()
+            .map(|r| r.input_bytes.max(1))
+            .unwrap_or(1) as f64;
     let moved_bytes = stage.output_bytes as f64 * scale;
     let repart_time =
         moved_bytes / opts.repart_bandwidth + spec.partitions as f64 * opts.task_overhead;
@@ -611,7 +648,11 @@ mod tests {
                 }
             }
         }
-        let snapshot = RunSnapshot { input_bytes: 4e8 as u64, dag, duration: 100.0 };
+        let snapshot = RunSnapshot {
+            input_bytes: 4e8 as u64,
+            dag,
+            duration: 100.0,
+        };
         db.record_run("w", observations, snapshot);
         db.workload("w").unwrap().clone()
     }
@@ -641,14 +682,21 @@ mod tests {
         // (c=0.01) that's ~141. The fitted polynomial won't be exact, but
         // the choice must be an interior point, not an extreme.
         assert!(par.partitions > 10 && par.partitions < 2000);
-        assert!(par.cost < 1.0, "optimum must beat the default parallelism cost");
+        assert!(
+            par.cost < 1.0,
+            "optimum must beat the default parallelism cost"
+        );
     }
 
     #[test]
     fn stage_par_prefers_cheaper_partitioner() {
         let rec = synth_record(&[1], vec![dag_stage(1, "s")], 0.05, 0.005);
         let par = get_stage_par(&rec, 1, 4e8, &OptimizerOptions::default()).unwrap();
-        assert_eq!(par.kind, PartitionerKind::Range, "range has 10x lower overhead");
+        assert_eq!(
+            par.kind,
+            PartitionerKind::Range,
+            "range has 10x lower overhead"
+        );
 
         let rec2 = synth_record(&[1], vec![dag_stage(1, "s")], 0.005, 0.05);
         let par2 = get_stage_par(&rec2, 1, 4e8, &OptimizerOptions::default()).unwrap();
@@ -687,7 +735,10 @@ mod tests {
             pb as f64 <= pa as f64 * 1.5,
             "smaller stage input must not get substantially more partitions: {pb} vs {pa}"
         );
-        assert!(pa < 300 && pb < 300, "both should undercut the oversized default");
+        assert!(
+            pa < 300 && pb < 300,
+            "both should undercut the oversized default"
+        );
         // The decision is driven by the scaled stage input, not the raw
         // workload size: both stages share one model, so the only way pa
         // and pb can differ is through getStageInput's ratio scaling.

@@ -11,7 +11,7 @@
 use crate::collector::{collect_dag, collect_observations};
 use crate::db::WorkloadDb;
 use crate::workload::Workload;
-use engine::{EngineOptions, PartitionerKind, PartitionerSpec, WorkloadConf};
+use engine::{EngineOptions, PartitionerKind, PartitionerSpec, WorkerPool, WorkloadConf};
 
 /// The test-run grid.
 #[derive(Debug, Clone)]
@@ -27,6 +27,11 @@ pub struct TestRunPlan {
     /// stages have no P-varied observations and Algorithm 3's repartition
     /// insertion can never justify itself.
     pub probe_user_fixed: bool,
+    /// Grid cells executed concurrently. Each cell is an independent
+    /// sandboxed run, so fanning them out changes nothing observable:
+    /// results are recorded in grid order and every run's metrics are
+    /// functions of the plan alone, not host thread interleaving.
+    pub parallelism: usize,
 }
 
 impl Default for TestRunPlan {
@@ -36,6 +41,7 @@ impl Default for TestRunPlan {
             partitions: vec![60, 150, 300, 600, 1200],
             kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
             probe_user_fixed: true,
+            parallelism: 1,
         }
     }
 }
@@ -48,6 +54,7 @@ impl TestRunPlan {
             partitions: vec![30, 120, 300, 700],
             kinds: vec![PartitionerKind::Hash],
             probe_user_fixed: true,
+            parallelism: 1,
         }
     }
 
@@ -70,7 +77,12 @@ pub fn run_test_grid(
     let mut runs = 0;
 
     // Bootstrap: one vanilla sampled run to discover stage signatures.
-    let boot_scale = plan.scales.iter().copied().fold(f64::INFINITY, f64::min).min(1.0);
+    let boot_scale = plan
+        .scales
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0);
     let ctx = workload.run(engine_opts, &WorkloadConf::new(), boot_scale);
     let boot_bytes = (full as f64 * boot_scale) as u64;
     let snapshot = collect_dag(ctx.jobs(), boot_bytes);
@@ -87,25 +99,43 @@ pub fn run_test_grid(
     );
     runs += 1;
 
-    // The grid: force every configurable stage to (kind, p) per run.
+    // The grid: force every configurable stage to (kind, p) per run. Cells
+    // are independent sandboxed runs, so they fan out over a worker pool;
+    // results land in the database in deterministic grid order regardless
+    // of `plan.parallelism`.
+    let mut cells: Vec<(f64, usize, PartitionerKind)> = Vec::new();
     for &scale in &plan.scales {
         for &p in &plan.partitions {
             for &kind in &plan.kinds {
-                let mut conf = WorkloadConf::new();
-                conf.override_user_fixed = plan.probe_user_fixed;
-                for &sig in &signatures {
-                    conf.set_stage(sig, PartitionerSpec { kind, partitions: p });
-                }
-                let ctx = workload.run(engine_opts, &conf, scale);
-                let bytes = (full as f64 * scale) as u64;
-                db.record_run(
-                    workload.name(),
-                    collect_observations(ctx.jobs(), bytes),
-                    collect_dag(ctx.jobs(), bytes),
-                );
-                runs += 1;
+                cells.push((scale, p, kind));
             }
         }
+    }
+    let pool = WorkerPool::new(plan.parallelism.max(1));
+    let signatures = &signatures;
+    let results = pool.map(cells.len(), |i| {
+        let (scale, p, kind) = cells[i];
+        let mut conf = WorkloadConf::new();
+        conf.override_user_fixed = plan.probe_user_fixed;
+        for &sig in signatures {
+            conf.set_stage(
+                sig,
+                PartitionerSpec {
+                    kind,
+                    partitions: p,
+                },
+            );
+        }
+        let ctx = workload.run(engine_opts, &conf, scale);
+        let bytes = (full as f64 * scale) as u64;
+        (
+            collect_observations(ctx.jobs(), bytes),
+            collect_dag(ctx.jobs(), bytes),
+        )
+    });
+    for (observations, dag) in results {
+        db.record_run(workload.name(), observations, dag);
+        runs += 1;
     }
     runs
 }
@@ -127,13 +157,17 @@ mod tests {
 
     #[test]
     fn grid_populates_database() {
-        let w = MiniAgg { records_full: 5000, keys: 50 };
+        let w = MiniAgg {
+            records_full: 5000,
+            keys: 50,
+        };
         let mut db = WorkloadDb::new();
         let plan = TestRunPlan {
             scales: vec![0.2, 0.5],
             partitions: vec![4, 12, 24],
             kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
             probe_user_fixed: true,
+            parallelism: 3,
         };
         let runs = run_test_grid(&w, &small_opts(), &plan, &mut db);
         assert_eq!(runs, plan.num_runs());
@@ -145,13 +179,17 @@ mod tests {
 
     #[test]
     fn grid_produces_observations_for_both_kinds() {
-        let w = MiniAgg { records_full: 5000, keys: 50 };
+        let w = MiniAgg {
+            records_full: 5000,
+            keys: 50,
+        };
         let mut db = WorkloadDb::new();
         let plan = TestRunPlan {
             scales: vec![0.3],
             partitions: vec![6, 18],
             kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
             probe_user_fixed: true,
+            parallelism: 1,
         };
         run_test_grid(&w, &small_opts(), &plan, &mut db);
         let rec = db.workload("mini-agg").unwrap();
@@ -163,13 +201,17 @@ mod tests {
 
     #[test]
     fn forced_partition_counts_show_up_in_observations() {
-        let w = MiniAgg { records_full: 5000, keys: 50 };
+        let w = MiniAgg {
+            records_full: 5000,
+            keys: 50,
+        };
         let mut db = WorkloadDb::new();
         let plan = TestRunPlan {
             scales: vec![0.3],
             partitions: vec![7],
             kinds: vec![PartitionerKind::Hash],
             probe_user_fixed: true,
+            parallelism: 2,
         };
         run_test_grid(&w, &small_opts(), &plan, &mut db);
         let rec = db.workload("mini-agg").unwrap();

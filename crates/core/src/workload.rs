@@ -11,7 +11,12 @@
 use engine::{Context, EngineOptions, WorkloadConf};
 
 /// A tunable workload.
-pub trait Workload {
+///
+/// `Send + Sync` because the test-run grid
+/// ([`run_test_grid`](crate::testrun::run_test_grid)) re-executes the
+/// workload from several threads at once; a workload must not carry
+/// thread-affine state between runs.
+pub trait Workload: Send + Sync {
     /// Stable workload name (keys the workload database).
     fn name(&self) -> &str;
 

@@ -30,7 +30,15 @@ fn arb_surface() -> impl Strategy<Value = (Vec<Observation>, f64, f64)> {
 fn record_with(obs: Vec<(u64, PartitionerKind, Observation)>, dag: Vec<DagStage>) -> WorkloadDb {
     let mut db = WorkloadDb::new();
     let input = obs.iter().map(|(_, _, o)| o.d as u64).max().unwrap_or(1);
-    db.record_run("w", obs, RunSnapshot { input_bytes: input, dag, duration: 1.0 });
+    db.record_run(
+        "w",
+        obs,
+        RunSnapshot {
+            input_bytes: input,
+            dag,
+            duration: 1.0,
+        },
+    );
     db
 }
 

@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` benchmark crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API surface its benches use: [`Criterion`] with `sample_size` /
+//! `measurement_time` builders, `bench_function`, `benchmark_group`,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros (`name/config/targets`
+//! form included).
+//!
+//! Measurement is deliberately simple: each benchmark warms up briefly,
+//! then runs timed batches until the configured measurement time (capped
+//! at 2 s to keep full sweeps tolerable) elapses, and reports min / mean /
+//! max per-iteration wall-clock time in a criterion-like line. There is no
+//! statistical analysis, outlier rejection, or HTML report.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Cap on per-benchmark measurement, regardless of `measurement_time`.
+const MEASUREMENT_CAP: Duration = Duration::from_secs(2);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget per benchmark (capped at 2 s by this stand-in).
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group; benchmark ids are prefixed with the group name.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// How much setup output `iter_batched` amortizes per timed batch; all
+/// variants behave identically in this stand-in.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the closure given to `bench_function`; routines register
+/// themselves through [`Bencher::iter`] or [`Bencher::iter_batched`].
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let deadline = Instant::now() + self.budget;
+        // Untimed warm-up.
+        black_box(routine());
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        black_box(routine(setup()));
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    let budget = measurement_time.min(MEASUREMENT_CAP);
+    let mut b = Bencher {
+        budget,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    // Keep at most `sample_size` evenly spaced samples for the summary so
+    // the printed spread reflects the whole run.
+    let step = (b.samples.len() / sample_size).max(1);
+    let kept: Vec<f64> = b.samples.iter().copied().step_by(step).collect();
+    let min = kept.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = kept.iter().copied().fold(0.0f64, f64::max);
+    let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+    println!(
+        "{id:<48} time: [{} {} {}] ({} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        b.samples.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runner, optionally with a shared
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!` bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        c.bench_function("smoke/iter", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function(format!("batched-{}", 1), |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

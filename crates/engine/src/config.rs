@@ -92,7 +92,10 @@ impl WorkloadConf {
         let mut stages: Vec<_> = self.stages.iter().collect();
         stages.sort_by_key(|(sig, _)| **sig);
         for (sig, scheme) in stages {
-            out.push_str(&format!("stage {sig:016x} {} {}\n", scheme.kind, scheme.partitions));
+            out.push_str(&format!(
+                "stage {sig:016x} {} {}\n",
+                scheme.kind, scheme.partitions
+            ));
         }
         let mut reparts: Vec<_> = self.insert_repartition.iter().collect();
         reparts.sort_by_key(|(sig, _)| **sig);

@@ -9,23 +9,18 @@
 use crate::config::WorkloadConf;
 use crate::metrics::{JobMetrics, StageKind, StageMetrics};
 use crate::ops::{FilterFn, FlatMapFn, GenFn, MapFn, OpKind, ReduceFn};
-use crate::partitioner::{
-    build_partitioner, Partitioner, PartitionerSpec,
-};
+use crate::partitioner::{build_partitioner, Partitioner, PartitionerSpec};
+use crate::pool::WorkerPool;
 use crate::rdd::{Rdd, RddGraph};
-use crate::record::{batch_size, Record};
+use crate::record::{batch_size, Key, Record};
 use crate::shuffle::{
     bucketize, merge_cogroup, merge_concat, merge_group, merge_join, merge_reduce, TaskBuckets,
 };
-use crate::stage::{
-    plan_job, MaterializedInfo, Plan, PlanStage, SideDep, StageOutput, StageRoot,
-};
+use crate::stage::{plan_job, MaterializedInfo, Plan, PlanStage, SideDep, StageOutput, StageRoot};
 use blockstore::BlockStore;
 use numeric::Reservoir;
-use parking_lot::Mutex;
 use simcluster::{ClusterSpec, NodeId, Simulation, TaskSpec};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Compute units charged per record for partition assignment during shuffle
@@ -69,7 +64,10 @@ impl Default for EngineOptions {
             cluster: simcluster::paper_cluster(),
             default_parallelism: 300,
             copartition_scheduling: false,
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
             trace_bucket: 10.0,
             block_size: 128 * 1024 * 1024,
             driver_bandwidth: 1e9 / 8.0,
@@ -101,6 +99,9 @@ pub struct Context {
     store: Arc<BlockStore>,
     conf: WorkloadConf,
     options: EngineOptions,
+    /// Persistent compute pool; every stage's data computation and shuffle
+    /// bucketing fans out over these threads.
+    pool: Arc<WorkerPool>,
     materialized: HashMap<Rdd, Materialized>,
     anchors: HashMap<(crate::partitioner::PartitionerKind, usize, usize), NodeId>,
     jobs: Vec<JobMetrics>,
@@ -110,8 +111,7 @@ pub struct Context {
 impl Context {
     /// Creates a context over the given options.
     pub fn new(options: EngineOptions) -> Self {
-        let mut sim =
-            Simulation::with_trace_bucket(options.cluster.clone(), options.trace_bucket);
+        let mut sim = Simulation::with_trace_bucket(options.cluster.clone(), options.trace_bucket);
         if let Some(multiplier) = options.speculation {
             sim.enable_speculation(multiplier);
         }
@@ -120,17 +120,24 @@ impl Context {
             options.block_size,
             3,
         ));
+        let pool = Arc::new(WorkerPool::new(options.workers));
         Context {
             graph: RddGraph::new(),
             sim,
             store,
             conf: WorkloadConf::new(),
             options,
+            pool,
             materialized: HashMap::new(),
             anchors: HashMap::new(),
             jobs: Vec::new(),
             next_stage_id: 0,
         }
+    }
+
+    /// The persistent compute pool backing this context.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// A context on the paper's cluster with vanilla-Spark defaults.
@@ -369,7 +376,9 @@ impl Context {
     pub fn maybe_insert_repartition(&mut self, rdd: Rdd) -> Rdd {
         let sig = self.graph.node(rdd).signature;
         match self.conf.repartition_after(sig) {
-            Some(scheme) => self.graph.repartition(rdd, Some(scheme), "inserted-repartition"),
+            Some(scheme) => self
+                .graph
+                .repartition(rdd, Some(scheme), "inserted-repartition"),
             None => rdd,
         }
     }
@@ -502,7 +511,6 @@ impl Context {
 
         let mut shuffles: Vec<Option<ShuffleData>> = Vec::new();
         shuffles.resize_with(plan.shuffles.len(), || None);
-        let mut stage_gids: Vec<usize> = Vec::with_capacity(plan.stages.len());
         let mut stage_metrics: Vec<StageMetrics> = Vec::new();
         let mut result: Vec<Record> = Vec::new();
 
@@ -510,8 +518,7 @@ impl Context {
             let gid = self.next_stage_id;
             self.next_stage_id += 1;
             let (metrics, output_records) =
-                self.exec_stage(&plan, idx, stage, gid, job_id, &mut shuffles, &stage_gids);
-            stage_gids.push(gid);
+                self.exec_stage(&plan, idx, stage, gid, job_id, &mut shuffles);
             stage_metrics.push(metrics);
             if let Some(records) = output_records {
                 result = records;
@@ -521,7 +528,8 @@ impl Context {
         // Driver-side result collection over the master's link.
         let result_bytes = batch_size(&result);
         if result_bytes > 0 {
-            self.sim.advance(result_bytes as f64 / self.options.driver_bandwidth);
+            self.sim
+                .advance(result_bytes as f64 / self.options.driver_bandwidth);
         }
 
         self.jobs.push(JobMetrics {
@@ -548,7 +556,9 @@ impl Context {
         let node = self.graph.node(rdd);
         match &node.op {
             OpKind::SourceCollection { partitions, .. } => *partitions,
-            OpKind::SourceBlocks { file, partitions, .. } => {
+            OpKind::SourceBlocks {
+                file, partitions, ..
+            } => {
                 if let Some(p) = partitions {
                     if !self.conf.override_user_fixed {
                         return *p;
@@ -560,8 +570,12 @@ impl Context {
                 if let Some(p) = partitions {
                     return *p;
                 }
-                let blocks =
-                    self.store.file_blocks(file).map(|b| b.len()).unwrap_or(1).max(1);
+                let blocks = self
+                    .store
+                    .file_blocks(file)
+                    .map(|b| b.len())
+                    .unwrap_or(1)
+                    .max(1);
                 blocks.max(default_parallelism)
             }
             other => panic!("source_partitions on non-source op {other:?}"),
@@ -599,7 +613,6 @@ impl Context {
         cur
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn exec_stage(
         &mut self,
         plan: &Plan,
@@ -608,7 +621,6 @@ impl Context {
         gid: usize,
         job_id: usize,
         shuffles: &mut [Option<ShuffleData>],
-        stage_gids: &[usize],
     ) -> (StageMetrics, Option<Vec<Record>>) {
         let num_tasks = self.stage_partitions(plan, stage).max(1);
         let wide_cost = |wide: Rdd| self.graph.node(wide).cost_per_record;
@@ -639,7 +651,11 @@ impl Context {
                     OpKind::SourceBlocks { file, gen, .. } => {
                         let blocks = self.store.read_file(file).unwrap_or_default();
                         let file_len: u64 = blocks.iter().map(|b| b.size).sum();
-                        let per_task = if num_tasks > 0 { file_len / num_tasks as u64 } else { 0 };
+                        let per_task = if num_tasks > 0 {
+                            file_len / num_tasks as u64
+                        } else {
+                            0
+                        };
                         for i in 0..num_tasks {
                             let preferred = if blocks.is_empty() {
                                 Vec::new()
@@ -673,7 +689,9 @@ impl Context {
                 }
             }
             StageRoot::ShuffleRead { wide, shuffle } => {
-                let data = shuffles[*shuffle].as_ref().expect("producer stage ran first");
+                let data = shuffles[*shuffle]
+                    .as_ref()
+                    .expect("producer stage ran first");
                 parents_gids.push(data.producer_gid);
                 let merge = match &self.graph.node(*wide).op {
                     OpKind::ReduceByKey { f, .. } => {
@@ -689,12 +707,14 @@ impl Context {
                         .iter()
                         .map(|task_buckets| Arc::clone(&task_buckets[i]))
                         .collect();
-                    let fetches = aggregate_fetches(
-                        data.nodes.iter().zip(data.bytes.iter().map(|b| b[i])),
-                    );
+                    let fetches =
+                        aggregate_fetches(data.nodes.iter().zip(data.bytes.iter().map(|b| b[i])));
                     let chunks = data.bytes.iter().filter(|b| b[i] > 0).count();
                     preps.push(TaskPrep {
-                        input: RootInput::Shuffle { parts, merge: merge.clone() },
+                        input: RootInput::Shuffle {
+                            parts,
+                            merge: merge.clone(),
+                        },
                         fetches,
                         fetch_chunks: chunks,
                         local_read_bytes: 0,
@@ -706,51 +726,49 @@ impl Context {
                 let is_join = matches!(self.graph.node(*wide).op, OpKind::Join { .. });
                 let cost = wide_cost(*wide);
                 type SideParts = (Vec<Vec<Arc<Vec<Record>>>>, Vec<Vec<(NodeId, u64)>>);
-                let side =
-                    |dep: &SideDep, parents_gids: &mut Vec<usize>| -> SideParts {
-                        match dep {
-                            SideDep::Shuffle(s) => {
-                                let data =
-                                    shuffles[*s].as_ref().expect("producer stage ran first");
-                                parents_gids.push(data.producer_gid);
-                                let mut parts = Vec::with_capacity(num_tasks);
-                                let mut fetches = Vec::with_capacity(num_tasks);
-                                for i in 0..num_tasks {
-                                    parts.push(
-                                        data.buckets
-                                            .iter()
-                                            .map(|tb| Arc::clone(&tb[i]))
-                                            .collect::<Vec<_>>(),
-                                    );
-                                    fetches.push(aggregate_fetches(
-                                        data.nodes
-                                            .iter()
-                                            .zip(data.bytes.iter().map(|b| b[i])),
-                                    ));
-                                }
-                                (parts, fetches)
+                let side = |dep: &SideDep, parents_gids: &mut Vec<usize>| -> SideParts {
+                    match dep {
+                        SideDep::Shuffle(s) => {
+                            let data = shuffles[*s].as_ref().expect("producer stage ran first");
+                            parents_gids.push(data.producer_gid);
+                            let mut parts = Vec::with_capacity(num_tasks);
+                            let mut fetches = Vec::with_capacity(num_tasks);
+                            for i in 0..num_tasks {
+                                parts.push(
+                                    data.buckets
+                                        .iter()
+                                        .map(|tb| Arc::clone(&tb[i]))
+                                        .collect::<Vec<_>>(),
+                                );
+                                fetches.push(aggregate_fetches(
+                                    data.nodes.iter().zip(data.bytes.iter().map(|b| b[i])),
+                                ));
                             }
-                            SideDep::Narrow(rdd) => {
-                                let mat = &self.materialized[rdd];
-                                parents_gids.push(mat.producer_stage);
-                                let mut parts = Vec::with_capacity(num_tasks);
-                                let mut fetches = Vec::with_capacity(num_tasks);
-                                for i in 0..num_tasks {
-                                    let bytes = batch_size(&mat.parts[i]);
-                                    parts.push(vec![Arc::clone(&mat.parts[i])]);
-                                    fetches.push(vec![(mat.homes[i], bytes)]);
-                                }
-                                (parts, fetches)
-                            }
+                            (parts, fetches)
                         }
-                    };
+                        SideDep::Narrow(rdd) => {
+                            let mat = &self.materialized[rdd];
+                            parents_gids.push(mat.producer_stage);
+                            let mut parts = Vec::with_capacity(num_tasks);
+                            let mut fetches = Vec::with_capacity(num_tasks);
+                            for i in 0..num_tasks {
+                                let bytes = batch_size(&mat.parts[i]);
+                                parts.push(vec![Arc::clone(&mat.parts[i])]);
+                                fetches.push(vec![(mat.homes[i], bytes)]);
+                            }
+                            (parts, fetches)
+                        }
+                    }
+                };
                 let (lparts, lfetches) = side(left, &mut parents_gids);
                 let (rparts, rfetches) = side(right, &mut parents_gids);
                 for i in 0..num_tasks {
                     let mut fetches = lfetches[i].clone();
                     fetches.extend_from_slice(&rfetches[i]);
                     // One chunk per producer task holding data for us.
-                    let chunks = lparts[i].iter().chain(rparts[i].iter())
+                    let chunks = lparts[i]
+                        .iter()
+                        .chain(rparts[i].iter())
                         .filter(|p| !p.is_empty())
                         .count();
                     preps.push(TaskPrep {
@@ -761,9 +779,7 @@ impl Context {
                             cost,
                         },
                         fetch_chunks: chunks,
-                        fetches: aggregate_fetches(
-                            fetches.iter().map(|(n, b)| (n, *b)),
-                        ),
+                        fetches: aggregate_fetches(fetches.iter().map(|(n, b)| (n, *b))),
                         local_read_bytes: 0,
                         preferred: Vec::new(),
                     });
@@ -777,11 +793,37 @@ impl Context {
             && !self.materialized.contains_key(&root_rdd)
             && !matches!(stage.root, StageRoot::CachedRead(_));
 
-        // Parallel real computation.
+        // When this stage feeds a range-partitioned shuffle, each task
+        // reservoir-samples its own output during the map pass; the serial
+        // whole-output scan this replaces is gone.
+        let range_sample: Option<SampleSpec> = match stage.output {
+            StageOutput::ShuffleWrite(sidx)
+                if plan.shuffles[sidx].scheme.kind
+                    == crate::partitioner::PartitionerKind::Range =>
+            {
+                let spec = plan.shuffles[sidx].scheme;
+                Some(SampleSpec {
+                    cap: (20 * spec.partitions).div_ceil(num_tasks.max(1)).max(8),
+                    seed: (job_id as u64) << 32 | (plan_idx as u64) << 8 | 0xC0,
+                })
+            }
+            _ => None,
+        };
+
+        // Parallel real computation on the persistent pool.
         let graph = &self.graph;
         let chain = stage.chain.clone();
-        let outs: Vec<TaskOut> = par_map(self.options.workers, preps.len(), |i| {
-            compute_task(graph, &preps[i].input, &chain, i, capture_root, root_rdd)
+        let sample_spec = range_sample.as_ref();
+        let outs: Vec<TaskOut> = self.pool.map(preps.len(), |i| {
+            compute_task(
+                graph,
+                &preps[i].input,
+                &chain,
+                i,
+                capture_root,
+                root_rdd,
+                sample_spec,
+            )
         });
 
         // ---------------- Phase B: shuffle write (if any) ----------------
@@ -799,24 +841,18 @@ impl Context {
             };
             let combine_cost = wide_cost(plan.shuffles[sidx].for_wide);
 
-            // Range partitioners need global bounds: sample keys across all
-            // map outputs (Spark runs the same sampling pass).
+            // Range partitioners need global bounds. Each map task already
+            // reservoir-sampled its own output during the compute pass; here
+            // we only concatenate the per-task samples in task order, so the
+            // bounds are independent of worker scheduling.
             let seed = (job_id as u64) << 32 | (plan_idx as u64) << 8 | 0xC0;
-            let sample_keys = || {
-                let mut res = Reservoir::new((20 * spec.partitions).max(1), seed);
-                for out in &outs {
-                    for r in out.records.iter() {
-                        res.offer(r.key.clone());
-                    }
-                }
-                res.into_items()
-            };
             let partitioner: Arc<dyn Partitioner> = match spec.kind {
                 crate::partitioner::PartitionerKind::Hash => {
                     build_partitioner(spec, std::iter::empty(), seed)
                 }
                 crate::partitioner::PartitionerKind::Range => {
-                    let keys = sample_keys();
+                    let keys: Vec<Key> =
+                        outs.iter().flat_map(|o| o.sample.iter().cloned()).collect();
                     build_partitioner(spec, keys.iter(), seed)
                 }
             };
@@ -824,8 +860,9 @@ impl Context {
 
             let partitioner_ref = &*partitioner;
             let combine_ref = combine_fn.as_ref();
-            let results: Vec<(TaskBuckets, f64)> = par_map(self.options.workers, num_tasks, |i| {
-                let records = &outs[i].records;
+            let outs_ref = &outs;
+            let results: Vec<(TaskBuckets, f64)> = self.pool.map(num_tasks, |i| {
+                let records = outs_ref[i].records.as_slice();
                 let (tb, combine_ops) = bucketize(records, partitioner_ref, combine_ref);
                 let n = records.len() as f64;
                 let mut cost = n * PARTITION_COST + combine_ops as f64 * combine_cost;
@@ -852,18 +889,14 @@ impl Context {
         for (i, prep) in preps.iter().enumerate() {
             let out = &outs[i];
             let write_bytes = bucketed.as_ref().map(|b| b[i].total_bytes()).unwrap_or(0);
-            let out_bytes = batch_size(&out.records);
+            let out_bytes = batch_size(out.records.as_slice());
             let mut preferred = prep.preferred.clone();
             let mut pinned = None;
             if self.options.copartition_scheduling {
                 if let Some(s) = root_scheme {
                     if let Some(&anchor) = self.anchors.get(&(s.kind, s.partitions, i)) {
                         pinned = Some(anchor);
-                    } else if let Some((node, _)) = prep
-                        .fetches
-                        .iter()
-                        .max_by_key(|(_, b)| *b)
-                    {
+                    } else if let Some((node, _)) = prep.fetches.iter().max_by_key(|(_, b)| *b) {
                         // Locality-aware reduce placement: prefer the node
                         // holding the largest share of this task's input.
                         preferred.push(*node);
@@ -896,8 +929,7 @@ impl Context {
         // ---------------- Persist caches ---------------------------------
         let root_part = self.root_partitioning(plan, stage);
         let mut capture_map: HashMap<Rdd, Vec<Arc<Vec<Record>>>> = HashMap::new();
-        for (i, out) in outs.iter().enumerate() {
-            let _ = i;
+        for out in &outs {
             for (rdd, data) in &out.captures {
                 capture_map.entry(*rdd).or_default().push(Arc::clone(data));
             }
@@ -911,13 +943,9 @@ impl Context {
             } else {
                 self.partitioning_at(root_part, &stage.chain, rdd)
             };
-            let mut bytes_total = 0u64;
             for (i, p) in parts.iter().enumerate() {
-                let b = batch_size(p);
-                bytes_total += b;
-                self.sim.add_resident(nodes[i], b);
+                self.sim.add_resident(nodes[i], batch_size(p));
             }
-            let _ = bytes_total;
             self.materialized.insert(
                 rdd,
                 Materialized {
@@ -947,7 +975,7 @@ impl Context {
                 shuffle_write_bytes = 0;
                 let mut all = Vec::new();
                 for out in &outs {
-                    all.extend_from_slice(&out.records);
+                    all.extend_from_slice(out.records.as_slice());
                 }
                 result_records = Some(all);
             }
@@ -955,16 +983,20 @@ impl Context {
 
         // ---------------- Metrics ----------------------------------------
         let shuffle_read_bytes: u64 = match &stage.root {
-            StageRoot::ShuffleRead { .. } | StageRoot::JoinRead { .. } => {
-                preps.iter().flat_map(|p| p.fetches.iter().map(|(_, b)| *b)).sum()
-            }
+            StageRoot::ShuffleRead { .. } | StageRoot::JoinRead { .. } => preps
+                .iter()
+                .flat_map(|p| p.fetches.iter().map(|(_, b)| *b))
+                .sum(),
             _ => 0,
         };
         let remote_read_bytes: u64 = preps
             .iter()
             .zip(&nodes)
             .flat_map(|(p, &n)| {
-                p.fetches.iter().filter(move |(src, _)| *src != n).map(|(_, b)| *b)
+                p.fetches
+                    .iter()
+                    .filter(move |(src, _)| *src != n)
+                    .map(|(_, b)| *b)
             })
             .sum();
         let (kind, configurable) = match &stage.root {
@@ -972,7 +1004,10 @@ impl Context {
                 let node = self.graph.node(*rdd);
                 let dynamic = matches!(
                     node.op,
-                    OpKind::SourceBlocks { partitions: None, .. }
+                    OpKind::SourceBlocks {
+                        partitions: None,
+                        ..
+                    }
                 );
                 (StageKind::Source, dynamic)
             }
@@ -988,7 +1023,6 @@ impl Context {
         let terminal_node = self.graph.node(stage.terminal);
         parents_gids.sort_unstable();
         parents_gids.dedup();
-        let _ = stage_gids;
         let metrics = StageMetrics {
             stage_id: gid,
             job_id,
@@ -1007,7 +1041,7 @@ impl Context {
             input_records: outs.iter().map(|o| o.input_records).sum(),
             input_bytes: outs.iter().map(|o| o.input_bytes).sum(),
             output_records: outs.iter().map(|o| o.records.len() as u64).sum(),
-            output_bytes: outs.iter().map(|o| batch_size(&o.records)).sum(),
+            output_bytes: outs.iter().map(|o| batch_size(o.records.as_slice())).sum(),
             shuffle_read_bytes,
             shuffle_write_bytes,
             remote_read_bytes,
@@ -1048,8 +1082,16 @@ enum RootInput {
     Slice(Arc<Vec<Record>>, usize, usize),
     Gen(GenFn, usize, usize),
     Cached(Arc<Vec<Record>>),
-    Shuffle { parts: Vec<Arc<Vec<Record>>>, merge: MergeKind },
-    Join { left: Vec<Arc<Vec<Record>>>, right: Vec<Arc<Vec<Record>>>, is_join: bool, cost: f64 },
+    Shuffle {
+        parts: Vec<Arc<Vec<Record>>>,
+        merge: MergeKind,
+    },
+    Join {
+        left: Vec<Arc<Vec<Record>>>,
+        right: Vec<Arc<Vec<Record>>>,
+        is_join: bool,
+        cost: f64,
+    },
 }
 
 struct TaskPrep {
@@ -1060,15 +1102,147 @@ struct TaskPrep {
     preferred: Vec<NodeId>,
 }
 
+/// Per-task reservoir sampling for range-partitioned shuffle writes: each
+/// map task samples its own output during the compute pass instead of a
+/// serial driver-side scan over every task's records.
+struct SampleSpec {
+    /// Reservoir capacity per task.
+    cap: usize,
+    /// Stage-level seed; each task derives its own stream from it.
+    seed: u64,
+}
+
+/// A task's output records: either owned by the task, or a window into a
+/// shared source/cache partition that the narrow chain never needed to copy.
+enum TaskRecords {
+    Owned(Vec<Record>),
+    Shared(Arc<Vec<Record>>, usize, usize),
+}
+
+impl TaskRecords {
+    fn as_slice(&self) -> &[Record] {
+        match self {
+            TaskRecords::Owned(v) => v,
+            TaskRecords::Shared(data, start, end) => &data[*start..*end],
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            TaskRecords::Owned(v) => v.len(),
+            TaskRecords::Shared(_, start, end) => end - start,
+        }
+    }
+}
+
+/// An `Arc` snapshot of the records for cache persistence. Shared windows
+/// covering a whole partition are captured without copying.
+fn capture_arc(records: &TaskRecords) -> Arc<Vec<Record>> {
+    match records {
+        TaskRecords::Owned(v) => Arc::new(v.clone()),
+        TaskRecords::Shared(data, start, end) => {
+            if *start == 0 && *end == data.len() {
+                Arc::clone(data)
+            } else {
+                Arc::new(data[*start..*end].to_vec())
+            }
+        }
+    }
+}
+
 struct TaskOut {
-    records: Vec<Record>,
+    records: TaskRecords,
     cost: f64,
     input_records: u64,
     input_bytes: u64,
     captures: Vec<(Rdd, Arc<Vec<Record>>)>,
+    /// Keys reservoir-sampled from the final records (range shuffles only).
+    sample: Vec<Key>,
+}
+
+/// One narrow op compiled for a fused streaming pass.
+enum FusedOp<'g> {
+    Map(&'g MapFn),
+    FlatMap(&'g FlatMapFn),
+    Filter(&'g FilterFn),
+    Sample {
+        fraction: f64,
+        rng: numeric::XorShift64,
+    },
+}
+
+/// A fused op plus its observed input count, so per-op compute cost can be
+/// charged after the pass exactly as the op-at-a-time loop did.
+struct OpState<'g> {
+    op: FusedOp<'g>,
+    inputs: u64,
+}
+
+/// Streams one owned record through the remaining fused ops.
+///
+/// Records arrive at each op in the same order as the op-at-a-time loop
+/// (every narrow op is order-preserving), so per-op `Sample` RNG draws are
+/// bit-identical to the unfused execution.
+fn feed_owned(ops: &mut [OpState<'_>], rec: Record, out: &mut Vec<Record>) {
+    let Some((head, rest)) = ops.split_first_mut() else {
+        out.push(rec);
+        return;
+    };
+    head.inputs += 1;
+    match &mut head.op {
+        FusedOp::Map(f) => feed_owned(rest, f(&rec), out),
+        FusedOp::FlatMap(f) => {
+            for r in f(&rec) {
+                feed_owned(rest, r, out);
+            }
+        }
+        FusedOp::Filter(f) => {
+            if f(&rec) {
+                feed_owned(rest, rec, out);
+            }
+        }
+        FusedOp::Sample { fraction, rng } => {
+            if rng.next_f64() < *fraction {
+                feed_owned(rest, rec, out);
+            }
+        }
+    }
+}
+
+/// Streams one borrowed record through the fused ops, cloning only when it
+/// survives to the output (or a `Map`/`FlatMap` takes over ownership).
+fn feed_ref(ops: &mut [OpState<'_>], rec: &Record, out: &mut Vec<Record>) {
+    let Some((head, rest)) = ops.split_first_mut() else {
+        out.push(rec.clone());
+        return;
+    };
+    head.inputs += 1;
+    match &mut head.op {
+        FusedOp::Map(f) => feed_owned(rest, f(rec), out),
+        FusedOp::FlatMap(f) => {
+            for r in f(rec) {
+                feed_owned(rest, r, out);
+            }
+        }
+        FusedOp::Filter(f) => {
+            if f(rec) {
+                feed_ref(rest, rec, out);
+            }
+        }
+        FusedOp::Sample { fraction, rng } => {
+            if rng.next_f64() < *fraction {
+                feed_ref(rest, rec, out);
+            }
+        }
+    }
 }
 
 /// Materializes the root input, applies the narrow chain, and accounts cost.
+///
+/// The chain runs as fused streaming passes: one pass per segment, where a
+/// segment ends at (and includes) the next cached node, whose full output
+/// must be materialized for capture. Slice/Cached roots are borrowed, not
+/// copied — an empty chain passes the shared window straight through.
 fn compute_task(
     graph: &RddGraph,
     input: &RootInput,
@@ -1076,14 +1250,15 @@ fn compute_task(
     task_index: usize,
     capture_root: bool,
     root_rdd: Rdd,
+    range_sample: Option<&SampleSpec>,
 ) -> TaskOut {
     let mut cost = 0.0;
-    let (records, input_records, input_bytes) = match input {
+    let (mut records, input_records, input_bytes) = match input {
         RootInput::Slice(data, start, end) => {
-            let slice = data[*start..*end].to_vec();
-            let b = batch_size(&slice);
+            let slice = &data[*start..*end];
+            let b = batch_size(slice);
             let n = slice.len() as u64;
-            (slice, n, b)
+            (TaskRecords::Shared(Arc::clone(data), *start, *end), n, b)
         }
         RootInput::Gen(gen, i, n) => {
             let node = graph.node(root_rdd);
@@ -1091,13 +1266,12 @@ fn compute_task(
             let b = batch_size(&records);
             let count = records.len() as u64;
             cost += count as f64 * node.cost_per_record;
-            (records, count, b)
+            (TaskRecords::Owned(records), count, b)
         }
         RootInput::Cached(data) => {
-            let records = data.as_ref().clone();
-            let b = batch_size(&records);
-            let n = records.len() as u64;
-            (records, n, b)
+            let b = batch_size(data);
+            let n = data.len() as u64;
+            (TaskRecords::Shared(Arc::clone(data), 0, data.len()), n, b)
         }
         RootInput::Shuffle { parts, merge } => {
             let fetched: u64 = parts.iter().map(|p| p.len() as u64).sum();
@@ -1116,13 +1290,16 @@ fn compute_task(
                 }
                 MergeKind::Concat => merge_concat(slices.iter().copied()),
             };
-            (records, fetched, bytes)
+            (TaskRecords::Owned(records), fetched, bytes)
         }
-        RootInput::Join { left, right, is_join, cost: c } => {
-            let l: Vec<Record> =
-                left.iter().flat_map(|p| p.iter().cloned()).collect();
-            let r: Vec<Record> =
-                right.iter().flat_map(|p| p.iter().cloned()).collect();
+        RootInput::Join {
+            left,
+            right,
+            is_join,
+            cost: c,
+        } => {
+            let l: Vec<Record> = left.iter().flat_map(|p| p.iter().cloned()).collect();
+            let r: Vec<Record> = right.iter().flat_map(|p| p.iter().cloned()).collect();
             let fetched = (l.len() + r.len()) as u64;
             let bytes = batch_size(&l) + batch_size(&r);
             cost += fetched as f64 * (MERGE_BASE_COST + c);
@@ -1133,74 +1310,89 @@ fn compute_task(
             } else {
                 merge_cogroup(&l, &r)
             };
-            (records, fetched, bytes)
+            (TaskRecords::Owned(records), fetched, bytes)
         }
     };
 
     let mut captures = Vec::new();
-    let mut records = records;
     if capture_root {
-        captures.push((root_rdd, Arc::new(records.clone())));
+        captures.push((root_rdd, capture_arc(&records)));
     }
 
-    for &r in chain {
-        let node = graph.node(r);
-        let n_in = records.len() as f64;
-        cost += n_in * node.cost_per_record;
-        records = match &node.op {
-            OpKind::Map { f } | OpKind::MapValues { f } => {
-                records.iter().map(|rec| f(rec)).collect()
-            }
-            OpKind::FlatMap { f } => records.iter().flat_map(|rec| f(rec)).collect(),
-            OpKind::Filter { f } => records.into_iter().filter(|rec| f(rec)).collect(),
-            OpKind::Sample { fraction, seed } => {
-                let mut rng =
-                    numeric::XorShift64::new(seed ^ ((task_index as u64 + 1) * 0x9E37));
-                records
-                    .into_iter()
-                    .filter(|_| rng.next_f64() < *fraction)
-                    .collect()
-            }
-            other => unreachable!("wide op {other:?} inside a narrow chain"),
-        };
-        if node.cached {
-            captures.push((r, Arc::new(records.clone())));
-        }
-    }
-
-    TaskOut { records, cost, input_records, input_bytes, captures }
-}
-
-/// Runs `f(0..n)` on up to `workers` threads, preserving output order.
-fn par_map<U, F>(workers: usize, n: usize, f: F) -> Vec<U>
-where
-    U: Send,
-    F: Fn(usize) -> U + Sync,
-{
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = workers.max(1).min(n);
-    if workers == 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+    let mut counts: Vec<u64> = vec![0; chain.len()];
+    let mut pos = 0;
+    while pos < chain.len() {
+        let seg_end = chain[pos..]
+            .iter()
+            .position(|&r| graph.node(r).cached)
+            .map(|off| pos + off + 1)
+            .unwrap_or(chain.len());
+        let mut ops: Vec<OpState<'_>> = chain[pos..seg_end]
+            .iter()
+            .map(|&r| OpState {
+                op: match &graph.node(r).op {
+                    OpKind::Map { f } | OpKind::MapValues { f } => FusedOp::Map(f),
+                    OpKind::FlatMap { f } => FusedOp::FlatMap(f),
+                    OpKind::Filter { f } => FusedOp::Filter(f),
+                    OpKind::Sample { fraction, seed } => FusedOp::Sample {
+                        fraction: *fraction,
+                        rng: numeric::XorShift64::new(seed ^ ((task_index as u64 + 1) * 0x9E37)),
+                    },
+                    other => unreachable!("wide op {other:?} inside a narrow chain"),
+                },
+                inputs: 0,
+            })
+            .collect();
+        let mut out = Vec::new();
+        match std::mem::replace(&mut records, TaskRecords::Owned(Vec::new())) {
+            TaskRecords::Owned(v) => {
+                for rec in v {
+                    feed_owned(&mut ops, rec, &mut out);
                 }
-                let v = f(i);
-                *out[i].lock() = Some(v);
-            });
+            }
+            TaskRecords::Shared(data, start, end) => {
+                for rec in &data[start..end] {
+                    feed_ref(&mut ops, rec, &mut out);
+                }
+            }
         }
-    });
-    out.into_iter()
-        .map(|m| m.into_inner().expect("every index computed"))
-        .collect()
+        for (off, st) in ops.iter().enumerate() {
+            counts[pos + off] = st.inputs;
+        }
+        if graph.node(chain[seg_end - 1]).cached {
+            captures.push((chain[seg_end - 1], Arc::new(out.clone())));
+        }
+        records = TaskRecords::Owned(out);
+        pos = seg_end;
+    }
+
+    // Charge per-op compute cost in chain order, after the root costs —
+    // the same f64 accumulation sequence as the op-at-a-time loop, so
+    // simulated stage timings are bit-identical.
+    for (i, &r) in chain.iter().enumerate() {
+        cost += counts[i] as f64 * graph.node(r).cost_per_record;
+    }
+
+    let sample = match range_sample {
+        Some(spec) => {
+            let task_seed = spec.seed ^ ((task_index as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut res = Reservoir::new(spec.cap, task_seed);
+            for r in records.as_slice() {
+                res.offer(r.key.clone());
+            }
+            res.into_items()
+        }
+        None => Vec::new(),
+    };
+
+    TaskOut {
+        records,
+        cost,
+        input_records,
+        input_bytes,
+        captures,
+        sample,
+    }
 }
 
 #[cfg(test)]
@@ -1224,13 +1416,17 @@ mod tests {
 
     fn sorted(mut records: Vec<Record>) -> Vec<Record> {
         records.sort_by(|a, b| {
-            a.key.cmp(&b.key).then_with(|| format!("{:?}", a.value).cmp(&format!("{:?}", b.value)))
+            a.key
+                .cmp(&b.key)
+                .then_with(|| format!("{:?}", a.value).cmp(&format!("{:?}", b.value)))
         });
         records
     }
 
     fn word_records() -> Vec<Record> {
-        (0..200).map(|i| Record::new(Key::Int(i % 10), Value::Int(1))).collect()
+        (0..200)
+            .map(|i| Record::new(Key::Int(i % 10), Value::Int(1)))
+            .collect()
     }
 
     #[test]
@@ -1255,9 +1451,15 @@ mod tests {
         assert_eq!(jobs.len(), 1);
         let stages = &jobs[0].stages;
         assert_eq!(stages.len(), 2);
-        assert!(stages[0].shuffle_write_bytes > 0, "map stage writes shuffle");
+        assert!(
+            stages[0].shuffle_write_bytes > 0,
+            "map stage writes shuffle"
+        );
         assert_eq!(stages[0].shuffle_read_bytes, 0);
-        assert!(stages[1].shuffle_read_bytes > 0, "reduce stage reads shuffle");
+        assert!(
+            stages[1].shuffle_read_bytes > 0,
+            "reduce stage reads shuffle"
+        );
         assert_eq!(stages[1].num_tasks, 6, "default parallelism");
         assert_eq!(stages[1].parents, vec![stages[0].stage_id]);
         assert!(jobs[0].duration() > 0.0);
@@ -1297,7 +1499,10 @@ mod tests {
             let counts = ctx.reduce_by_key(src, sum(), Some(spec), 1e-6, "count");
             sorted(ctx.collect(counts, "wc"))
         };
-        assert_eq!(run(PartitionerSpec::hash(5)), run(PartitionerSpec::range(5)));
+        assert_eq!(
+            run(PartitionerSpec::hash(5)),
+            run(PartitionerSpec::range(5))
+        );
     }
 
     #[test]
@@ -1319,16 +1524,22 @@ mod tests {
             jobs[1].duration(),
             jobs[0].duration()
         );
-        assert_eq!(jobs[1].stages.len(), 1, "cache read is a single trivial stage");
+        assert_eq!(
+            jobs[1].stages.len(),
+            1,
+            "cache read is a single trivial stage"
+        );
     }
 
     #[test]
     fn join_end_to_end_correctness() {
         let mut ctx = Context::new(test_options());
-        let left: Vec<Record> =
-            (0..10).map(|i| Record::new(Key::Int(i), Value::Int(i * 10))).collect();
-        let right: Vec<Record> =
-            (5..15).map(|i| Record::new(Key::Int(i), Value::Int(i * 100))).collect();
+        let left: Vec<Record> = (0..10)
+            .map(|i| Record::new(Key::Int(i), Value::Int(i * 10)))
+            .collect();
+        let right: Vec<Record> = (5..15)
+            .map(|i| Record::new(Key::Int(i), Value::Int(i * 100)))
+            .collect();
         let l = ctx.parallelize(left, 2, "l");
         let r = ctx.parallelize(right, 2, "r");
         let j = ctx.join(l, r, None, 1e-6, "j");
@@ -1403,8 +1614,9 @@ mod tests {
             // times with fat string payloads), so the two materialization
             // stages schedule their waves differently and partition homes
             // diverge unless co-partition anchoring aligns them.
-            let data_a: Vec<Record> =
-                (0..4000).map(|i| Record::new(Key::Int(i % 100), Value::Int(i))).collect();
+            let data_a: Vec<Record> = (0..4000)
+                .map(|i| Record::new(Key::Int(i % 100), Value::Int(i)))
+                .collect();
             let mut data_b: Vec<Record> = Vec::new();
             for _rep in 0..10 {
                 for k in 0..100i64 {
@@ -1449,10 +1661,12 @@ mod tests {
     #[test]
     fn co_group_end_to_end_correctness() {
         let mut ctx = Context::new(test_options());
-        let left: Vec<Record> =
-            (0..6).map(|i| Record::new(Key::Int(i % 3), Value::Int(i))).collect();
-        let right: Vec<Record> =
-            (0..4).map(|i| Record::new(Key::Int(i % 4), Value::Int(i * 100))).collect();
+        let left: Vec<Record> = (0..6)
+            .map(|i| Record::new(Key::Int(i % 3), Value::Int(i)))
+            .collect();
+        let right: Vec<Record> = (0..4)
+            .map(|i| Record::new(Key::Int(i % 4), Value::Int(i * 100)))
+            .collect();
         let l = ctx.parallelize(left, 2, "l");
         let r = ctx.parallelize(right, 2, "r");
         let cg = ctx.co_group(l, r, None, 1e-6, "cg");
@@ -1500,7 +1714,13 @@ mod tests {
             let src = ctx.parallelize(data, 4, "src");
             let g = ctx.group_by_key(src, Some(spec), 5e-5, "group");
             ctx.count(g, "group");
-            ctx.jobs().last().unwrap().stages.last().unwrap().task_skew()
+            ctx.jobs()
+                .last()
+                .unwrap()
+                .stages
+                .last()
+                .unwrap()
+                .task_skew()
         };
         let hash_skew = run(PartitionerSpec::hash(12));
         let range_skew = run(PartitionerSpec::range(12));
@@ -1567,7 +1787,11 @@ mod tests {
             1e-6,
             "keep-low",
         );
-        assert_eq!(ctx.count(f, "q"), 200, "200*2 records, half pass the filter");
+        assert_eq!(
+            ctx.count(f, "q"),
+            200,
+            "200*2 records, half pass the filter"
+        );
     }
 
     #[test]
@@ -1581,24 +1805,15 @@ mod tests {
     }
 
     #[test]
-    fn par_map_preserves_order_and_covers_all() {
-        let out = par_map(4, 100, |i| i * i);
-        assert_eq!(out.len(), 100);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i * i);
-        }
-        assert!(par_map(4, 0, |i| i).is_empty());
-    }
-
-    #[test]
     fn speculation_option_mitigates_a_degraded_node() {
         let run = |speculation: Option<f64>| {
             let mut opts = test_options();
             opts.speculation = speculation;
             let mut ctx = Context::new(opts);
             ctx.inject_slowdown(0, 10.0);
-            let data: Vec<Record> =
-                (0..20_000).map(|i| Record::new(Key::Int(i % 10), Value::Int(1))).collect();
+            let data: Vec<Record> = (0..20_000)
+                .map(|i| Record::new(Key::Int(i % 10), Value::Int(1)))
+                .collect();
             let src = ctx.parallelize(data, 12, "src");
             let m = ctx.map(src, Arc::new(|r: &Record| r.clone()), 2e-3, "work");
             ctx.count(m, "job");
@@ -1617,8 +1832,9 @@ mod tests {
         use crate::record::Key as K;
         let mut ctx = Context::new(test_options());
         // 200 records over 10 keys with float values 0.5.
-        let data: Vec<Record> =
-            (0..200).map(|i| Record::new(K::Int(i % 10), Value::Float(0.5))).collect();
+        let data: Vec<Record> = (0..200)
+            .map(|i| Record::new(K::Int(i % 10), Value::Float(0.5)))
+            .collect();
         let src = ctx.parallelize(data, 4, "src");
 
         let distinct = ctx.distinct_by_key(src, None, "distinct");
@@ -1653,8 +1869,9 @@ mod tests {
         // Enough work per task that cluster capacity (not dispatch) binds:
         // 24 tasks of ~0.8 s on 12 cores (2 waves) vs 8 cores (3 waves).
         let mut ctx = Context::new(test_options());
-        let data: Vec<Record> =
-            (0..20_000).map(|i| Record::new(Key::Int(i % 10), Value::Int(1))).collect();
+        let data: Vec<Record> = (0..20_000)
+            .map(|i| Record::new(Key::Int(i % 10), Value::Int(1)))
+            .collect();
         let src = ctx.parallelize(data, 24, "src");
         let work = |ctx: &mut Context| {
             let m = ctx.map(src, Arc::new(|r: &Record| r.clone()), 2e-3, "work");
@@ -1692,7 +1909,10 @@ mod tests {
         let m2 = ctx.map(src, Arc::new(|r: &Record| r.clone()), 5e-3, "work");
         ctx.count(m2, "degraded");
         let degraded = ctx.jobs().last().unwrap().duration();
-        assert!(degraded > baseline, "a straggler node must show up in the makespan");
+        assert!(
+            degraded > baseline,
+            "a straggler node must show up in the makespan"
+        );
     }
 
     #[test]
@@ -1702,7 +1922,8 @@ mod tests {
         let counts = ctx.reduce_by_key(src, sum(), None, 1e-6, "count");
         ctx.count(counts, "before");
         let sig = ctx.signature(counts);
-        ctx.set_conf_text(&format!("stage {sig:016x} hash 2\n")).unwrap();
+        ctx.set_conf_text(&format!("stage {sig:016x} hash 2\n"))
+            .unwrap();
         // Rebuild the iteration (structurally identical → same signature).
         let counts2 = ctx.reduce_by_key(src, sum(), None, 1e-6, "count");
         ctx.count(counts2, "after");

@@ -49,6 +49,7 @@ pub mod exec;
 pub mod metrics;
 pub mod ops;
 pub mod partitioner;
+pub mod pool;
 pub mod rdd;
 pub mod record;
 pub mod shuffle;
@@ -62,5 +63,6 @@ pub use partitioner::{
     build_partitioner, measure_skew, HashPartitioner, Partitioner, PartitionerKind,
     PartitionerSpec, RangePartitioner,
 };
+pub use pool::WorkerPool;
 pub use rdd::{Rdd, RddGraph, RddNode};
 pub use record::{batch_size, Key, Record, Value};

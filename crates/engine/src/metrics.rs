@@ -91,8 +91,7 @@ impl StageMetrics {
         if self.task_durations.is_empty() {
             return 1.0;
         }
-        let mean =
-            self.task_durations.iter().sum::<f64>() / self.task_durations.len() as f64;
+        let mean = self.task_durations.iter().sum::<f64>() / self.task_durations.len() as f64;
         if mean == 0.0 {
             return 1.0;
         }

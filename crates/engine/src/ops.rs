@@ -19,9 +19,8 @@ pub type FlatMapFn = Arc<dyn Fn(&Record) -> Vec<Record> + Send + Sync>;
 /// Predicate for `filter`.
 pub type FilterFn = Arc<dyn Fn(&Record) -> bool + Send + Sync>;
 /// Associative, commutative combiner for `reduce_by_key`.
-pub type ReduceFn = Arc<dyn Fn(&crate::record::Value, &crate::record::Value) -> crate::record::Value
-    + Send
-    + Sync>;
+pub type ReduceFn =
+    Arc<dyn Fn(&crate::record::Value, &crate::record::Value) -> crate::record::Value + Send + Sync>;
 /// Deterministic per-partition generator for block-backed sources:
 /// `gen(partition_index, num_partitions)` yields that partition's records.
 pub type GenFn = Arc<dyn Fn(usize, usize) -> Vec<Record> + Send + Sync>;
@@ -169,7 +168,9 @@ mod tests {
 
     #[test]
     fn wide_classification_matches_spark() {
-        let map = OpKind::Map { f: Arc::new(|r: &Record| r.clone()) };
+        let map = OpKind::Map {
+            f: Arc::new(|r: &Record| r.clone()),
+        };
         assert!(!map.is_wide());
         let rbk = OpKind::ReduceByKey {
             f: Arc::new(|a: &Value, _b: &Value| a.clone()),
@@ -178,15 +179,26 @@ mod tests {
         assert!(rbk.is_wide());
         assert!(OpKind::Join { scheme: None }.is_wide());
         assert!(OpKind::Repartition { scheme: None }.is_wide());
-        assert!(!OpKind::Filter { f: Arc::new(|_| true) }.is_wide());
+        assert!(!OpKind::Filter {
+            f: Arc::new(|_| true)
+        }
+        .is_wide());
     }
 
     #[test]
     fn partitioning_preservation() {
-        assert!(OpKind::Filter { f: Arc::new(|_| true) }.preserves_partitioning());
-        assert!(OpKind::MapValues { f: Arc::new(|r: &Record| r.clone()) }
-            .preserves_partitioning());
-        assert!(!OpKind::Map { f: Arc::new(|r: &Record| r.clone()) }.preserves_partitioning());
+        assert!(OpKind::Filter {
+            f: Arc::new(|_| true)
+        }
+        .preserves_partitioning());
+        assert!(OpKind::MapValues {
+            f: Arc::new(|r: &Record| r.clone())
+        }
+        .preserves_partitioning());
+        assert!(!OpKind::Map {
+            f: Arc::new(|r: &Record| r.clone())
+        }
+        .preserves_partitioning());
     }
 
     #[test]
@@ -200,9 +212,18 @@ mod tests {
     #[test]
     fn discriminants_are_distinct() {
         let ops = [
-            OpKind::Map { f: Arc::new(|r: &Record| r.clone()) }.discriminant(),
-            OpKind::MapValues { f: Arc::new(|r: &Record| r.clone()) }.discriminant(),
-            OpKind::Filter { f: Arc::new(|_| true) }.discriminant(),
+            OpKind::Map {
+                f: Arc::new(|r: &Record| r.clone()),
+            }
+            .discriminant(),
+            OpKind::MapValues {
+                f: Arc::new(|r: &Record| r.clone()),
+            }
+            .discriminant(),
+            OpKind::Filter {
+                f: Arc::new(|_| true),
+            }
+            .discriminant(),
             OpKind::Join { scheme: None }.discriminant(),
             OpKind::CoGroup { scheme: None }.discriminant(),
         ];

@@ -61,12 +61,18 @@ pub struct PartitionerSpec {
 impl PartitionerSpec {
     /// Hash scheme with `p` partitions.
     pub fn hash(p: usize) -> Self {
-        PartitionerSpec { kind: PartitionerKind::Hash, partitions: p }
+        PartitionerSpec {
+            kind: PartitionerKind::Hash,
+            partitions: p,
+        }
     }
 
     /// Range scheme with `p` partitions.
     pub fn range(p: usize) -> Self {
-        PartitionerSpec { kind: PartitionerKind::Range, partitions: p }
+        PartitionerSpec {
+            kind: PartitionerKind::Range,
+            partitions: p,
+        }
     }
 }
 
@@ -76,6 +82,12 @@ pub trait Partitioner: Send + Sync {
     fn num_partitions(&self) -> usize;
     /// Partition index for `key`, in `0..num_partitions()`.
     fn partition(&self, key: &Key) -> usize;
+    /// Partition index for `key` when its `stable_hash` is already known.
+    /// Hash-based partitioners reuse the hash instead of recomputing it;
+    /// everything else falls back to [`Partitioner::partition`].
+    fn partition_hashed(&self, key: &Key, _hash: u64) -> usize {
+        self.partition(key)
+    }
     /// The family this partitioner belongs to.
     fn kind(&self) -> PartitionerKind;
 }
@@ -104,6 +116,9 @@ impl Partitioner for HashPartitioner {
     fn partition(&self, key: &Key) -> usize {
         (key.stable_hash() % self.partitions as u64) as usize
     }
+    fn partition_hashed(&self, _key: &Key, hash: u64) -> usize {
+        (hash % self.partitions as u64) as usize
+    }
     fn kind(&self) -> PartitionerKind {
         PartitionerKind::Hash
     }
@@ -124,8 +139,14 @@ impl RangePartitioner {
     /// Builds a partitioner from pre-computed bounds.
     pub fn from_bounds(bounds: Vec<Key>, partitions: usize) -> Self {
         assert!(partitions > 0, "partition count must be positive");
-        assert!(bounds.len() < partitions, "need fewer bounds than partitions");
-        debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "bounds must be sorted");
+        assert!(
+            bounds.len() < partitions,
+            "need fewer bounds than partitions"
+        );
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "bounds must be sorted"
+        );
         RangePartitioner { bounds, partitions }
     }
 
@@ -248,14 +269,21 @@ mod tests {
         let p = HashPartitioner::new(10);
         let keys = vec![Key::Int(7); 1000];
         let skew = measure_skew(&p, keys.iter());
-        assert!((skew - 10.0).abs() < 1e-9, "hot key skew should be P, got {skew}");
+        assert!(
+            (skew - 10.0).abs() < 1e-9,
+            "hot key skew should be P, got {skew}"
+        );
     }
 
     #[test]
     fn range_partitioner_respects_bounds() {
         let p = RangePartitioner::from_bounds(vec![Key::Int(10), Key::Int(20)], 3);
         assert_eq!(p.partition(&Key::Int(-5)), 0);
-        assert_eq!(p.partition(&Key::Int(10)), 0, "bound itself belongs to lower range");
+        assert_eq!(
+            p.partition(&Key::Int(10)),
+            0,
+            "bound itself belongs to lower range"
+        );
         assert_eq!(p.partition(&Key::Int(11)), 1);
         assert_eq!(p.partition(&Key::Int(20)), 1);
         assert_eq!(p.partition(&Key::Int(25)), 2);
@@ -280,7 +308,10 @@ mod tests {
         let keys: Vec<Key> = (0..20_000).map(Key::Int).collect();
         let p = RangePartitioner::from_sample(keys.iter(), 10, 7);
         let skew = measure_skew(&p, keys.iter());
-        assert!(skew < 1.5, "sampled ranges should be roughly even, skew={skew}");
+        assert!(
+            skew < 1.5,
+            "sampled ranges should be roughly even, skew={skew}"
+        );
     }
 
     #[test]
@@ -307,7 +338,11 @@ mod tests {
     #[test]
     fn range_partitioner_empty_sample() {
         let p = RangePartitioner::from_sample(std::iter::empty::<&Key>(), 5, 0);
-        assert_eq!(p.partition(&Key::Int(3)), 0, "no bounds → everything in partition 0");
+        assert_eq!(
+            p.partition(&Key::Int(3)),
+            0,
+            "no bounds → everything in partition 0"
+        );
         assert_eq!(p.num_partitions(), 5);
     }
 
@@ -315,7 +350,10 @@ mod tests {
     fn duplicate_heavy_sample_dedups_bounds() {
         let keys = vec![Key::Int(1); 500];
         let p = RangePartitioner::from_sample(keys.iter(), 4, 0);
-        assert!(p.bounds().len() <= 1, "identical sample keys collapse to one bound");
+        assert!(
+            p.bounds().len() <= 1,
+            "identical sample keys collapse to one bound"
+        );
         // All identical keys map to one partition — skew is unavoidable here.
         assert!(p.partition(&Key::Int(1)) < 4);
     }
@@ -333,8 +371,14 @@ mod tests {
 
     #[test]
     fn kind_parses_both_ways() {
-        assert_eq!("hash".parse::<PartitionerKind>().unwrap(), PartitionerKind::Hash);
-        assert_eq!("RangePartitioner".parse::<PartitionerKind>().unwrap(), PartitionerKind::Range);
+        assert_eq!(
+            "hash".parse::<PartitionerKind>().unwrap(),
+            PartitionerKind::Hash
+        );
+        assert_eq!(
+            "RangePartitioner".parse::<PartitionerKind>().unwrap(),
+            PartitionerKind::Range
+        );
         assert!("zebra".parse::<PartitionerKind>().is_err());
         assert_eq!(PartitionerKind::Hash.to_string(), "hash");
     }

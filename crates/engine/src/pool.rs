@@ -1,0 +1,392 @@
+//! Persistent work-stealing thread pool for real data computation.
+//!
+//! The engine's hybrid execution model computes task *data* on host threads
+//! while task *timing* comes from the simulated cluster. Before this pool,
+//! every stage spawned fresh scoped threads and parked each result behind
+//! its own mutex; a multi-stage job paid thread start-up and teardown per
+//! stage. [`WorkerPool`] is built once per [`Context`](crate::Context) and
+//! reused for every stage-compute and shuffle-bucketize fan-out.
+//!
+//! Design:
+//!
+//! - **Chunked work-stealing.** `map(n, f)` splits `0..n` into one
+//!   contiguous block per participant. Each participant claims chunks from
+//!   its own block with a `fetch_add` cursor, then steals chunks from other
+//!   blocks when its own runs dry — cheap load balancing without a shared
+//!   deque. Output order is by index, so results are deterministic
+//!   regardless of which thread computed what.
+//! - **Caller participation.** The calling thread works too (participant
+//!   0), so `workers = 1` runs fully inline with zero synchronization, and
+//!   a pool of `w` workers uses `w - 1` background threads.
+//! - **Zero-allocation dispatch of borrowed closures.** Jobs borrow the
+//!   caller's stack (`f` may capture non-`'static` references). The pool
+//!   erases the job type by passing the job context's address as a
+//!   `usize` into an `Arc<dyn Fn>` trampoline. This is sound because
+//!   `map` does not return until every participant has signalled
+//!   completion of the epoch, so the context outlives all accesses.
+//! - **Panic propagation.** A panicking task poisons the job: other
+//!   participants stop claiming chunks, and the first payload is re-thrown
+//!   on the caller after the epoch drains.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A persistent pool of `workers` compute lanes (the caller plus
+/// `workers - 1` background threads).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Background threads (not counting the caller).
+    threads: usize,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Wakes background threads when a job is posted or on shutdown.
+    job_posted: Condvar,
+    /// Wakes the caller when the last background participant finishes.
+    job_drained: Condvar,
+}
+
+struct PoolState {
+    /// Bumped once per dispatched job; threads run each epoch exactly once.
+    epoch: u64,
+    /// Trampoline for the current epoch; receives the participant id.
+    job: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+    /// Background participants still inside the current epoch.
+    active: usize,
+    shutdown: bool,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl WorkerPool {
+    /// Builds a pool with `workers` total compute lanes. `workers <= 1`
+    /// spawns no threads; every `map` then runs inline on the caller.
+    pub fn new(workers: usize) -> WorkerPool {
+        let threads = workers.max(1) - 1;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            job_posted: Condvar::new(),
+            job_drained: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                // Participant 0 is the caller; threads are 1-based.
+                let participant = t + 1;
+                std::thread::Builder::new()
+                    .name(format!("engine-worker-{participant}"))
+                    .spawn(move || worker_loop(&shared, participant))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total compute lanes, including the caller.
+    pub fn workers(&self) -> usize {
+        self.threads + 1
+    }
+
+    /// Runs `f(i)` for `i in 0..n` across the pool and returns the results
+    /// in index order. Panics in `f` propagate to the caller after all
+    /// participants stop.
+    pub fn map<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 0 || n == 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let participants = self.workers();
+        let ctx = JobCtx::new(f, n, participants);
+        // Sound only because JobCtx<U, F> is Sync (checked here) and `map`
+        // blocks until the epoch drains, keeping `ctx` alive for all users
+        // of this address.
+        fn assert_sync<T: Sync>(_: &T) {}
+        assert_sync(&ctx);
+        let addr = &ctx as *const JobCtx<U, F> as usize;
+        let trampoline: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(move |participant| {
+            let ctx = unsafe { &*(addr as *const JobCtx<U, F>) };
+            ctx.run(participant);
+        });
+
+        {
+            let mut st = lock(&self.shared.state);
+            debug_assert_eq!(st.active, 0, "previous epoch fully drained");
+            st.epoch += 1;
+            st.job = Some(trampoline);
+            st.active = self.threads;
+            self.shared.job_posted.notify_all();
+        }
+
+        // The caller is participant 0.
+        ctx.run(0);
+
+        // Wait for the background participants, then drop the trampoline so
+        // the erased pointer can never outlive `ctx`.
+        {
+            let mut st = lock(&self.shared.state);
+            while st.active > 0 {
+                st = self
+                    .shared
+                    .job_drained
+                    .wait(st)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            st.job = None;
+        }
+
+        ctx.into_results()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.job_posted.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, participant: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen_epoch {
+                    seen_epoch = st.epoch;
+                    break Arc::clone(st.job.as_ref().expect("job set with epoch"));
+                }
+                st = shared
+                    .job_posted
+                    .wait(st)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        job(participant);
+        drop(job);
+        let mut st = lock(&shared.state);
+        st.active -= 1;
+        if st.active == 0 {
+            shared.job_drained.notify_all();
+        }
+    }
+}
+
+/// Per-participant claim cursor over a contiguous index block.
+struct Block {
+    next: AtomicUsize,
+    end: usize,
+}
+
+/// One `map` invocation's state, living on the caller's stack.
+struct JobCtx<U, F> {
+    f: F,
+    n: usize,
+    chunk: usize,
+    blocks: Vec<Block>,
+    /// Each participant appends `(index, value)` pairs to its own slot.
+    results: Vec<Mutex<Vec<(usize, U)>>>,
+    poisoned: AtomicBool,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<U: Send, F: Fn(usize) -> U + Sync> JobCtx<U, F> {
+    fn new(f: F, n: usize, participants: usize) -> JobCtx<U, F> {
+        // Small chunks keep heavyweight stage tasks balanced; the floor
+        // of 1 keeps index coverage exact.
+        let chunk = (n / (participants * 8)).max(1);
+        let per = n.div_ceil(participants);
+        let blocks = (0..participants)
+            .map(|p| Block {
+                next: AtomicUsize::new((p * per).min(n)),
+                end: ((p + 1) * per).min(n),
+            })
+            .collect();
+        let results = (0..participants)
+            .map(|p| Mutex::new(Vec::with_capacity(per * usize::from(p == 0))))
+            .collect();
+        JobCtx {
+            f,
+            n,
+            chunk,
+            blocks,
+            results,
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn run(&self, participant: usize) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.work(participant)));
+        if let Err(payload) = outcome {
+            self.poisoned.store(true, Ordering::SeqCst);
+            // Halt all claim cursors so other participants drain quickly.
+            for b in &self.blocks {
+                b.next.store(self.n, Ordering::SeqCst);
+            }
+            let mut slot = lock(&self.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+
+    fn work(&self, participant: usize) {
+        let participants = self.blocks.len();
+        let mut local: Vec<(usize, U)> = Vec::new();
+        // Own block first, then steal round-robin.
+        for step in 0..participants {
+            let owner = (participant + step) % participants;
+            let block = &self.blocks[owner];
+            loop {
+                if self.poisoned.load(Ordering::Relaxed) {
+                    break;
+                }
+                let start = block.next.fetch_add(self.chunk, Ordering::Relaxed);
+                if start >= block.end {
+                    break;
+                }
+                let stop = (start + self.chunk).min(block.end);
+                for i in start..stop {
+                    local.push((i, (self.f)(i)));
+                }
+            }
+        }
+        lock(&self.results[participant]).extend(local);
+    }
+
+    /// Consumes the context, re-throwing a captured panic or assembling
+    /// results in index order.
+    fn into_results(self) -> Vec<U> {
+        if let Some(payload) = lock(&self.panic).take() {
+            resume_unwind(payload);
+        }
+        let mut slots: Vec<Option<U>> = (0..self.n).map(|_| None).collect();
+        for bucket in self.results {
+            for (i, v) in bucket.into_inner().unwrap_or_else(|p| p.into_inner()) {
+                debug_assert!(slots[i].is_none(), "index {i} computed twice");
+                slots[i] = Some(v);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index computed exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_and_covers_all() {
+        let pool = WorkerPool::new(4);
+        let out = pool.map(100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+        assert!(pool.map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        // Every item must run on the caller's own thread.
+        let caller = std::thread::current().id();
+        let out = pool.map(10, |i| {
+            assert_eq!(std::thread::current().id(), caller);
+            i + 1
+        });
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_jobs() {
+        let pool = WorkerPool::new(3);
+        for round in 0..50usize {
+            let out = pool.map(37, |i| i + round);
+            assert_eq!(out, (0..37).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn results_match_across_worker_counts() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 7;
+        let expected: Vec<u64> = (0..1000).map(f).collect();
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            assert_eq!(pool.map(1000, f), expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(64, |i| {
+                if i == 33 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }));
+        assert!(caught.is_err(), "panic must cross map()");
+        // The pool still works after a poisoned job.
+        assert_eq!(pool.map(8, |i| i * 2), vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn borrows_caller_stack_data() {
+        let pool = WorkerPool::new(4);
+        let data: Vec<u64> = (0..500).collect();
+        let out = pool.map(data.len(), |i| data[i] + 1);
+        assert_eq!(out.iter().sum::<u64>(), data.iter().sum::<u64>() + 500);
+    }
+
+    #[test]
+    fn stealing_covers_unbalanced_blocks() {
+        // One expensive item per block forces fast participants to steal
+        // the cheap remainder; coverage must stay exact.
+        let pool = WorkerPool::new(4);
+        let out = pool.map(257, |i| {
+            if i % 64 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+}

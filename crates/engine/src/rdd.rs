@@ -78,7 +78,13 @@ impl RddGraph {
 
     fn push(&mut self, op: OpKind, parents: Vec<Rdd>, tag: &'static str, cost: f64) -> Rdd {
         let user_fixed = op.explicit_scheme().is_some()
-            || matches!(&op, OpKind::SourceBlocks { partitions: Some(_), .. })
+            || matches!(
+                &op,
+                OpKind::SourceBlocks {
+                    partitions: Some(_),
+                    ..
+                }
+            )
             || matches!(&op, OpKind::SourceCollection { .. });
         let mut sig = fnv1a(op.discriminant().as_bytes());
         sig = hash_combine(sig, fnv1a(tag.as_bytes()));
@@ -103,7 +109,10 @@ impl RddGraph {
     pub fn parallelize(&mut self, data: Vec<Record>, partitions: usize, tag: &'static str) -> Rdd {
         assert!(partitions > 0, "need at least one partition");
         self.push(
-            OpKind::SourceCollection { data: Arc::new(data), partitions },
+            OpKind::SourceCollection {
+                data: Arc::new(data),
+                partitions,
+            },
             vec![],
             tag,
             0.0,
@@ -116,7 +125,11 @@ impl RddGraph {
     /// (parsing/deserialization cost).
     pub fn from_blocks(&mut self, file: &str, gen: GenFn, cost: f64, tag: &'static str) -> Rdd {
         self.push(
-            OpKind::SourceBlocks { file: file.to_string(), gen, partitions: None },
+            OpKind::SourceBlocks {
+                file: file.to_string(),
+                gen,
+                partitions: None,
+            },
             vec![],
             tag,
             cost,
@@ -134,7 +147,11 @@ impl RddGraph {
     ) -> Rdd {
         assert!(partitions > 0, "need at least one partition");
         self.push(
-            OpKind::SourceBlocks { file: file.to_string(), gen, partitions: Some(partitions) },
+            OpKind::SourceBlocks {
+                file: file.to_string(),
+                gen,
+                partitions: Some(partitions),
+            },
             vec![],
             tag,
             cost,
@@ -164,7 +181,12 @@ impl RddGraph {
     /// Deterministic Bernoulli sample keeping ~`fraction` of records.
     pub fn sample(&mut self, parent: Rdd, fraction: f64, seed: u64, tag: &'static str) -> Rdd {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
-        self.push(OpKind::Sample { fraction, seed }, vec![parent], tag, 0.05e-6)
+        self.push(
+            OpKind::Sample { fraction, seed },
+            vec![parent],
+            tag,
+            0.05e-6,
+        )
     }
 
     /// Shuffle + per-key reduce with map-side combine. `scheme: None` defers
@@ -252,7 +274,9 @@ mod tests {
     use crate::record::{Key, Value};
 
     fn sample_records(n: i64) -> Vec<Record> {
-        (0..n).map(|i| Record::new(Key::Int(i), Value::Int(i * 2))).collect()
+        (0..n)
+            .map(|i| Record::new(Key::Int(i), Value::Int(i * 2)))
+            .collect()
     }
 
     fn identity() -> MapFn {
@@ -284,7 +308,11 @@ mod tests {
         let it2 = g.map(src, identity(), 1.0, "assign");
         let red2 = g.reduce_by_key(it2, sum(), None, 1.0, "update");
         assert_ne!(red1, red2, "distinct RDDs");
-        assert_eq!(g.node(red1).signature, g.node(red2).signature, "same structure");
+        assert_eq!(
+            g.node(red1).signature,
+            g.node(red2).signature,
+            "same structure"
+        );
     }
 
     #[test]

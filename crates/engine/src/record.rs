@@ -156,7 +156,10 @@ impl Record {
 
     /// A keyless record.
     pub fn keyless(value: Value) -> Self {
-        Record { key: Key::None, value }
+        Record {
+            key: Key::None,
+            value,
+        }
     }
 
     /// Approximate serialized size in bytes.

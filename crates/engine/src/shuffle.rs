@@ -35,8 +35,32 @@ impl TaskBuckets {
     }
 }
 
+/// Pass-through hasher for keys that are already good hashes (`stable_hash`
+/// output); avoids re-hashing `u64` map keys in the combine path.
+#[derive(Default, Clone)]
+struct IdentityHasher(u64);
+
+impl std::hash::Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("identity hasher is only fed u64 keys");
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type IdentityBuild = std::hash::BuildHasherDefault<IdentityHasher>;
+
 /// Buckets `records` by `partitioner`, optionally combining values per key
 /// within each bucket (map-side combine for reduce-by-key).
+///
+/// Each record's key is hashed at most once: the `stable_hash` drives both
+/// the partition choice (for hash partitioners) and the combine index. The
+/// no-combine path sizes every bucket exactly before copying a single
+/// record.
 ///
 /// Returns the buckets and the number of combine applications performed
 /// (for cost accounting).
@@ -49,27 +73,41 @@ pub fn bucketize(
     let mut combine_ops = 0u64;
     let buckets: Vec<Vec<Record>> = match combine {
         None => {
-            let mut out: Vec<Vec<Record>> = vec![Vec::new(); p];
+            // Pass 1: partition assignment + exact bucket sizes.
+            let mut assignment: Vec<u32> = Vec::with_capacity(records.len());
+            let mut counts: Vec<usize> = vec![0; p];
             for r in records {
-                out[partitioner.partition(&r.key)].push(r.clone());
+                let b = partitioner.partition(&r.key);
+                counts[b] += 1;
+                assignment.push(b as u32);
+            }
+            // Pass 2: copy each surviving record into a pre-sized bucket.
+            let mut out: Vec<Vec<Record>> = counts.into_iter().map(Vec::with_capacity).collect();
+            for (r, &b) in records.iter().zip(&assignment) {
+                out[b as usize].push(r.clone());
             }
             out
         }
         Some(f) => {
-            // First-seen-order combine per bucket.
+            // First-seen-order combine per bucket. The dedup index is keyed
+            // on the record's stable hash (identity-hashed); same-hash slots
+            // are disambiguated by a real key comparison.
             let mut out: Vec<Vec<Record>> = vec![Vec::new(); p];
-            let mut index: Vec<HashMap<Key, usize>> = vec![HashMap::new(); p];
+            let mut index: Vec<HashMap<u64, Vec<u32>, IdentityBuild>> = vec![HashMap::default(); p];
             for r in records {
-                let b = partitioner.partition(&r.key);
-                match index[b].get(&r.key) {
+                let h = r.key.stable_hash();
+                let b = partitioner.partition_hashed(&r.key, h);
+                let bucket = &mut out[b];
+                let slots = index[b].entry(h).or_default();
+                match slots.iter().find(|&&i| bucket[i as usize].key == r.key) {
                     Some(&i) => {
-                        let merged = f(&out[b][i].value, &r.value);
-                        out[b][i].value = merged;
+                        let merged = f(&bucket[i as usize].value, &r.value);
+                        bucket[i as usize].value = merged;
                         combine_ops += 1;
                     }
                     None => {
-                        index[b].insert(r.key.clone(), out[b].len());
-                        out[b].push(r.clone());
+                        slots.push(bucket.len() as u32);
+                        bucket.push(r.clone());
                     }
                 }
             }
@@ -78,7 +116,10 @@ pub fn bucketize(
     };
     let bytes = buckets.iter().map(|b| batch_size(b)).collect();
     (
-        TaskBuckets { buckets: buckets.into_iter().map(Arc::new).collect(), bytes },
+        TaskBuckets {
+            buckets: buckets.into_iter().map(Arc::new).collect(),
+            bytes,
+        },
         combine_ops,
     )
 }
@@ -168,7 +209,10 @@ pub fn merge_join(left: &[Record], right: &[Record]) -> (Vec<Record>, u64) {
     for r in right {
         probes += 1;
         if table.contains_key(&r.key) {
-            matches.entry(r.key.clone()).or_default().push(r.value.clone());
+            matches
+                .entry(r.key.clone())
+                .or_default()
+                .push(r.value.clone());
         }
     }
     let mut out = Vec::new();
@@ -207,7 +251,10 @@ pub fn merge_cogroup(left: &[Record], right: &[Record]) -> Vec<Record> {
         if !lefts.contains_key(&r.key) && !rights.contains_key(&r.key) {
             order.push(r.key.clone());
         }
-        rights.entry(r.key.clone()).or_default().push(r.value.clone());
+        rights
+            .entry(r.key.clone())
+            .or_default()
+            .push(r.value.clone());
     }
     order
         .into_iter()
@@ -304,10 +351,13 @@ mod tests {
     fn merge_reduce_is_deterministic_first_seen_order() {
         let a = vec![rec(5, 1), rec(3, 1), rec(9, 1)];
         let (out, _) = merge_reduce([a.as_slice()], &sum());
-        let keys: Vec<i64> = out.iter().map(|r| match &r.key {
-            Key::Int(i) => *i,
-            _ => unreachable!(),
-        }).collect();
+        let keys: Vec<i64> = out
+            .iter()
+            .map(|r| match &r.key {
+                Key::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(keys, vec![5, 3, 9]);
     }
 

@@ -162,7 +162,12 @@ pub fn plan_job(
     let (root, chain) = p.build_chain(final_rdd);
     let terminal = *chain.last().unwrap_or(&final_rdd);
     debug_assert_eq!(terminal, final_rdd);
-    p.stages.push(PlanStage { root, chain, terminal: final_rdd, output: StageOutput::Result });
+    p.stages.push(PlanStage {
+        root,
+        chain,
+        terminal: final_rdd,
+        output: StageOutput::Result,
+    });
     Plan {
         stages: p.stages,
         shuffles: p.shuffles,
@@ -183,7 +188,9 @@ impl<'a> Planner<'a> {
         let conf_entry = self.conf.stage_scheme(node.signature);
         let scheme = if node.user_fixed && !(self.conf.override_user_fixed && conf_entry.is_some())
         {
-            node.op.explicit_scheme().expect("user-fixed wide ops carry a scheme")
+            node.op
+                .explicit_scheme()
+                .expect("user-fixed wide ops carry a scheme")
         } else if let Some(s) = conf_entry {
             s
         } else if let Some(s) = node.op.explicit_scheme() {
@@ -216,7 +223,11 @@ impl<'a> Planner<'a> {
                     assert_eq!(parents.len(), 2, "join/co-group takes two parents");
                     let left = self.side_dep(parents[0], cur, scheme);
                     let right = self.side_dep(parents[1], cur, scheme);
-                    break StageRoot::JoinRead { wide: cur, left, right };
+                    break StageRoot::JoinRead {
+                        wide: cur,
+                        left,
+                        right,
+                    };
                 }
                 op if op.is_wide() => {
                     let _ = self.resolve_scheme(cur);
@@ -283,7 +294,9 @@ mod tests {
     use std::sync::Arc;
 
     fn records(n: i64) -> Vec<Record> {
-        (0..n).map(|i| Record::new(Key::Int(i % 4), Value::Int(i))).collect()
+        (0..n)
+            .map(|i| Record::new(Key::Int(i % 4), Value::Int(i)))
+            .collect()
     }
 
     fn sum() -> crate::ops::ReduceFn {
@@ -322,7 +335,13 @@ mod tests {
         assert_eq!(plan.stages.len(), 2);
         assert_eq!(plan.stages[0].output, StageOutput::ShuffleWrite(0));
         assert_eq!(plan.stages[0].terminal, src);
-        assert_eq!(plan.stages[1].root, StageRoot::ShuffleRead { wide: r, shuffle: 0 });
+        assert_eq!(
+            plan.stages[1].root,
+            StageRoot::ShuffleRead {
+                wide: r,
+                shuffle: 0
+            }
+        );
         // Default scheme: hash with the default parallelism.
         assert_eq!(plan.schemes[&r], PartitionerSpec::hash(5));
         assert!(plan.shuffles[0].combine, "reduce-by-key combines map side");
@@ -347,7 +366,11 @@ mod tests {
         let mut conf = WorkloadConf::new();
         conf.set_stage(g.node(r).signature, PartitionerSpec::range(17));
         let plan = plan_job(&g, r, &conf, 5, &no_mat());
-        assert_eq!(plan.schemes[&r], PartitionerSpec::hash(9), "user pin left intact");
+        assert_eq!(
+            plan.schemes[&r],
+            PartitionerSpec::hash(9),
+            "user pin left intact"
+        );
     }
 
     #[test]
@@ -391,7 +414,10 @@ mod tests {
         let mut mat = HashMap::new();
         mat.insert(
             ra,
-            MaterializedInfo { partitions: 4, partitioning: Some(PartitionerSpec::hash(4)) },
+            MaterializedInfo {
+                partitions: 4,
+                partitioning: Some(PartitionerSpec::hash(4)),
+            },
         );
         let plan = plan_job(&g, j, &WorkloadConf::new(), 4, &mat);
         // Left side narrow (materialized under hash(4) == join default),
@@ -403,7 +429,11 @@ mod tests {
             }
             other => panic!("expected JoinRead, got {other:?}"),
         }
-        assert_eq!(plan.stages.len(), 2, "only the right side needs a map stage");
+        assert_eq!(
+            plan.stages.len(),
+            2,
+            "only the right side needs a map stage"
+        );
     }
 
     #[test]
@@ -416,12 +446,18 @@ mod tests {
         let mut mat = HashMap::new();
         mat.insert(
             ra,
-            MaterializedInfo { partitions: 9, partitioning: Some(PartitionerSpec::hash(9)) },
+            MaterializedInfo {
+                partitions: 9,
+                partitioning: Some(PartitionerSpec::hash(9)),
+            },
         );
         let plan = plan_job(&g, j, &WorkloadConf::new(), 4, &mat);
         match &plan.stages.last().unwrap().root {
             StageRoot::JoinRead { left, .. } => {
-                assert!(matches!(left, SideDep::Shuffle(_)), "9 != 4 partitions: reshuffle");
+                assert!(
+                    matches!(left, SideDep::Shuffle(_)),
+                    "9 != 4 partitions: reshuffle"
+                );
             }
             other => panic!("expected JoinRead, got {other:?}"),
         }
@@ -435,7 +471,13 @@ mod tests {
         g.set_cached(m);
         let f = g.filter(m, Arc::new(|_| true), 1.0, "f");
         let mut mat = HashMap::new();
-        mat.insert(m, MaterializedInfo { partitions: 2, partitioning: None });
+        mat.insert(
+            m,
+            MaterializedInfo {
+                partitions: 2,
+                partitioning: None,
+            },
+        );
         let plan = plan_job(&g, f, &WorkloadConf::new(), 4, &mat);
         assert_eq!(plan.stages.len(), 1);
         assert_eq!(plan.stages[0].root, StageRoot::CachedRead(m));

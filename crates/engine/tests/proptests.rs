@@ -18,7 +18,8 @@ fn arb_key() -> impl Strategy<Value = Key> {
 
 fn arb_records(max: usize) -> impl Strategy<Value = Vec<Record>> {
     proptest::collection::vec(
-        (any::<i64>(), any::<i64>()).prop_map(|(k, v)| Record::new(Key::Int(k % 50), Value::Int(v))),
+        (any::<i64>(), any::<i64>())
+            .prop_map(|(k, v)| Record::new(Key::Int(k % 50), Value::Int(v))),
         0..max,
     )
 }
@@ -31,8 +32,11 @@ fn sum() -> ReduceFn {
 fn key_sums(records: &[Record]) -> HashMap<Key, i64> {
     let mut m = HashMap::new();
     for r in records {
-        *m.entry(r.key.clone()).or_insert(0i64) =
-            m.get(&r.key).copied().unwrap_or(0).wrapping_add(r.value.as_int());
+        *m.entry(r.key.clone()).or_insert(0i64) = m
+            .get(&r.key)
+            .copied()
+            .unwrap_or(0)
+            .wrapping_add(r.value.as_int());
     }
     m
 }

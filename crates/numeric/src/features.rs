@@ -21,7 +21,9 @@ pub const NUM_FEATURES_EXTENDED: usize = NUM_FEATURES + 3;
 
 /// Human-readable names of the basis features, in `feature_vector` order.
 pub fn feature_names() -> [&'static str; NUM_FEATURES] {
-    ["D^3", "D^2", "D", "sqrt(D)", "P^3", "P^2", "P", "sqrt(P)", "1"]
+    [
+        "D^3", "D^2", "D", "sqrt(D)", "P^3", "P^2", "P", "sqrt(P)", "1",
+    ]
 }
 
 /// Expands `(d, p)` into the paper's feature basis (plus intercept).
@@ -29,7 +31,10 @@ pub fn feature_names() -> [&'static str; NUM_FEATURES] {
 /// `d` and `p` are expected to already be scaled to O(1) magnitudes; see
 /// [`FeatureScaler`].
 pub fn feature_vector(d: f64, p: f64) -> Vec<f64> {
-    debug_assert!(d >= 0.0 && p >= 0.0, "sizes and partition counts are non-negative");
+    debug_assert!(
+        d >= 0.0 && p >= 0.0,
+        "sizes and partition counts are non-negative"
+    );
     vec![
         d * d * d,
         d * d,
@@ -78,11 +83,17 @@ impl FeatureScaler {
         let mut d_max = 0.0_f64;
         let mut p_max = 0.0_f64;
         for &(d, p) in points {
-            assert!(d > 0.0 && p > 0.0, "observations must be positive, got ({d}, {p})");
+            assert!(
+                d > 0.0 && p > 0.0,
+                "observations must be positive, got ({d}, {p})"
+            );
             d_max = d_max.max(d);
             p_max = p_max.max(p);
         }
-        FeatureScaler { d_scale: d_max, p_scale: p_max }
+        FeatureScaler {
+            d_scale: d_max,
+            p_scale: p_max,
+        }
     }
 
     /// A scaler with explicit reference scales.

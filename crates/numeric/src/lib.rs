@@ -25,7 +25,10 @@ pub mod sample;
 pub mod solve;
 pub mod stats;
 
-pub use features::{extended_feature_vector, feature_names, feature_vector, FeatureScaler, NUM_FEATURES, NUM_FEATURES_EXTENDED};
+pub use features::{
+    extended_feature_vector, feature_names, feature_vector, FeatureScaler, NUM_FEATURES,
+    NUM_FEATURES_EXTENDED,
+};
 pub use matrix::Matrix;
 pub use sample::{Reservoir, XorShift64};
 pub use solve::{least_squares, least_squares_ridge, r_squared, solve_linear, SolveError};

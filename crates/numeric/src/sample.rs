@@ -22,7 +22,12 @@ impl<T> Reservoir<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, seed: u64) -> Self {
         assert!(capacity > 0, "reservoir capacity must be positive");
-        Reservoir { capacity, seen: 0, items: Vec::with_capacity(capacity), rng: XorShift64::new(seed) }
+        Reservoir {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+            rng: XorShift64::new(seed),
+        }
     }
 
     /// Offers one item to the reservoir.
@@ -63,7 +68,13 @@ pub struct XorShift64 {
 impl XorShift64 {
     /// Creates a generator from a seed (0 is remapped to a fixed constant).
     pub fn new(seed: u64) -> Self {
-        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next raw 64-bit output.
@@ -138,7 +149,10 @@ mod tests {
             r.offer(i as f64);
         }
         let mean: f64 = r.items().iter().sum::<f64>() / r.items().len() as f64;
-        assert!((mean - 5000.0).abs() < 500.0, "sample mean {mean} too far from 5000");
+        assert!(
+            (mean - 5000.0).abs() < 500.0,
+            "sample mean {mean} too far from 5000"
+        );
     }
 
     #[test]

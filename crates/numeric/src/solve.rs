@@ -153,7 +153,11 @@ pub fn r_squared(predicted: &[f64], observed: &[f64]) -> f64 {
     }
     let mean = observed.iter().sum::<f64>() / observed.len() as f64;
     let ss_tot: f64 = observed.iter().map(|y| (y - mean).powi(2)).sum();
-    let ss_res: f64 = predicted.iter().zip(observed).map(|(p, y)| (y - p).powi(2)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, y)| (y - p).powi(2))
+        .sum();
     if ss_tot == 0.0 {
         return if ss_res == 0.0 { 1.0 } else { 0.0 };
     }
@@ -203,7 +207,10 @@ mod tests {
     #[test]
     fn shape_mismatch_reported() {
         let a = Matrix::zeros(2, 3);
-        assert_eq!(solve_linear(&a, &[0.0, 0.0]), Err(SolveError::ShapeMismatch));
+        assert_eq!(
+            solve_linear(&a, &[0.0, 0.0]),
+            Err(SolveError::ShapeMismatch)
+        );
         assert_eq!(
             least_squares(&Matrix::zeros(2, 2), &[0.0; 3]),
             Err(SolveError::ShapeMismatch)
@@ -227,7 +234,12 @@ mod tests {
     #[test]
     fn least_squares_overdetermined_noisy() {
         // y = 1 + t with symmetric noise; OLS must land between.
-        let rows = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![1.0, 2.0], vec![1.0, 2.0]];
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+        ];
         let y = vec![0.9, 1.1, 2.9, 3.1];
         let beta = least_squares(&Matrix::from_rows(&rows), &y).unwrap();
         assert_close(&beta, &[1.0, 1.0], 1e-9);
@@ -241,7 +253,10 @@ mod tests {
         // Ridge splits the weight between the two identical columns; the
         // prediction is what matters.
         let pred = beta[0] + beta[1];
-        assert!((pred - 2.0).abs() < 1e-3, "prediction for x=1 should be ~2, got {pred}");
+        assert!(
+            (pred - 2.0).abs() < 1e-3,
+            "prediction for x=1 should be ~2, got {pred}"
+        );
     }
 
     #[test]

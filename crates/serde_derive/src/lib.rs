@@ -1,0 +1,297 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Generates `impl serde::Serialize` / `impl serde::Deserialize` for the two
+//! item shapes this workspace serializes: structs with named fields and
+//! fieldless enums. Honours `#[serde(default)]` and
+//! `#[serde(default = "path")]` on struct fields. Parsing walks the raw
+//! `proc_macro::TokenTree` stream directly (no `syn`/`quote` — the build
+//! environment has no registry access), and code generation goes through
+//! source-string `.parse()`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field-level default behaviour from `#[serde(...)]` attributes.
+enum DefaultMode {
+    /// No attribute: the field must be present in the JSON object.
+    Required,
+    /// `#[serde(default)]`: fall back to `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]`: fall back to calling `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: DefaultMode,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let mut pairs = String::new();
+            for f in fields {
+                pairs.push_str(&format!(
+                    "(\"{n}\".to_string(), ::serde::Serialize::to_json(&self.{n})),",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         ::serde::Json::Obj(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::Json::Str(\"{v}\".to_string()),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fallback = match &f.default {
+                    DefaultMode::Required => {
+                        format!("return Err(::serde::Error::missing_field(\"{}\"))", f.name)
+                    }
+                    DefaultMode::DefaultTrait => "::core::default::Default::default()".to_string(),
+                    DefaultMode::Path(path) => format!("{path}()"),
+                };
+                inits.push_str(&format!(
+                    "{n}: match v.get_field(\"{n}\") {{\n\
+                         Some(x) => ::serde::Deserialize::from_json(x)?,\n\
+                         None => {fallback},\n\
+                     }},",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(v: &::serde::Json) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Json::Obj(_) => Ok({name} {{ {inits} }}),\n\
+                             other => Err(::serde::Error::expected(\"object\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(v: &::serde::Json) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Json::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::Error(format!(\n\
+                                     \"unknown {name} variant '{{other}}'\"))),\n\
+                             }},\n\
+                             other => Err(::serde::Error::expected(\"string\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = ident_at(&tokens, i, "struct/enum keyword");
+    i += 1;
+    let name = ident_at(&tokens, i, "item name");
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!(
+            "serde stand-in derive supports only plain (non-generic, brace-bodied) \
+             structs and enums; `{name}` is not one"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize, what: &str) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type` fields from a struct body, capturing `#[serde(...)]`
+/// default modes and skipping field types with angle-bracket depth tracking
+/// (commas inside `HashMap<u64, X>` are plain puncts, not group-wrapped).
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = DefaultMode::Required;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if let Some(mode) = parse_serde_attr(g.stream()) {
+                            default = mode;
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i, "field name");
+        i += 2; // field name + ':'
+
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Parses fieldless variants from an enum body, skipping attributes such as
+/// `#[default]`. Data-carrying variants are rejected.
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i, "enum variant");
+        i += 1;
+        if let Some(TokenTree::Group(_)) = tokens.get(i) {
+            panic!(
+                "serde stand-in derive supports only fieldless enum variants; \
+                 `{name}` carries data"
+            );
+        }
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1; // discriminant tokens, if any
+        }
+        i += 1; // trailing ','
+        variants.push(name);
+    }
+    variants
+}
+
+/// Recognises `serde(default)` and `serde(default = "path")` inside a
+/// bracketed attribute body; anything else returns `None`.
+fn parse_serde_attr(attr_body: TokenStream) -> Option<DefaultMode> {
+    let tokens: Vec<TokenTree> = attr_body.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        _ => return None,
+    }
+    match inner.get(2) {
+        Some(TokenTree::Literal(lit)) => {
+            let text = lit.to_string();
+            let path = text.trim_matches('"').to_string();
+            Some(DefaultMode::Path(path))
+        }
+        _ => Some(DefaultMode::DefaultTrait),
+    }
+}

@@ -1,0 +1,103 @@
+//! Offline stand-in for `serde_json`, backed by the workspace `serde`
+//! stand-in's concrete [`serde::Json`] tree. Provides the three entry points
+//! this repo uses: [`to_string`], [`to_string_pretty`], and [`from_str`].
+
+pub use serde::Error;
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().render(false))
+}
+
+/// Serializes a value to human-readable, indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().render(true))
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_json(&serde::Json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+    use std::collections::HashMap;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        label: String,
+        #[serde(default)]
+        weight: f64,
+        #[serde(default = "seven")]
+        retries: u64,
+    }
+
+    fn seven() -> u64 {
+        7
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        Fast,
+        Careful,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        id: u64,
+        mode: Mode,
+        inners: Vec<Inner>,
+        table: HashMap<u64, Vec<(String, f64)>>,
+        note: Option<String>,
+    }
+
+    fn sample() -> Outer {
+        Outer {
+            id: u64::MAX,
+            mode: Mode::Careful,
+            inners: vec![Inner {
+                label: "a".into(),
+                weight: 0.5,
+                retries: 2,
+            }],
+            table: [(3u64, vec![("x".to_string(), 1.25)])]
+                .into_iter()
+                .collect(),
+            note: None,
+        }
+    }
+
+    #[test]
+    fn derived_struct_roundtrips() {
+        let v = sample();
+        let json = super::to_string(&v).unwrap();
+        let back: Outer = super::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_roundtrips() {
+        let v = sample();
+        let json = super::to_string_pretty(&v).unwrap();
+        assert!(json.contains('\n'));
+        let back: Outer = super::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn missing_fields_use_defaults_or_error() {
+        let inner: Inner = super::from_str(r#"{"label": "only"}"#).unwrap();
+        assert_eq!(inner.weight, 0.0);
+        assert_eq!(inner.retries, 7);
+        let err = super::from_str::<Inner>("{}").unwrap_err();
+        assert!(err.to_string().contains("label"));
+    }
+
+    #[test]
+    fn unknown_enum_variant_errors() {
+        assert!(super::from_str::<Mode>(r#""Sloppy""#).is_err());
+        let m: Mode = super::from_str(r#""Fast""#).unwrap();
+        assert_eq!(m, Mode::Fast);
+    }
+}

@@ -41,7 +41,12 @@ pub fn render(spec: &ClusterSpec, timing: &StageTiming, width: usize) -> String 
         let e = t.end - timing.start;
         let first = ((s / col_w) as usize).min(width - 1);
         let last = ((e / col_w) as usize).min(width - 1);
-        for (c, slot) in busy[t.node].iter_mut().enumerate().take(last + 1).skip(first) {
+        for (c, slot) in busy[t.node]
+            .iter_mut()
+            .enumerate()
+            .take(last + 1)
+            .skip(first)
+        {
             let c_start = c as f64 * col_w;
             let c_end = c_start + col_w;
             let overlap = (e.min(c_end) - s.max(c_start)).max(0.0);
@@ -72,7 +77,11 @@ pub fn render(spec: &ClusterSpec, timing: &StageTiming, width: usize) -> String 
                 SHADES[(frac * (SHADES.len() - 1) as f64).round() as usize]
             })
             .collect();
-        let marker = if Some(n) == straggler && spec.num_nodes() > 1 { "  <- last to finish" } else { "" };
+        let marker = if Some(n) == straggler && spec.num_nodes() > 1 {
+            "  <- last to finish"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "{:>name_w$} [{row}] {} tasks{marker}\n",
             node.name, counts[n],

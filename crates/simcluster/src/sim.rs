@@ -50,7 +50,10 @@ impl StageTiming {
 
     /// Duration of the slowest task.
     pub fn max_task(&self) -> f64 {
-        self.tasks.iter().map(TaskTiming::duration).fold(0.0, f64::max)
+        self.tasks
+            .iter()
+            .map(TaskTiming::duration)
+            .fold(0.0, f64::max)
     }
 
     /// Mean task duration (0 for an empty stage).
@@ -241,7 +244,8 @@ impl Simulation {
             if remote_bytes > 0 {
                 let packets = (remote_bytes as f64 / self.spec.mtu as f64).ceil();
                 // Received and transmitted both count in Fig. 13.
-                self.trace.record_packets(start, start + net_time.max(1e-9), 2.0 * packets);
+                self.trace
+                    .record_packets(start, start + net_time.max(1e-9), 2.0 * packets);
             }
             let io_bytes = local_bytes + task.write_bytes;
             if io_bytes > 0 {
@@ -268,7 +272,11 @@ impl Simulation {
         }
 
         self.clock = stage_end;
-        StageTiming { start: stage_start, end: stage_end, tasks: timings }
+        StageTiming {
+            start: stage_start,
+            end: stage_end,
+            tasks: timings,
+        }
     }
 
     /// Launches backup copies for tasks still running `multiplier` × the
@@ -316,14 +324,21 @@ impl Simulation {
                     best = Some((start, node));
                 }
             }
-            let Some((backup_start, backup_node)) = best else { continue };
+            let Some((backup_start, backup_node)) = best else {
+                continue;
+            };
             let (backup_dur, _, _, _) = self.task_duration(task, backup_node);
             let backup_end = backup_start + backup_dur;
             if backup_end < timing.end {
                 // The backup wins: account for its execution and cut the
                 // task's effective completion.
-                self.trace.record_task(backup_start, backup_end, task.memory_bytes);
-                *timing = TaskTiming { node: backup_node, start: timing.start, end: backup_end };
+                self.trace
+                    .record_task(backup_start, backup_end, task.memory_bytes);
+                *timing = TaskTiming {
+                    node: backup_node,
+                    start: timing.start,
+                    end: backup_end,
+                };
             }
         }
         timings.iter().map(|t| t.end).fold(0.0, f64::max)
@@ -348,12 +363,8 @@ impl Simulation {
             }
         }
 
-        let earliest = |node: NodeId| -> f64 {
-            cores[node]
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min)
-        };
+        let earliest =
+            |node: NodeId| -> f64 { cores[node].iter().copied().fold(f64::INFINITY, f64::min) };
 
         let mut best: Option<(f64, NodeId)> = None;
         let mut best_ready: Option<(f64, NodeId)> = None;
@@ -447,8 +458,7 @@ impl Simulation {
             + local_fetch as f64 / self.spec.cache_bandwidth;
         let chunk_time = task.fetch_chunks as f64 * self.spec.fetch_chunk_overhead;
 
-        let total =
-            self.spec.task_launch_overhead + compute + net_time + disk_time + chunk_time;
+        let total = self.spec.task_launch_overhead + compute + net_time + disk_time + chunk_time;
         (total, net_time, remote_total, local_bytes)
     }
 }
@@ -518,7 +528,10 @@ mod tests {
         let mut spec = uniform_cluster(2, 1, 1.0);
         spec.nodes[1].speed = 2.0;
         let mut sim = Simulation::new(spec);
-        let st = sim.run_stage(&[TaskSpec::compute(10.0).pin(0), TaskSpec::compute(10.0).pin(1)]);
+        let st = sim.run_stage(&[
+            TaskSpec::compute(10.0).pin(0),
+            TaskSpec::compute(10.0).pin(1),
+        ]);
         assert!(st.tasks[0].duration() > st.tasks[1].duration() * 1.9);
     }
 
@@ -553,7 +566,11 @@ mod tests {
             ..TaskSpec::default()
         };
         let st = sim.run_stage(&[t.clone().pin(0)]);
-        assert!(st.duration() > 3.0, "1s compute + ~2s network, got {}", st.duration());
+        assert!(
+            st.duration() > 3.0,
+            "1s compute + ~2s network, got {}",
+            st.duration()
+        );
         assert_eq!(sim.io_stats().remote_bytes, bytes);
 
         // The same fetch from the task's own node is a (much faster) disk read.
@@ -612,8 +629,18 @@ mod tests {
         let mut sim = Simulation::new(paper_cluster());
         let tasks = vec![TaskSpec::compute(100.0); 112];
         let st = sim.run_stage(&tasks);
-        let slow = st.tasks.iter().filter(|t| t.node <= 2).map(TaskTiming::duration).fold(0.0, f64::max);
-        let fast = st.tasks.iter().filter(|t| t.node >= 3).map(TaskTiming::duration).fold(0.0, f64::max);
+        let slow = st
+            .tasks
+            .iter()
+            .filter(|t| t.node <= 2)
+            .map(TaskTiming::duration)
+            .fold(0.0, f64::max);
+        let fast = st
+            .tasks
+            .iter()
+            .filter(|t| t.node >= 3)
+            .map(TaskTiming::duration)
+            .fold(0.0, f64::max);
         assert!(slow > fast, "AMD nodes are slower per core");
     }
 
@@ -685,7 +712,10 @@ mod tests {
             }
             sim.run_stage(&vec![TaskSpec::compute(5.0); 4]).duration()
         };
-        assert!((run(true) - run(false)).abs() < 1e-12, "no stragglers, no change");
+        assert!(
+            (run(true) - run(false)).abs() < 1e-12,
+            "no stragglers, no change"
+        );
     }
 
     #[test]
@@ -698,7 +728,10 @@ mod tests {
         let mut tasks = vec![TaskSpec::compute(1.0); 3];
         tasks.push(TaskSpec::compute(50.0)); // a genuinely fat partition
         let st = sim.run_stage(&tasks);
-        assert!(st.duration() > 50.0, "the fat partition still defines the barrier");
+        assert!(
+            st.duration() > 50.0,
+            "the fat partition still defines the barrier"
+        );
     }
 
     #[test]
@@ -712,8 +745,9 @@ mod tests {
     fn determinism_identical_runs_identical_schedules() {
         let mk = || {
             let mut sim = Simulation::new(paper_cluster());
-            let tasks: Vec<TaskSpec> =
-                (0..300).map(|i| TaskSpec::compute(1.0 + (i % 7) as f64)).collect();
+            let tasks: Vec<TaskSpec> = (0..300)
+                .map(|i| TaskSpec::compute(1.0 + (i % 7) as f64))
+                .collect();
             sim.run_stage(&tasks)
         };
         assert_eq!(mk(), mk());

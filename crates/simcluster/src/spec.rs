@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn executor_memory_is_40gb() {
         let c = paper_cluster();
-        assert!(c.nodes.iter().all(|n| n.memory_bytes == 40 * 1024 * 1024 * 1024));
+        assert!(c
+            .nodes
+            .iter()
+            .all(|n| n.memory_bytes == 40 * 1024 * 1024 * 1024));
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub struct TaskSpec {
 impl TaskSpec {
     /// A pure-compute task, the common case in tests.
     pub fn compute(cost: f64) -> Self {
-        TaskSpec { compute_cost: cost, ..TaskSpec::default() }
+        TaskSpec {
+            compute_cost: cost,
+            ..TaskSpec::default()
+        }
     }
 
     /// Adds a locality preference.
@@ -56,7 +59,11 @@ impl TaskSpec {
     /// Total bytes this task will pull over the network if placed on
     /// `node` (fetches whose source is `node` are free).
     pub fn remote_bytes_if_on(&self, node: NodeId) -> u64 {
-        self.fetches.iter().filter(|(src, _)| *src != node).map(|(_, b)| *b).sum()
+        self.fetches
+            .iter()
+            .filter(|(src, _)| *src != node)
+            .map(|(_, b)| *b)
+            .sum()
     }
 
     /// Total shuffle fetch volume regardless of placement.

@@ -41,7 +41,10 @@ impl UtilTrace {
     /// positive.
     pub fn new(bucket_width: f64, total_cores: usize, total_memory: u64) -> Self {
         assert!(bucket_width > 0.0, "bucket width must be positive");
-        assert!(total_cores > 0 && total_memory > 0, "cluster totals must be positive");
+        assert!(
+            total_cores > 0 && total_memory > 0,
+            "cluster totals must be positive"
+        );
         UtilTrace {
             bucket_width,
             total_cores: total_cores as f64,
@@ -111,7 +114,9 @@ impl UtilTrace {
             return;
         }
         let mem = bytes as f64 * (end - start);
-        self.spread(start, end, |tr, b, share| tr.mem_byte_secs[b] += mem * share);
+        self.spread(start, end, |tr, b, share| {
+            tr.mem_byte_secs[b] += mem * share
+        });
     }
 
     /// Records a network transfer of `packets` packets over `[start, end)`.
@@ -127,7 +132,9 @@ impl UtilTrace {
         if transactions <= 0.0 {
             return;
         }
-        self.spread(start, end, |tr, b, share| tr.transactions[b] += transactions * share);
+        self.spread(start, end, |tr, b, share| {
+            tr.transactions[b] += transactions * share
+        });
     }
 
     /// Renders the accumulated usage as one row per bucket.
@@ -176,7 +183,10 @@ mod tests {
         let mut t = trace();
         t.record_task(0.5, 1.5, 0);
         let pts = t.points();
-        assert!((pts[0].cpu_pct - 5.0).abs() < 1e-9, "half a core-second in bucket 0");
+        assert!(
+            (pts[0].cpu_pct - 5.0).abs() < 1e-9,
+            "half a core-second in bucket 0"
+        );
         assert!((pts[1].cpu_pct - 5.0).abs() < 1e-9);
     }
 

@@ -69,7 +69,11 @@ impl PointGen {
         let centers = (0..k)
             .map(|_| (0..dim).map(|_| (rng.next_f64() - 0.5) * 20.0).collect())
             .collect();
-        PointGen { centers, spread, seed }
+        PointGen {
+            centers,
+            spread,
+            seed,
+        }
     }
 
     /// The dimensionality of generated points.
@@ -81,7 +85,10 @@ impl PointGen {
     pub fn point(&self, i: u64) -> Vec<f64> {
         let mut rng = record_rng(self.seed, i);
         let center = &self.centers[(i % self.centers.len() as u64) as usize];
-        center.iter().map(|&c| c + self.spread * normal(&mut rng)).collect()
+        center
+            .iter()
+            .map(|&c| c + self.spread * normal(&mut rng))
+            .collect()
     }
 
     /// The record at global index `i`: keyless vector payload.
@@ -151,7 +158,10 @@ impl TableGen {
         let payload: String = "x".repeat(self.payload);
         Record::new(
             Key::Int(self.key(i)),
-            Value::Pair(Box::new(Value::Float(amount)), Box::new(Value::str(&payload))),
+            Value::Pair(
+                Box::new(Value::Float(amount)),
+                Box::new(Value::str(&payload)),
+            ),
         )
     }
 
@@ -185,10 +195,8 @@ mod tests {
     fn partitioning_does_not_change_the_data() {
         let g = PointGen::new(3, 4, 0.5, 7);
         let n = 100;
-        let coarse: Vec<Record> =
-            (0..4).flat_map(|p| g.partition(n, p, 4)).collect();
-        let fine: Vec<Record> =
-            (0..10).flat_map(|p| g.partition(n, p, 10)).collect();
+        let coarse: Vec<Record> = (0..4).flat_map(|p| g.partition(n, p, 4)).collect();
+        let fine: Vec<Record> = (0..10).flat_map(|p| g.partition(n, p, 10)).collect();
         assert_eq!(coarse, fine, "same records regardless of split count");
         assert_eq!(coarse.len(), 100);
     }
@@ -198,8 +206,16 @@ mod tests {
         let g = PointGen::new(2, 4, 0.1, 11);
         // Point 0 belongs to center 0, point 1 to center 1.
         let p0 = g.point(0);
-        let d0: f64 = p0.iter().zip(&g.centers[0]).map(|(a, b)| (a - b).powi(2)).sum();
-        let d1: f64 = p0.iter().zip(&g.centers[1]).map(|(a, b)| (a - b).powi(2)).sum();
+        let d0: f64 = p0
+            .iter()
+            .zip(&g.centers[0])
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
+        let d1: f64 = p0
+            .iter()
+            .zip(&g.centers[1])
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
         assert!(d0 < d1, "point 0 is near its own center");
     }
 
@@ -261,8 +277,12 @@ mod tests {
     fn skewed_ranges_vary_in_size() {
         let n = 100_000u64;
         let parts = 50;
-        let sizes: Vec<u64> =
-            (0..parts).map(|p| { let (lo, hi) = skewed_range(n, p, parts); hi - lo }).collect();
+        let sizes: Vec<u64> = (0..parts)
+            .map(|p| {
+                let (lo, hi) = skewed_range(n, p, parts);
+                hi - lo
+            })
+            .collect();
         let max = *sizes.iter().max().unwrap() as f64;
         let min = *sizes.iter().min().unwrap() as f64;
         let mean = n as f64 / parts as f64;

@@ -164,7 +164,13 @@ impl KMeans {
         // ---- stage 0: parse + cache the full input -----------------------
         let g = gen.clone();
         let gen_full: GenFn = Arc::new(move |i, parts| g.partition(n, i, parts));
-        let src = ctx.text_file("kmeans.data", gen.bytes(n), gen_full, PARSE_COST, "parse-points");
+        let src = ctx.text_file(
+            "kmeans.data",
+            gen.bytes(n),
+            gen_full,
+            PARSE_COST,
+            "parse-points",
+        );
         let points = ctx.maybe_insert_repartition(src);
         ctx.cache(points);
         ctx.count(points, "load");
@@ -174,8 +180,13 @@ impl KMeans {
         for (j, tag) in PREP_TAGS.iter().enumerate().take(cfg.prep_passes) {
             let g = gen.clone();
             let gen_sample: GenFn = Arc::new(move |i, parts| g.partition(sample_n, i, parts));
-            let sample =
-                ctx.text_file("kmeans.sample", gen.bytes(sample_n), gen_sample, PARSE_COST, tag);
+            let sample = ctx.text_file(
+                "kmeans.sample",
+                gen.bytes(sample_n),
+                gen_sample,
+                PARSE_COST,
+                tag,
+            );
             let dim = j % cfg.dim;
             let pass = ctx.filter(
                 sample,
@@ -241,7 +252,11 @@ impl KMeans {
             .collect();
         histogram.sort_unstable();
 
-        KMeansResult { ctx, centers, histogram }
+        KMeansResult {
+            ctx,
+            centers,
+            histogram,
+        }
     }
 }
 
@@ -299,12 +314,21 @@ mod tests {
         assert!(stages[0].shuffle_write_bytes == 0);
         // Prep stages are shuffle-free.
         for s in &stages[1..=w.config.prep_passes] {
-            assert_eq!(s.shuffle_data(), 0, "prep stage {} must not shuffle", s.stage_id);
+            assert_eq!(
+                s.shuffle_data(),
+                0,
+                "prep stage {} must not shuffle",
+                s.stage_id
+            );
         }
         // Iteration stages shuffle.
         let first_iter = 1 + w.config.prep_passes;
         for s in &stages[first_iter..first_iter + 2 * w.config.iterations] {
-            assert!(s.shuffle_data() > 0, "iteration stage {} must shuffle", s.stage_id);
+            assert!(
+                s.shuffle_data() > 0,
+                "iteration stage {} must shuffle",
+                s.stage_id
+            );
         }
     }
 
@@ -343,9 +367,18 @@ mod tests {
         for c in &res.centers {
             let min_d = truth
                 .iter()
-                .map(|t| t.iter().zip(c).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt())
+                .map(|t| {
+                    t.iter()
+                        .zip(c)
+                        .map(|(a, b)| (a - b).powi(2))
+                        .sum::<f64>()
+                        .sqrt()
+                })
                 .fold(f64::INFINITY, f64::min);
-            assert!(min_d < 2.0, "center {c:?} too far from any true center ({min_d})");
+            assert!(
+                min_d < 2.0,
+                "center {c:?} too far from any true center ({min_d})"
+            );
         }
     }
 

@@ -43,7 +43,13 @@ impl LogRegConfig {
 
     /// A small instance for tests.
     pub fn small() -> Self {
-        LogRegConfig { points: 6_000, dim: 6, iterations: 30, learning_rate: 6.0, seed: 3 }
+        LogRegConfig {
+            points: 6_000,
+            dim: 6,
+            iterations: 30,
+            learning_rate: 6.0,
+            seed: 3,
+        }
     }
 }
 
@@ -83,13 +89,21 @@ const FEATURE_SCALE: f64 = 0.1;
 /// The model's linear response for features `x` under `w` (weights plus
 /// trailing bias).
 fn response(x: &[f64], w: &[f64]) -> f64 {
-    x.iter().zip(w.iter()).map(|(a, b)| a * FEATURE_SCALE * b).sum::<f64>() + w[x.len()]
+    x.iter()
+        .zip(w.iter())
+        .map(|(a, b)| a * FEATURE_SCALE * b)
+        .sum::<f64>()
+        + w[x.len()]
 }
 
 /// The label of point `i`: a separating hyperplane with deterministic
 /// noise, derived from the same generator as the features.
 fn label(x: &[f64]) -> f64 {
-    let s: f64 = x.iter().enumerate().map(|(j, v)| if j % 2 == 0 { *v } else { -*v }).sum();
+    let s: f64 = x
+        .iter()
+        .enumerate()
+        .map(|(j, v)| if j % 2 == 0 { *v } else { -*v })
+        .sum();
     if s > 0.0 {
         1.0
     } else {
@@ -130,8 +144,12 @@ impl LogReg {
 
         // ---- gradient-descent iterations ---------------------------------
         let sum_grads: ReduceFn = Arc::new(|a: &Value, b: &Value| {
-            let s: Vec<f64> =
-                a.as_vector().iter().zip(b.as_vector()).map(|(x, y)| x + y).collect();
+            let s: Vec<f64> = a
+                .as_vector()
+                .iter()
+                .zip(b.as_vector())
+                .map(|(x, y)| x + y)
+                .collect();
             Value::vector(s)
         });
         let grad_cost = GRAD_COST_PER_DIM * dim as f64;
@@ -200,7 +218,11 @@ impl LogReg {
         let hits = ctx.count(correct, "accuracy");
         let accuracy = hits as f64 / n as f64;
 
-        LogRegResult { ctx, weights, accuracy }
+        LogRegResult {
+            ctx,
+            weights,
+            accuracy,
+        }
     }
 }
 
@@ -267,10 +289,16 @@ mod tests {
     fn accuracy_improves_with_iterations() {
         let mut one = LogRegConfig::small();
         one.iterations = 1;
-        let acc1 = LogReg::new(one).execute(&opts(), &WorkloadConf::new(), 1.0).accuracy;
-        let acc4 =
-            LogReg::new(LogRegConfig::small()).execute(&opts(), &WorkloadConf::new(), 1.0).accuracy;
-        assert!(acc4 >= acc1, "more iterations must not hurt: {acc4} vs {acc1}");
+        let acc1 = LogReg::new(one)
+            .execute(&opts(), &WorkloadConf::new(), 1.0)
+            .accuracy;
+        let acc4 = LogReg::new(LogRegConfig::small())
+            .execute(&opts(), &WorkloadConf::new(), 1.0)
+            .accuracy;
+        assert!(
+            acc4 >= acc1,
+            "more iterations must not hurt: {acc4} vs {acc1}"
+        );
     }
 
     #[test]

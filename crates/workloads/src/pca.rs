@@ -40,12 +40,24 @@ impl PcaConfig {
     /// Paper-shaped instance (input ratio vs. KMeans preserved from
     /// Table I: 27.6 GB vs 21.8 GB).
     pub fn paper() -> Self {
-        PcaConfig { points: 360_000, dim: 16, components: 3, power_iters: 12, seed: 1606 }
+        PcaConfig {
+            points: 360_000,
+            dim: 16,
+            components: 3,
+            power_iters: 12,
+            seed: 1606,
+        }
     }
 
     /// A small instance for tests.
     pub fn small() -> Self {
-        PcaConfig { points: 6_000, dim: 5, components: 2, power_iters: 10, seed: 13 }
+        PcaConfig {
+            points: 6_000,
+            dim: 5,
+            components: 2,
+            power_iters: 10,
+            seed: 13,
+        }
     }
 }
 
@@ -104,8 +116,13 @@ impl Pca {
         // ---- stage 0: parse + cache ---------------------------------------
         let g = gen.clone();
         let gen_full: GenFn = Arc::new(move |i, parts| g.partition(n, i, parts));
-        let src =
-            ctx.text_file("pca.data", n * VIRTUAL_RECORD_BYTES, gen_full, PARSE_COST, "parse-points");
+        let src = ctx.text_file(
+            "pca.data",
+            n * VIRTUAL_RECORD_BYTES,
+            gen_full,
+            PARSE_COST,
+            "parse-points",
+        );
         let points = ctx.maybe_insert_repartition(src);
         ctx.cache(points);
         ctx.count(points, "load");
@@ -113,8 +130,12 @@ impl Pca {
         // ---- stages 1–2: mean vector --------------------------------------
         let sum_vectors: ReduceFn = Arc::new(|a: &Value, b: &Value| match (a, b) {
             (Value::Pair(sa, ca), Value::Pair(sb, cb)) => {
-                let s: Vec<f64> =
-                    sa.as_vector().iter().zip(sb.as_vector()).map(|(x, y)| x + y).collect();
+                let s: Vec<f64> = sa
+                    .as_vector()
+                    .iter()
+                    .zip(sb.as_vector())
+                    .map(|(x, y)| x + y)
+                    .collect();
                 Value::Pair(
                     Box::new(Value::vector(s)),
                     Box::new(Value::Int(ca.as_int() + cb.as_int())),
@@ -142,8 +163,7 @@ impl Pca {
             MEAN_COST,
             "mean-partials",
         );
-        let mean_red =
-            ctx.reduce_by_key(mean_map, sum_vectors, None, MEAN_COST, "mean-reduce");
+        let mean_red = ctx.reduce_by_key(mean_map, sum_vectors, None, MEAN_COST, "mean-reduce");
         let partials = ctx.collect(mean_red, "mean");
         let mut mean = vec![0.0; dim];
         let mut count = 0i64;
@@ -167,8 +187,13 @@ impl Pca {
             {
                 let mean = Arc::clone(&mean_arc);
                 Arc::new(move |r: &Record| {
-                    let x: Vec<f64> =
-                        r.value.as_vector().iter().zip(mean.iter()).map(|(a, b)| a - b).collect();
+                    let x: Vec<f64> = r
+                        .value
+                        .as_vector()
+                        .iter()
+                        .zip(mean.iter())
+                        .map(|(a, b)| a - b)
+                        .collect();
                     (0..x.len())
                         .map(|row| {
                             let scaled: Vec<f64> = x.iter().map(|&v| v * x[row]).collect();
@@ -181,8 +206,12 @@ impl Pca {
             "cov-rows",
         );
         let add_rows: ReduceFn = Arc::new(|a: &Value, b: &Value| {
-            let s: Vec<f64> =
-                a.as_vector().iter().zip(b.as_vector()).map(|(x, y)| x + y).collect();
+            let s: Vec<f64> = a
+                .as_vector()
+                .iter()
+                .zip(b.as_vector())
+                .map(|(x, y)| x + y)
+                .collect();
             Value::vector(s)
         });
         let cov_red = ctx.reduce_by_key(
@@ -228,7 +257,12 @@ impl Pca {
         let (components, eigenvalues) =
             power_iteration(&cov, cfg.components, cfg.power_iters, cfg.seed);
 
-        PcaResult { ctx, mean, components, eigenvalues }
+        PcaResult {
+            ctx,
+            mean,
+            components,
+            eigenvalues,
+        }
     }
 }
 
@@ -368,7 +402,10 @@ mod tests {
         let w = Pca::new(PcaConfig::small());
         let res = w.execute(&opts(), &WorkloadConf::new(), 1.0);
         for win in res.eigenvalues.windows(2) {
-            assert!(win[0] >= win[1] - 1e-9, "eigenvalues must be non-increasing");
+            assert!(
+                win[0] >= win[1] - 1e-9,
+                "eigenvalues must be non-increasing"
+            );
         }
         assert!(res.eigenvalues[0] > 0.0);
     }

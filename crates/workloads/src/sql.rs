@@ -19,9 +19,7 @@
 
 use crate::datagen::TableGen;
 use chopper::Workload;
-use engine::{
-    Context, EngineOptions, GenFn, Key, Record, ReduceFn, Value, WorkloadConf,
-};
+use engine::{Context, EngineOptions, GenFn, Key, Record, ReduceFn, Value, WorkloadConf};
 use std::sync::Arc;
 
 /// SQL workload parameters.
@@ -57,7 +55,14 @@ impl SqlConfig {
 
     /// A small instance for tests.
     pub fn small() -> Self {
-        SqlConfig { orders: 8_000, returns: 4_000, keys: 500, zipf: 1.3, payload: 8, seed: 5 }
+        SqlConfig {
+            orders: 8_000,
+            returns: 4_000,
+            keys: 500,
+            zipf: 1.3,
+            payload: 8,
+            seed: 5,
+        }
     }
 }
 
@@ -129,8 +134,13 @@ impl Sql {
             AGG_COST,
             "project-orders",
         );
-        let order_totals =
-            ctx.reduce_by_key(order_amounts, Self::sum_amounts(), None, AGG_COST, "agg-orders");
+        let order_totals = ctx.reduce_by_key(
+            order_amounts,
+            Self::sum_amounts(),
+            None,
+            AGG_COST,
+            "agg-orders",
+        );
         ctx.cache(order_totals);
         ctx.count(order_totals, "orders-aggregate");
 
@@ -157,8 +167,13 @@ impl Sql {
             AGG_COST,
             "project-returns",
         );
-        let return_totals =
-            ctx.reduce_by_key(return_amounts, Self::sum_amounts(), None, AGG_COST, "agg-returns");
+        let return_totals = ctx.reduce_by_key(
+            return_amounts,
+            Self::sum_amounts(),
+            None,
+            AGG_COST,
+            "agg-returns",
+        );
         ctx.cache(return_totals);
         ctx.count(return_totals, "returns-aggregate");
 
@@ -221,7 +236,7 @@ mod tests {
     }
 
     #[test]
-    fn stages_zero_to_three_shuffle(){
+    fn stages_zero_to_three_shuffle() {
         let w = Sql::new(SqlConfig::small());
         let res = w.execute(&opts(), &WorkloadConf::new(), 1.0);
         let stages = res.ctx.all_stages();
@@ -252,12 +267,17 @@ mod tests {
                 *r_tot.entry(*k).or_insert(0.0) += a.as_float();
             }
         }
-        let expected: usize =
-            o_tot.keys().filter(|k| r_tot.contains_key(k)).count();
+        let expected: usize = o_tot.keys().filter(|k| r_tot.contains_key(k)).count();
         assert_eq!(res.joined.len(), expected);
         for (k, o, r) in &res.joined {
-            assert!((o - o_tot[k]).abs() < 1e-6, "orders total mismatch for key {k}");
-            assert!((r - r_tot[k]).abs() < 1e-6, "returns total mismatch for key {k}");
+            assert!(
+                (o - o_tot[k]).abs() < 1e-6,
+                "orders total mismatch for key {k}"
+            );
+            assert!(
+                (r - r_tot[k]).abs() < 1e-6,
+                "returns total mismatch for key {k}"
+            );
         }
     }
 
@@ -268,7 +288,10 @@ mod tests {
         let stages = res.ctx.all_stages();
         // The orders aggregation reduce (stage 1) sees the hot keys.
         let skew = stages[1].task_skew();
-        assert!(skew > 1.2, "zipf keys should skew hash buckets, skew={skew}");
+        assert!(
+            skew > 1.2,
+            "zipf keys should skew hash buckets, skew={skew}"
+        );
     }
 
     #[test]
@@ -304,8 +327,6 @@ mod tests {
         let w = Sql::new(SqlConfig::small());
         let full = w.execute(&opts(), &WorkloadConf::new(), 1.0);
         let half = w.execute(&opts(), &WorkloadConf::new(), 0.5);
-        assert!(
-            half.ctx.all_stages()[0].input_records < full.ctx.all_stages()[0].input_records
-        );
+        assert!(half.ctx.all_stages()[0].input_records < full.ctx.all_stages()[0].input_records);
     }
 }

@@ -8,9 +8,7 @@
 //! cargo run --release --example dynamic_reconfig
 //! ```
 
-use engine::{
-    Context, EngineOptions, Key, Record, ReduceFn, Value,
-};
+use engine::{Context, EngineOptions, Key, Record, ReduceFn, Value};
 use std::sync::Arc;
 
 fn main() {
@@ -21,8 +19,9 @@ fn main() {
     });
 
     // A cached dataset iterated over repeatedly (KMeans-like driver loop).
-    let data: Vec<Record> =
-        (0..120_000).map(|i| Record::new(Key::Int(i % 64), Value::Int(1))).collect();
+    let data: Vec<Record> = (0..120_000)
+        .map(|i| Record::new(Key::Int(i % 64), Value::Int(1)))
+        .collect();
     let points = ctx.parallelize(data, 64, "points");
     ctx.cache(points);
     ctx.count(points, "materialize");
@@ -42,17 +41,19 @@ fn main() {
             ctx.set_conf_text(&conf_text).expect("valid config");
         }
 
-        let mapped = ctx.map(
-            points,
-            Arc::new(|r: &Record| r.clone()),
-            1e-4,
-            "iterate",
-        );
+        let mapped = ctx.map(points, Arc::new(|r: &Record| r.clone()), 1e-4, "iterate");
         let reduced = ctx.reduce_by_key(mapped, Arc::clone(&sum), None, 1e-5, "accumulate");
         iteration_sig = Some(ctx.signature(reduced));
         ctx.count(reduced, "iteration");
 
-        let stage = ctx.jobs().last().expect("job ran").stages.last().expect("has stages").clone();
+        let stage = ctx
+            .jobs()
+            .last()
+            .expect("job ran")
+            .stages
+            .last()
+            .expect("has stages")
+            .clone();
         println!(
             "iteration {iter}: reduce ran with {} tasks ({:.2}s)",
             stage.num_tasks,
@@ -66,7 +67,15 @@ fn main() {
         .skip(1) // the materialize job
         .map(|j| j.stages.last().expect("reduce stage").num_tasks)
         .collect();
-    assert_eq!(&reduce_counts[..3], &[300, 300, 300], "default until the update");
-    assert_eq!(&reduce_counts[3..], &[48, 48, 48], "new scheme from iteration 3 on");
+    assert_eq!(
+        &reduce_counts[..3],
+        &[300, 300, 300],
+        "default until the update"
+    );
+    assert_eq!(
+        &reduce_counts[3..],
+        &[48, 48, 48],
+        "new scheme from iteration 3 on"
+    );
     println!("\nconfiguration change applied at a stage boundary, mid-workload.");
 }

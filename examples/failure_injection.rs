@@ -18,8 +18,9 @@ fn main() {
     });
 
     // A cached dataset processed by repeated aggregation rounds.
-    let data: Vec<Record> =
-        (0..600_000).map(|i| Record::new(Key::Int(i % 500), Value::Int(1))).collect();
+    let data: Vec<Record> = (0..600_000)
+        .map(|i| Record::new(Key::Int(i % 500), Value::Int(1)))
+        .collect();
     let points = ctx.parallelize(data, 300, "events");
     ctx.cache(points);
     ctx.count(points, "materialize");
@@ -60,7 +61,10 @@ fn main() {
     // Interestingly, failing A outright can be slightly *cheaper* than
     // keeping it as a straggler trap would be — but it must still be worse
     // than the healthy cluster.
-    assert!(t_failed > t_healthy, "a 32-core hole must show in the makespan");
+    assert!(
+        t_failed > t_healthy,
+        "a 32-core hole must show in the makespan"
+    );
     assert!(t_recovered < t_failed, "recovery restores throughput");
     println!("\nresults identical under every condition; only timing degraded.");
 }

@@ -29,6 +29,7 @@ fn main() {
         partitions: vec![60, 150, 300, 600, 1200],
         kinds: vec![PartitionerKind::Hash, PartitionerKind::Range],
         probe_user_fixed: true,
+        parallelism: 2,
     };
 
     println!(
@@ -38,12 +39,21 @@ fn main() {
     let cmp = tuner.compare(&workload);
 
     println!("\nper-stage comparison (vanilla P=300 vs CHOPPER):");
-    println!("{:>5} {:>10} {:>6} | {:>10} {:>6}", "stage", "Spark", "P", "CHOPPER", "P");
+    println!(
+        "{:>5} {:>10} {:>6} | {:>10} {:>6}",
+        "stage", "Spark", "P", "CHOPPER", "P"
+    );
     let v: Vec<_> = cmp.vanilla.all_stages().into_iter().cloned().collect();
     let c: Vec<_> = cmp.chopper.all_stages().into_iter().cloned().collect();
     for i in 0..v.len().max(c.len()) {
-        let (vd, vp) = v.get(i).map(|s| (s.duration(), s.num_tasks)).unwrap_or((0.0, 0));
-        let (cd, cp) = c.get(i).map(|s| (s.duration(), s.num_tasks)).unwrap_or((0.0, 0));
+        let (vd, vp) = v
+            .get(i)
+            .map(|s| (s.duration(), s.num_tasks))
+            .unwrap_or((0.0, 0));
+        let (cd, cp) = c
+            .get(i)
+            .map(|s| (s.duration(), s.num_tasks))
+            .unwrap_or((0.0, 0));
         println!("{i:>5} {vd:>9.1}s {vp:>6} | {cd:>9.1}s {cp:>6}");
     }
 
@@ -51,7 +61,10 @@ fn main() {
     for d in &cmp.plan.decisions {
         match &d.action {
             DecisionAction::Retune(s) | DecisionAction::RetuneGrouped(s) => {
-                println!("  {:016x} {:<14} -> {} {}", d.signature, d.name, s.kind, s.partitions)
+                println!(
+                    "  {:016x} {:<14} -> {} {}",
+                    d.signature, d.name, s.kind, s.partitions
+                )
             }
             other => println!("  {:016x} {:<14} -> {:?}", d.signature, d.name, other),
         }

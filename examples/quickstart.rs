@@ -31,8 +31,9 @@ impl Workload for WordCount {
         let n = ((self.records as f64 * scale) as usize).max(1);
         let words = self.distinct_words;
         // One record per "word occurrence".
-        let data: Vec<Record> =
-            (0..n).map(|i| Record::new(Key::Int(i as i64 % words), Value::Int(1))).collect();
+        let data: Vec<Record> = (0..n)
+            .map(|i| Record::new(Key::Int(i as i64 % words), Value::Int(1)))
+            .collect();
         let src = ctx.parallelize(data, 8, "lines");
 
         let sum: ReduceFn = Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int()));
@@ -53,7 +54,10 @@ fn main() {
         default_parallelism: 512,
         ..EngineOptions::default()
     };
-    let workload = WordCount { records: 200_000, distinct_words: 5_000 };
+    let workload = WordCount {
+        records: 200_000,
+        distinct_words: 5_000,
+    };
 
     // 1. Run once, vanilla.
     let ctx = workload.run_full(&opts, &WorkloadConf::new());
@@ -80,7 +84,10 @@ fn main() {
     for d in &comparison.plan.decisions {
         println!("  {} -> {:?}", d.name, d.action);
     }
-    println!("\ngenerated configuration file:\n{}", comparison.plan.conf.to_text());
+    println!(
+        "\ngenerated configuration file:\n{}",
+        comparison.plan.conf.to_text()
+    );
     println!(
         "vanilla {:.2}s -> CHOPPER {:.2}s ({:+.1}% improvement)",
         comparison.vanilla_time(),

@@ -41,12 +41,26 @@ fn main() {
     let (t_vanilla, read_v, remote_v) = run(false);
     let (t_chopper, read_c, remote_c) = run(true);
 
-    println!("join-stage input:  vanilla {} KB, co-partitioned {} KB (same data)", read_v / 1024, read_c / 1024);
-    println!("join-stage remote: vanilla {} KB, co-partitioned {} KB", remote_v / 1024, remote_c / 1024);
+    println!(
+        "join-stage input:  vanilla {} KB, co-partitioned {} KB (same data)",
+        read_v / 1024,
+        read_c / 1024
+    );
+    println!(
+        "join-stage remote: vanilla {} KB, co-partitioned {} KB",
+        remote_v / 1024,
+        remote_c / 1024
+    );
     println!("total time:        vanilla {t_vanilla:.1}s, co-partitioned {t_chopper:.1}s");
 
-    assert_eq!(read_v, read_c, "both systems move the same join volume (paper: 4.7 GB)");
-    assert_eq!(remote_c, 0, "anchored partitions make the join fully node-local");
+    assert_eq!(
+        read_v, read_c,
+        "both systems move the same join volume (paper: 4.7 GB)"
+    );
+    assert_eq!(
+        remote_c, 0,
+        "anchored partitions make the join fully node-local"
+    );
     assert!(
         remote_v > 0,
         "vanilla placement scatters the two sides, paying network on the join"

@@ -25,6 +25,7 @@ fn quick_tuner(parallelism: usize) -> Autotuner {
         partitions: vec![8, 16, 32, 64, 150, 300],
         kinds: vec![PartitionerKind::Hash],
         probe_user_fixed: true,
+        parallelism: 2,
     };
     t.optimizer.default_parallelism = parallelism;
     t
@@ -41,7 +42,11 @@ fn kmeans_full_loop_improves_oversized_default() {
         cmp.chopper_time()
     );
     // The plan retuned at least the parse and update stages.
-    assert!(cmp.plan.conf.stages.len() >= 2, "plan: {:?}", cmp.plan.decisions);
+    assert!(
+        cmp.plan.conf.stages.len() >= 2,
+        "plan: {:?}",
+        cmp.plan.decisions
+    );
 }
 
 #[test]
@@ -69,7 +74,10 @@ fn trained_database_survives_serialization_and_still_plans() {
     let restored = WorkloadDb::from_json(&db.to_json()).expect("round trip");
     let plan_fresh = t.plan(&w, &db);
     let plan_restored = t.plan(&w, &restored);
-    assert_eq!(plan_fresh.conf, plan_restored.conf, "plans match after persistence");
+    assert_eq!(
+        plan_fresh.conf, plan_restored.conf,
+        "plans match after persistence"
+    );
     assert!(!plan_fresh.conf.is_empty());
 }
 
@@ -138,6 +146,36 @@ fn production_observations_anchor_the_models() {
 }
 
 #[test]
+fn autotune_is_deterministic_across_worker_and_grid_parallelism() {
+    // Host-side parallelism — both the engine's worker pool and the test-run
+    // grid fan-out — must never leak into what the tuner observes or decides.
+    // Train and plan under (workers=1, serial grid) and (workers=8, parallel
+    // grid): the observation databases and final plans must match exactly.
+    let tune = |workers: usize, grid_parallelism: usize| {
+        let mut opts = small_engine(300);
+        opts.workers = workers;
+        let mut t = Autotuner::new(opts);
+        t.test_plan = TestRunPlan {
+            scales: vec![0.2, 0.5, 1.0],
+            partitions: vec![8, 32, 150, 300],
+            kinds: vec![PartitionerKind::Hash],
+            probe_user_fixed: true,
+            parallelism: grid_parallelism,
+        };
+        t.optimizer.default_parallelism = 300;
+        let w = KMeans::new(KMeansConfig::small());
+        let mut db = WorkloadDb::new();
+        t.train(&w, &mut db);
+        let plan = t.plan(&w, &db);
+        (db.to_json(), plan.conf)
+    };
+    let (db_serial, plan_serial) = tune(1, 1);
+    let (db_parallel, plan_parallel) = tune(8, 4);
+    assert_eq!(db_serial, db_parallel, "observation databases diverged");
+    assert_eq!(plan_serial, plan_parallel, "tuned plans diverged");
+}
+
+#[test]
 fn repartition_insertion_hook_round_trip() {
     // A user-fixed source with a pathologically high split count: the
     // engine-side hook inserts a repartition phase when the configuration
@@ -145,8 +183,9 @@ fn repartition_insertion_hook_round_trip() {
     use chopper_repro::engine::{Context, Key, PartitionerSpec, Record, Value};
 
     let mut ctx = Context::new(small_engine(32));
-    let data: Vec<Record> =
-        (0..20_000).map(|i| Record::new(Key::Int(i % 50), Value::Int(1))).collect();
+    let data: Vec<Record> = (0..20_000)
+        .map(|i| Record::new(Key::Int(i % 50), Value::Int(1)))
+        .collect();
     let src = ctx.parallelize(data, 512, "overpartitioned-src");
     let sig = ctx.signature(src);
     let mut conf = WorkloadConf::new();
@@ -156,7 +195,10 @@ fn repartition_insertion_hook_round_trip() {
     assert_ne!(repartitioned, src);
     ctx.count(repartitioned, "coalesce");
     let last = ctx.jobs().last().unwrap().stages.last().unwrap().clone();
-    assert_eq!(last.num_tasks, 16, "inserted phase runs at the requested width");
+    assert_eq!(
+        last.num_tasks, 16,
+        "inserted phase runs at the requested width"
+    );
 }
 
 #[test]
@@ -177,8 +219,11 @@ fn partition_dependency_grouping_protects_cached_chains() {
         .iter()
         .filter(|d| matches!(d.action, DecisionAction::FollowsProducer(_)))
         .count();
-    assert!(followers >= 1, "gradient/evaluate follow the parse stage: {:?}",
-        cmp.plan.decisions);
+    assert!(
+        followers >= 1,
+        "gradient/evaluate follow the parse stage: {:?}",
+        cmp.plan.decisions
+    );
     // And the joint decision must not make the tuned run slower.
     assert!(
         cmp.chopper_time() <= cmp.vanilla_time() * 1.02,

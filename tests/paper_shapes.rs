@@ -35,8 +35,14 @@ fn fig3_stage0_improves_with_partitions() {
     let t100 = t(100);
     let t300 = t(300);
     let t500 = t(500);
-    assert!(t100 > t300, "P=100 ({t100:.1}s) must be worse than P=300 ({t300:.1}s)");
-    assert!(t300 > t500, "P=300 ({t300:.1}s) must be worse than P=500 ({t500:.1}s)");
+    assert!(
+        t100 > t300,
+        "P=100 ({t100:.1}s) must be worse than P=300 ({t300:.1}s)"
+    );
+    assert!(
+        t300 > t500,
+        "P=300 ({t300:.1}s) must be worse than P=500 ({t500:.1}s)"
+    );
 }
 
 /// Fig 4: shuffle volume grows monotonically with the partition count at
@@ -58,8 +64,7 @@ fn fig4_shuffle_grows_with_partitions() {
     assert_eq!(shuffle_per_p[0].len(), shuffle_per_p[1].len());
     for i in 0..shuffle_per_p[0].len() {
         assert!(
-            shuffle_per_p[0][i] < shuffle_per_p[1][i]
-                && shuffle_per_p[1][i] < shuffle_per_p[2][i],
+            shuffle_per_p[0][i] < shuffle_per_p[1][i] && shuffle_per_p[1][i] < shuffle_per_p[2][i],
             "stage {i} shuffle must grow with P: {:?}",
             shuffle_per_p.iter().map(|v| v[i]).collect::<Vec<_>>()
         );
@@ -79,7 +84,10 @@ fn sec2b_2000_partitions_blow_up() {
     };
     let (t500, s500) = run(500);
     let (t2000, s2000) = run(2000);
-    assert!(t2000 > 1.2 * t500, "2000 partitions must be >20% slower: {t2000:.0} vs {t500:.0}");
+    assert!(
+        t2000 > 1.2 * t500,
+        "2000 partitions must be >20% slower: {t2000:.0} vs {t500:.0}"
+    );
     assert!(s2000 > 3 * s500, "2000 partitions must shuffle much more");
 }
 
@@ -96,7 +104,10 @@ fn fig2_no_single_p_wins_everywhere() {
     let b = per_stage(500);
     let a_wins = a.iter().zip(&b).filter(|(x, y)| x < y).count();
     let b_wins = a.iter().zip(&b).filter(|(x, y)| x > y).count();
-    assert!(a_wins > 0 && b_wins > 0, "each P must win somewhere (P100 {a_wins}, P500 {b_wins})");
+    assert!(
+        a_wins > 0 && b_wins > 0,
+        "each P must win somewhere (P100 {a_wins}, P500 {b_wins})"
+    );
 }
 
 /// Figs 9-10: stage 4 (the join) moves the same volume under both systems,
@@ -109,7 +120,10 @@ fn fig9_join_volume_is_placement_independent() {
     let v_join = vanilla.all_stages()[4].clone();
     let c_join = chopper.all_stages()[4].clone();
     assert_eq!(v_join.shuffle_read_bytes, c_join.shuffle_read_bytes);
-    assert_eq!(c_join.remote_read_bytes, 0, "co-partitioned join is fully local");
+    assert_eq!(
+        c_join.remote_read_bytes, 0,
+        "co-partitioned join is fully local"
+    );
 }
 
 /// Figs 11-14: the utilization traces exist, are bounded, and show the
@@ -121,7 +135,10 @@ fn utilization_traces_are_sane() {
     let points = ctx.sim().trace().points();
     assert!(!points.is_empty());
     let peak_cpu = points.iter().map(|p| p.cpu_pct).fold(0.0, f64::max);
-    assert!(peak_cpu > 20.0, "the cluster should be visibly busy, peak {peak_cpu:.1}%");
+    assert!(
+        peak_cpu > 20.0,
+        "the cluster should be visibly busy, peak {peak_cpu:.1}%"
+    );
     for p in &points {
         assert!((0.0..=100.0 + 1e-6).contains(&p.cpu_pct), "cpu {p:?}");
         assert!((0.0..=100.0 + 1e-6).contains(&p.mem_pct), "mem {p:?}");
@@ -140,7 +157,10 @@ fn experiments_are_reproducible() {
     let w = Sql::new(SqlConfig::small());
     let a = w.run(&engine(60, true), &WorkloadConf::new(), 1.0);
     let b = w.run(&engine(60, true), &WorkloadConf::new(), 1.0);
-    assert_eq!(a.jobs().last().unwrap().end.to_bits(), b.jobs().last().unwrap().end.to_bits());
+    assert_eq!(
+        a.jobs().last().unwrap().end.to_bits(),
+        b.jobs().last().unwrap().end.to_bits()
+    );
     let sa: Vec<u64> = a.all_stages().iter().map(|s| s.shuffle_data()).collect();
     let sb: Vec<u64> = b.all_stages().iter().map(|s| s.shuffle_data()).collect();
     assert_eq!(sa, sb);
