@@ -1,0 +1,103 @@
+//! CI perf-regression gate over the data-plane kernels.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfgate
+//! cargo run --release -p bench --bin perfgate -- --baseline results/BENCH_dataplane.json \
+//!     --tolerance 0.15 [--fresh-out results/BENCH_dataplane.fresh.json]
+//! ```
+//!
+//! Re-measures the before/after kernels on this host and compares each
+//! kernel's *speedup ratio* against the committed baseline. Ratios are
+//! machine-portable (both sides of each ratio run on the same host), so
+//! the gate works on heterogeneous CI runners where raw milliseconds
+//! would not. Exits 1 if any kernel's fresh ratio falls more than the
+//! tolerance (default 15%) below the baseline's.
+
+use bench::report::{gate_checks, measure_dataplane, DataplaneReport};
+
+fn main() {
+    let mut baseline_path = "results/BENCH_dataplane.json".to_string();
+    let mut tolerance = 0.15f64;
+    let mut fresh_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_path = value("--baseline"),
+            "--tolerance" => {
+                let raw = value("--tolerance");
+                tolerance = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --tolerance '{raw}' (fraction, e.g. 0.15)");
+                    std::process::exit(2);
+                });
+            }
+            "--fresh-out" => fresh_out = Some(value("--fresh-out")),
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                eprintln!("usage: perfgate [--baseline FILE] [--tolerance F] [--fresh-out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(0.0..1.0).contains(&tolerance) {
+        eprintln!("error: --tolerance must be in [0, 1), got {tolerance}");
+        std::process::exit(2);
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("error: read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = DataplaneReport::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+
+    eprintln!("[perfgate] measuring data-plane kernels (best-of-5 per kernel)...");
+    let fresh = measure_dataplane();
+    if let Some(path) = &fresh_out {
+        std::fs::write(path, fresh.to_json()).unwrap_or_else(|e| {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+
+    let checks = gate_checks(&baseline, &fresh, tolerance);
+    println!(
+        "{:<36} {:>9} {:>9} {:>9}  verdict",
+        "kernel", "baseline", "fresh", "floor"
+    );
+    let mut failed = false;
+    for c in &checks {
+        let fresh_cell = c
+            .fresh_speedup
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "missing".to_string());
+        println!(
+            "{:<36} {:>8.2}x {:>9} {:>8.2}x  {}",
+            c.name,
+            c.baseline_speedup,
+            fresh_cell,
+            c.floor,
+            if c.ok() { "ok" } else { "REGRESSED" }
+        );
+        failed |= !c.ok();
+    }
+    if failed {
+        eprintln!(
+            "perfgate: FAIL — a kernel regressed more than {:.0}% vs {baseline_path}",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "perfgate: ok — all {} kernels within {:.0}% of {baseline_path}",
+        checks.len(),
+        tolerance * 100.0
+    );
+}

@@ -542,152 +542,31 @@ impl MotivationSweep {
 
 // ---- Data-plane before/after benchmark -----------------------------------
 
-/// Best-of-5 host wall-clock of `f`, in milliseconds.
-fn time_ms(mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..5 {
-        let t = std::time::Instant::now();
-        f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
-    }
-    best
-}
-
 fn dataplane() -> String {
-    use bench::dataplane::{fused_chain, seed_bucketize, seed_chain, spawn_par_map, ChainOp};
-    use engine::{
-        shuffle::bucketize, EngineOptions, HashPartitioner, Key, Record, ReduceFn, Value,
-        WorkerPool,
-    };
-    use workloads::{KMeans, KMeansConfig};
-
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(4);
-
-    // Kernel 1: dispatch of 256 compute-bound tasks.
-    let tasks = 256;
-    let work = |i: usize| -> u64 {
-        let mut acc = i as u64;
-        for _ in 0..20_000 {
-            acc = acc.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
-        }
-        acc
-    };
-    let dispatch_before = time_ms(|| {
-        std::hint::black_box(spawn_par_map(workers, tasks, work));
-    });
-    let pool = WorkerPool::new(workers);
-    let dispatch_after = time_ms(|| {
-        std::hint::black_box(pool.map(tasks, work));
-    });
-
-    // Kernel 2: narrow chain over 200k records (deep-copy + one pass per op
-    // vs borrowed fused single pass).
-    let input: Vec<Record> = (0..200_000)
-        .map(|i| Record::new(Key::Int(i % 1000), Value::Int(i)))
-        .collect();
-    let ops = vec![
-        ChainOp::Filter(Box::new(|r: &Record| r.value.as_int() % 5 != 0)),
-        ChainOp::Map(Box::new(|r: &Record| {
-            Record::new(r.key.clone(), Value::Int(r.value.as_int() + 1))
-        })),
-        ChainOp::Filter(Box::new(|r: &Record| r.value.as_int() % 2 == 0)),
-    ];
-    assert_eq!(seed_chain(&input, &ops), fused_chain(&input, &ops));
-    let chain_before = time_ms(|| {
-        std::hint::black_box(seed_chain(&input, &ops));
-    });
-    let chain_after = time_ms(|| {
-        std::hint::black_box(fused_chain(&input, &ops));
-    });
-
-    // Kernel 3: shuffle-write bucketize, with and without map-side combine.
-    let part = HashPartitioner::new(300);
-    let sum: ReduceFn =
-        std::sync::Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int()));
-    let nb_before = time_ms(|| {
-        std::hint::black_box(seed_bucketize(&input, &part, None));
-    });
-    let nb_after = time_ms(|| {
-        std::hint::black_box(bucketize(&input, &part, None));
-    });
-    let cb_before = time_ms(|| {
-        std::hint::black_box(seed_bucketize(&input, &part, Some(&sum)));
-    });
-    let cb_after = time_ms(|| {
-        std::hint::black_box(bucketize(&input, &part, Some(&sum)));
-    });
-
-    // Real workload: end-to-end host wall-clock of a reduced KMeans run on
-    // the persistent pool, single lane vs `workers` lanes.
-    let mut cfg = KMeansConfig::paper();
-    cfg.points = 20_000;
-    let w = KMeans::new(cfg);
-    let run_with = |lanes: usize| {
-        let opts = EngineOptions {
-            workers: lanes,
-            ..bench::paper_engine(300, false)
-        };
-        time_ms(|| {
-            std::hint::black_box(w.run(&opts, &engine::WorkloadConf::new(), 1.0));
-        })
-    };
-    let run_one = run_with(1);
-    let run_many = run_with(workers);
-
-    let kernels = [
-        ("dispatch_spawn_vs_pool", dispatch_before, dispatch_after),
-        (
-            "narrow_chain_materialized_vs_fused",
-            chain_before,
-            chain_after,
-        ),
-        ("bucketize_no_combine", nb_before, nb_after),
-        ("bucketize_combine", cb_before, cb_after),
-    ];
-    let mut json = String::from("{\n  \"experiment\": \"dataplane\",\n");
-    let _ = writeln!(json, "  \"workers\": {workers},");
-    json.push_str("  \"kernels\": [\n");
-    for (i, (name, before, after)) in kernels.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{name}\", \"before_ms\": {before:.3}, \
-             \"after_ms\": {after:.3}, \"speedup\": {:.2}}}{}",
-            before / after,
-            if i + 1 < kernels.len() { "," } else { "" },
-        );
-    }
-    json.push_str("  ],\n  \"workload_wallclock\": [\n");
-    let _ = writeln!(
-        json,
-        "    {{\"workload\": \"kmeans-20k\", \"workers\": 1, \"host_ms\": {run_one:.3}}},"
-    );
-    let _ = writeln!(
-        json,
-        "    {{\"workload\": \"kmeans-20k\", \"workers\": {workers}, \
-         \"host_ms\": {run_many:.3}}}"
-    );
-    json.push_str("  ]\n}\n");
-    std::fs::write("results/BENCH_dataplane.json", &json)
+    let report = bench::report::measure_dataplane();
+    std::fs::write("results/BENCH_dataplane.json", report.to_json())
         .expect("write results/BENCH_dataplane.json");
 
     let mut t = Table::new(&["kernel", "before ms", "after ms", "speedup"]);
-    for (name, before, after) in kernels {
+    for k in &report.kernels {
         t.row(vec![
-            name.into(),
-            format!("{before:.2}"),
-            format!("{after:.2}"),
-            format!("{:.2}x", before / after),
+            k.name.clone(),
+            format!("{:.2}", k.before_ms),
+            format!("{:.2}", k.after_ms),
+            format!("{:.2}x", k.speedup),
         ]);
     }
-    t.row(vec![
-        format!("kmeans-20k wall-clock 1 -> {workers} workers"),
-        format!("{run_one:.1}"),
-        format!("{run_many:.1}"),
-        format!("{:.2}x", run_one / run_many),
-    ]);
+    if let [one, many] = report.workload_wallclock.as_slice() {
+        t.row(vec![
+            format!(
+                "{} wall-clock {} -> {} workers",
+                one.workload, one.workers, many.workers
+            ),
+            format!("{:.1}", one.host_ms),
+            format!("{:.1}", many.host_ms),
+            format!("{:.2}x", one.host_ms / many.host_ms),
+        ]);
+    }
     section(
         "Data plane — before/after host wall-clock (BENCH_dataplane.json)",
         "Before = seed kernels (scoped spawn dispatch, deep-copy + op-at-a-time \

@@ -1,0 +1,313 @@
+//! Normalized data-plane benchmark report (`results/BENCH_dataplane.json`)
+//! and the CI perf-regression gate that compares a fresh run against it.
+//!
+//! Absolute milliseconds are machine-specific, so the gate compares
+//! *speedup ratios* (seed kernel vs rewritten kernel on the same host),
+//! which are portable across hardware: a kernel whose fresh ratio drops
+//! more than the tolerance below the committed baseline's ratio fails.
+
+use crate::dataplane::{fused_chain, seed_bucketize, seed_chain, spawn_par_map, ChainOp};
+use engine::shuffle::bucketize;
+use engine::{EngineOptions, HashPartitioner, Key, Record, ReduceFn, Value, WorkerPool};
+use serde::{Deserialize, Serialize};
+use workloads::{KMeans, KMeansConfig};
+
+/// One before/after kernel measurement (host milliseconds, best-of-N).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelResult {
+    /// Kernel id, stable across runs (the gate joins on it).
+    pub name: String,
+    /// Seed-era implementation, milliseconds.
+    pub before_ms: f64,
+    /// Current implementation, milliseconds.
+    pub after_ms: f64,
+    /// `before_ms / after_ms` — the machine-portable figure the gate checks.
+    pub speedup: f64,
+}
+
+/// End-to-end host wall-clock of a reduced workload run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadWallclock {
+    /// Workload id (e.g. `kmeans-20k`).
+    pub workload: String,
+    /// Executor-pool worker count for this run.
+    pub workers: usize,
+    /// Host milliseconds, best-of-N.
+    pub host_ms: f64,
+}
+
+/// The whole `BENCH_dataplane.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataplaneReport {
+    /// Always `"dataplane"`.
+    pub experiment: String,
+    /// Worker count used for the dispatch kernel and the multi-lane run.
+    pub workers: usize,
+    /// Before/after kernel timings.
+    pub kernels: Vec<KernelResult>,
+    /// Real-workload wall-clock across worker counts.
+    pub workload_wallclock: Vec<WorkloadWallclock>,
+}
+
+impl DataplaneReport {
+    /// Parses a report from JSON text.
+    pub fn parse(text: &str) -> Result<DataplaneReport, String> {
+        serde_json::from_str(text).map_err(|e| format!("parse dataplane report: {e}"))
+    }
+
+    /// Renders the report as indented JSON (what gets committed).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Looks up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelResult> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+/// One gate verdict: a baseline kernel joined with its fresh measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    /// Kernel id.
+    pub name: String,
+    /// Committed speedup ratio.
+    pub baseline_speedup: f64,
+    /// Freshly measured speedup ratio (`None`: kernel missing from the
+    /// fresh report, which also fails the gate).
+    pub fresh_speedup: Option<f64>,
+    /// Minimum acceptable fresh ratio (`baseline × (1 − tolerance)`).
+    pub floor: f64,
+}
+
+impl GateCheck {
+    /// Whether this kernel passes.
+    pub fn ok(&self) -> bool {
+        matches!(self.fresh_speedup, Some(s) if s >= self.floor)
+    }
+}
+
+/// Compares a fresh report against the committed baseline.
+///
+/// Every kernel present in the baseline must exist in the fresh report
+/// with a speedup no worse than `(1 - tolerance)` times the baseline's
+/// (`tolerance = 0.15` → "fail if any kernel regresses >15%").
+pub fn gate_checks(
+    baseline: &DataplaneReport,
+    fresh: &DataplaneReport,
+    tolerance: f64,
+) -> Vec<GateCheck> {
+    baseline
+        .kernels
+        .iter()
+        .map(|b| GateCheck {
+            name: b.name.clone(),
+            baseline_speedup: b.speedup,
+            fresh_speedup: fresh.kernel(&b.name).map(|f| f.speedup),
+            floor: b.speedup * (1.0 - tolerance),
+        })
+        .collect()
+}
+
+/// Best-of-5 host wall-clock of `f`, in milliseconds.
+pub fn time_ms(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Runs the full data-plane measurement: the four before/after kernels
+/// plus the reduced-KMeans wall-clock at 1 and `workers` lanes.
+pub fn measure_dataplane() -> DataplaneReport {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(4);
+
+    // Kernel 1: dispatch of 256 compute-bound tasks.
+    let tasks = 256;
+    let work = |i: usize| -> u64 {
+        let mut acc = i as u64;
+        for _ in 0..20_000 {
+            acc = acc.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        }
+        acc
+    };
+    let dispatch_before = time_ms(|| {
+        std::hint::black_box(spawn_par_map(workers, tasks, work));
+    });
+    let pool = WorkerPool::new(workers);
+    let dispatch_after = time_ms(|| {
+        std::hint::black_box(pool.map(tasks, work));
+    });
+
+    // Kernel 2: narrow chain over 200k records (deep-copy + one pass per op
+    // vs borrowed fused single pass).
+    let input: Vec<Record> = (0..200_000)
+        .map(|i| Record::new(Key::Int(i % 1000), Value::Int(i)))
+        .collect();
+    let ops = vec![
+        ChainOp::Filter(Box::new(|r: &Record| r.value.as_int() % 5 != 0)),
+        ChainOp::Map(Box::new(|r: &Record| {
+            Record::new(r.key.clone(), Value::Int(r.value.as_int() + 1))
+        })),
+        ChainOp::Filter(Box::new(|r: &Record| r.value.as_int() % 2 == 0)),
+    ];
+    assert_eq!(seed_chain(&input, &ops), fused_chain(&input, &ops));
+    let chain_before = time_ms(|| {
+        std::hint::black_box(seed_chain(&input, &ops));
+    });
+    let chain_after = time_ms(|| {
+        std::hint::black_box(fused_chain(&input, &ops));
+    });
+
+    // Kernel 3: shuffle-write bucketize, with and without map-side combine.
+    let part = HashPartitioner::new(300);
+    let sum: ReduceFn =
+        std::sync::Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int()));
+    let nb_before = time_ms(|| {
+        std::hint::black_box(seed_bucketize(&input, &part, None));
+    });
+    let nb_after = time_ms(|| {
+        std::hint::black_box(bucketize(&input, &part, None));
+    });
+    let cb_before = time_ms(|| {
+        std::hint::black_box(seed_bucketize(&input, &part, Some(&sum)));
+    });
+    let cb_after = time_ms(|| {
+        std::hint::black_box(bucketize(&input, &part, Some(&sum)));
+    });
+
+    // Real workload: end-to-end host wall-clock of a reduced KMeans run on
+    // the persistent pool, single lane vs `workers` lanes.
+    let mut cfg = KMeansConfig::paper();
+    cfg.points = 20_000;
+    let w = KMeans::new(cfg);
+    let run_with = |lanes: usize| {
+        let opts = EngineOptions {
+            workers: lanes,
+            ..crate::paper_engine(300, false)
+        };
+        time_ms(|| {
+            use chopper::Workload as _;
+            std::hint::black_box(w.run(&opts, &engine::WorkloadConf::new(), 1.0));
+        })
+    };
+    let run_one = run_with(1);
+    let run_many = run_with(workers);
+
+    let kernel = |name: &str, before: f64, after: f64| KernelResult {
+        name: name.to_string(),
+        before_ms: before,
+        after_ms: after,
+        speedup: before / after,
+    };
+    DataplaneReport {
+        experiment: "dataplane".to_string(),
+        workers,
+        kernels: vec![
+            kernel("dispatch_spawn_vs_pool", dispatch_before, dispatch_after),
+            kernel(
+                "narrow_chain_materialized_vs_fused",
+                chain_before,
+                chain_after,
+            ),
+            kernel("bucketize_no_combine", nb_before, nb_after),
+            kernel("bucketize_combine", cb_before, cb_after),
+        ],
+        workload_wallclock: vec![
+            WorkloadWallclock {
+                workload: "kmeans-20k".to_string(),
+                workers: 1,
+                host_ms: run_one,
+            },
+            WorkloadWallclock {
+                workload: "kmeans-20k".to_string(),
+                workers,
+                host_ms: run_many,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(speedups: &[(&str, f64)]) -> DataplaneReport {
+        DataplaneReport {
+            experiment: "dataplane".to_string(),
+            workers: 4,
+            kernels: speedups
+                .iter()
+                .map(|(n, s)| KernelResult {
+                    name: n.to_string(),
+                    before_ms: 10.0 * s,
+                    after_ms: 10.0,
+                    speedup: *s,
+                })
+                .collect(),
+            workload_wallclock: vec![WorkloadWallclock {
+                workload: "kmeans-20k".to_string(),
+                workers: 1,
+                host_ms: 100.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let r = report(&[("fused", 2.5), ("pool", 1.1)]);
+        let parsed = DataplaneReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parses_committed_baseline_format() {
+        let text = r#"{
+  "experiment": "dataplane",
+  "workers": 1,
+  "kernels": [
+    {"name": "bucketize_combine", "before_ms": 9.000, "after_ms": 5.595, "speedup": 1.61}
+  ],
+  "workload_wallclock": [
+    {"workload": "kmeans-20k", "workers": 1, "host_ms": 103.335}
+  ]
+}"#;
+        let r = DataplaneReport::parse(text).unwrap();
+        assert_eq!(r.workers, 1);
+        assert_eq!(r.kernel("bucketize_combine").unwrap().speedup, 1.61);
+        assert!(r.kernel("missing").is_none());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = report(&[("a", 2.0), ("b", 1.5)]);
+        let fresh = report(&[("a", 1.8), ("b", 1.5)]);
+        let checks = gate_checks(&base, &fresh, 0.15);
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(GateCheck::ok));
+    }
+
+    #[test]
+    fn gate_fails_on_regression_beyond_tolerance() {
+        let base = report(&[("a", 2.0)]);
+        let fresh = report(&[("a", 1.6)]);
+        let checks = gate_checks(&base, &fresh, 0.15);
+        assert!(!checks[0].ok(), "1.6 < 2.0 * 0.85 must fail");
+        let lenient = gate_checks(&base, &fresh, 0.25);
+        assert!(lenient[0].ok(), "1.6 >= 2.0 * 0.75 passes");
+    }
+
+    #[test]
+    fn gate_fails_on_missing_kernel() {
+        let base = report(&[("a", 2.0), ("gone", 1.2)]);
+        let fresh = report(&[("a", 2.0)]);
+        let checks = gate_checks(&base, &fresh, 0.15);
+        assert!(checks.iter().any(|c| c.name == "gone" && !c.ok()));
+    }
+}

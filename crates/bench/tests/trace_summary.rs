@@ -1,0 +1,41 @@
+//! The bench harness consumes `TraceSummary` as structured data: its
+//! rows must agree with the engine's stage metrics, and its JSON form
+//! must round-trip through the workspace JSON parser.
+
+use bench::{paper_engine, stages};
+use chopper::Workload;
+use engine::{TraceSink, WorkloadConf};
+use workloads::{KMeans, KMeansConfig};
+
+#[test]
+fn summary_rows_agree_with_stage_metrics() {
+    let mut cfg = KMeansConfig::paper();
+    cfg.points = 5_000;
+    let w = KMeans::new(cfg);
+    let mut opts = paper_engine(60, false);
+    opts.trace = TraceSink::enabled();
+    let ctx = w.run(&opts, &WorkloadConf::new(), 1.0);
+
+    let summary = ctx.trace_summary();
+    let metrics = stages(&ctx);
+    assert_eq!(summary.stages.len(), metrics.len());
+    for (row, m) in summary.stages.iter().zip(&metrics) {
+        assert_eq!(row.stage_id, m.stage_id);
+        assert_eq!(row.tasks, m.num_tasks);
+        assert_eq!(row.duration_s.to_bits(), m.duration().to_bits());
+        assert_eq!(row.skew.to_bits(), m.task_skew().to_bits());
+        assert_eq!(row.shuffle_write_bytes, m.shuffle_write_bytes);
+        assert_eq!(row.remote_read_bytes, m.remote_read_bytes);
+        assert!(row.p50_task_s <= row.p95_task_s && row.p95_task_s <= row.max_task_s);
+    }
+    assert!(summary.total_s > 0.0);
+    assert!(summary.pool.items >= summary.pool.stolen);
+
+    // Machine-consumable form parses with the workspace JSON parser.
+    let json = serde::Json::parse(&summary.to_json()).expect("summary JSON parses");
+    let stages_field = json.get_field("stages").expect("stages array");
+    match stages_field {
+        serde::Json::Arr(rows) => assert_eq!(rows.len(), metrics.len()),
+        other => panic!("stages must be an array, got {other:?}"),
+    }
+}

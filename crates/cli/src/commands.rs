@@ -19,6 +19,9 @@ commands:
            [--test-parallelism N]
   plan     --workload W --db FILE [--out-conf FILE] [--partitions N]
   compare  --workload W [--partitions N]
+  trace    <workload> | --workload W [--scale F] [--partitions N]
+           [--out FILE] [--summary-out FILE] [--clock all|virtual|wall]
+           [--conf FILE] [--cluster paper|uniform:N,C,GHz]
   inspect  --db FILE
   conf     --file FILE
   help
@@ -144,6 +147,43 @@ stage {} [{}]",
             print!("{}", simcluster::render_gantt(&opts.cluster, &timing, 80));
         }
     }
+    Ok(())
+}
+
+/// `trace`: execute a workload with the event sink enabled, write a
+/// Perfetto-loadable Chrome `trace_event` JSON file, and print the
+/// per-stage summary table.
+pub fn trace(args: &Args) -> CmdResult {
+    let w = workload(args)?;
+    let mut opts = engine_opts(args)?;
+    let sink = engine::TraceSink::enabled();
+    opts.trace = sink.clone();
+    let conf = load_conf(args)?;
+    let scale = args.num("scale", 1.0).map_err(|e| e.to_string())?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    let filter = match args.get("clock").unwrap_or("all") {
+        "all" => engine::ClockFilter::All,
+        "virtual" => engine::ClockFilter::VirtualOnly,
+        "wall" => engine::ClockFilter::WallOnly,
+        other => return Err(format!("unknown --clock '{other}' (all|virtual|wall)")),
+    };
+    let ctx = w.run(&opts, &conf, scale);
+    let json = sink.chrome_json_filtered(filter);
+    let default_out = format!("trace_{}.json", w.name());
+    let out = args.get("out").unwrap_or(&default_out);
+    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    let summary = ctx.trace_summary();
+    print!("{}", summary.render());
+    if let Some(path) = args.get("summary-out") {
+        std::fs::write(path, summary.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote summary JSON to {path}");
+    }
+    println!(
+        "wrote {} trace events to {out} (open at https://ui.perfetto.dev)",
+        sink.events().len()
+    );
     Ok(())
 }
 
@@ -374,5 +414,48 @@ mod tests {
     fn run_rejects_bad_scale() {
         let err = run(&args(&["run", "--workload", "kmeans", "--scale", "0"])).unwrap_err();
         assert!(err.contains("scale"));
+    }
+
+    #[test]
+    fn trace_writes_chrome_json_and_summary() {
+        let dir = std::env::temp_dir().join(format!("chopper-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("t.json");
+        let summary = dir.join("s.json");
+        trace(&args(&[
+            "trace",
+            "--workload",
+            "kmeans",
+            "--scale",
+            "0.05",
+            "--partitions",
+            "24",
+            "--out",
+            out.to_str().unwrap(),
+            "--summary-out",
+            summary.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        let sjson = std::fs::read_to_string(&summary).unwrap();
+        assert!(sjson.starts_with("{\"stages\":["));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_rejects_bad_clock() {
+        let err = trace(&args(&[
+            "trace",
+            "--workload",
+            "kmeans",
+            "--scale",
+            "0.05",
+            "--clock",
+            "lunar",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--clock"));
     }
 }

@@ -7,6 +7,7 @@
 //!                     [--scales 0.1,0.3,0.6] [--partitions 60,150,300,600,1200]
 //! chopper-cli plan    --workload sql --db db.json [--out-conf conf.txt]
 //! chopper-cli compare --workload pca [--partitions 300]
+//! chopper-cli trace   kmeans [--out trace_kmeans.json] [--clock all|virtual|wall]
 //! chopper-cli inspect --db db.json
 //! chopper-cli conf    --file conf.txt
 //! chopper-cli help
@@ -17,8 +18,19 @@ mod commands;
 
 use args::Args;
 
+/// `trace <workload>` reads naturally, but the flag parser takes no
+/// positionals — rewrite the bare workload token into `--workload`.
+fn normalize(mut raw: Vec<String>) -> Vec<String> {
+    if raw.first().map(String::as_str) == Some("trace")
+        && raw.get(1).is_some_and(|t| !t.starts_with("--"))
+    {
+        raw.insert(1, "--workload".to_string());
+    }
+    raw
+}
+
 fn main() {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let raw = normalize(std::env::args().skip(1).collect());
     let parsed = match Args::parse(raw) {
         Ok(a) => a,
         Err(e) => {
@@ -32,6 +44,7 @@ fn main() {
         "tune" => commands::tune(&parsed),
         "plan" => commands::plan(&parsed),
         "compare" => commands::compare(&parsed),
+        "trace" => commands::trace(&parsed),
         "inspect" => commands::inspect(&parsed),
         "conf" => commands::conf(&parsed),
         "help" => {
@@ -43,5 +56,36 @@ fn main() {
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::normalize;
+
+    fn norm(tokens: &[&str]) -> Vec<String> {
+        normalize(tokens.iter().map(|t| t.to_string()).collect())
+    }
+
+    #[test]
+    fn trace_positional_workload_is_rewritten() {
+        assert_eq!(
+            norm(&["trace", "kmeans", "--scale", "0.5"]),
+            ["trace", "--workload", "kmeans", "--scale", "0.5"]
+        );
+    }
+
+    #[test]
+    fn flag_form_and_other_commands_pass_through() {
+        assert_eq!(
+            norm(&["trace", "--workload", "sql"]),
+            ["trace", "--workload", "sql"]
+        );
+        assert_eq!(
+            norm(&["run", "kmeans"]),
+            ["run", "kmeans"],
+            "only `trace` takes a positional"
+        );
+        assert_eq!(norm(&["trace"]), ["trace"]);
     }
 }

@@ -34,6 +34,9 @@ impl Autotuner {
         chopper.copartition_scheduling = true;
         let optimizer = OptimizerOptions {
             default_parallelism: base.default_parallelism,
+            // The optimizer records its fits/decisions into the same sink
+            // the engine runs trace into.
+            trace: base.trace.clone(),
             ..OptimizerOptions::default()
         };
         Autotuner {

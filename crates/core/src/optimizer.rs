@@ -14,8 +14,22 @@
 use crate::collector::DagStage;
 use crate::db::WorkloadRecord;
 use crate::model::{cost_with_baseline, CostWeights, ModelBasis, StageModel};
-use engine::{PartitionerKind, PartitionerSpec, WorkloadConf};
+use engine::{PartitionerKind, PartitionerSpec, TraceSink, WorkloadConf};
 use std::collections::HashMap;
+
+/// Thread id of the optimizer's event track within the
+/// [`trace::pids::AUTOTUNE`] process (grid lanes occupy the low tids).
+const OPTIMIZER_TID: u32 = 999;
+
+/// Lazily names the optimizer track and returns it.
+fn optimizer_track(sink: &TraceSink) -> trace::Track {
+    let track = trace::Track::new(trace::pids::AUTOTUNE, OPTIMIZER_TID);
+    if !sink.has_thread_name(track) {
+        sink.name_process(trace::pids::AUTOTUNE, "autotune (wall time)");
+        sink.name_thread(track, "optimizer");
+    }
+    track
+}
 
 /// Optimizer knobs.
 #[derive(Debug, Clone)]
@@ -44,6 +58,9 @@ pub struct OptimizerOptions {
     /// significant a stage's shuffle volume is relative to its runtime.
     /// `None` disables significance weighting (the paper's raw Eq. 3).
     pub shuffle_bandwidth: Option<f64>,
+    /// Execution-trace sink: when enabled, model fits and per-stage
+    /// decisions are recorded as wall-clock instants.
+    pub trace: TraceSink,
 }
 
 impl Default for OptimizerOptions {
@@ -60,6 +77,7 @@ impl Default for OptimizerOptions {
             clamp_to_trained_range: true,
             basis: ModelBasis::default(),
             shuffle_bandwidth: Some(4e8),
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -230,6 +248,23 @@ fn get_stage_par_with_input(
                 cost: c,
                 pred_time: model.predict_time(input.d_at(p as f64), p as f64),
             };
+            if opts.trace.is_enabled() {
+                let track = optimizer_track(&opts.trace);
+                opts.trace.instant(
+                    trace::Clock::Wall,
+                    track,
+                    format!("fit {kind:?} sig={sig:016x}"),
+                    "model",
+                    opts.trace.wall_now(),
+                    vec![
+                        ("signature", sig.into()),
+                        ("kind", format!("{kind:?}").into()),
+                        ("best_p", p.into()),
+                        ("cost", c.into()),
+                        ("pred_time_s", candidate.pred_time.into()),
+                    ],
+                );
+            }
             if best.is_none_or(|b| c < b.cost) {
                 best = Some(candidate);
             }
@@ -514,6 +549,23 @@ pub fn get_global_par(
             | DecisionAction::KeepDefault
             | DecisionAction::FollowsProducer(_) => {}
         }
+        if opts.trace.is_enabled() {
+            let track = optimizer_track(&opts.trace);
+            let (what, detail) = describe_action(&action);
+            opts.trace.instant(
+                trace::Clock::Wall,
+                track,
+                format!("decide {what}: {}", stage.name),
+                "decision",
+                opts.trace.wall_now(),
+                vec![
+                    ("signature", stage.signature.into()),
+                    ("stage", stage.name.clone().into()),
+                    ("action", what.into()),
+                    ("detail", detail.into()),
+                ],
+            );
+        }
         plan.decisions.push(StageDecision {
             signature: stage.signature,
             name: stage.name.clone(),
@@ -521,6 +573,23 @@ pub fn get_global_par(
         });
     }
     plan
+}
+
+/// `(variant, detail)` labels for trace emission.
+fn describe_action(action: &DecisionAction) -> (&'static str, String) {
+    match action {
+        DecisionAction::Retune(s) => ("retune", format!("{:?} p={}", s.kind, s.partitions)),
+        DecisionAction::RetuneGrouped(s) => {
+            ("retune-grouped", format!("{:?} p={}", s.kind, s.partitions))
+        }
+        DecisionAction::KeepUserFixed => ("keep-user-fixed", String::new()),
+        DecisionAction::InsertRepartition(s) => (
+            "insert-repartition",
+            format!("{:?} p={}", s.kind, s.partitions),
+        ),
+        DecisionAction::FollowsProducer(sig) => ("follows-producer", format!("sig={sig:016x}")),
+        DecisionAction::KeepDefault => ("keep-default", String::new()),
+    }
 }
 
 /// Decision for an ungrouped stage.

@@ -76,6 +76,19 @@ pub fn run_test_grid(
     let full = workload.full_input_bytes();
     let mut runs = 0;
 
+    // Grid cells are sandboxed runs whose virtual clocks all start at zero;
+    // recording them into the caller's sink would interleave meaningless
+    // virtual timelines. Cells therefore run untraced, and the parent sink
+    // gets one wall-clock span per cell (emitted in grid order below).
+    let sink = engine_opts.trace.clone();
+    let mut cell_opts = engine_opts.clone();
+    cell_opts.trace = engine::TraceSink::disabled();
+    let cell_opts = &cell_opts;
+    if sink.is_enabled() {
+        sink.name_process(trace::pids::AUTOTUNE, "autotune (wall time)");
+        sink.name_thread(trace::Track::new(trace::pids::AUTOTUNE, 0), "test-run grid");
+    }
+
     // Bootstrap: one vanilla sampled run to discover stage signatures.
     let boot_scale = plan
         .scales
@@ -83,7 +96,8 @@ pub fn run_test_grid(
         .copied()
         .fold(f64::INFINITY, f64::min)
         .min(1.0);
-    let ctx = workload.run(engine_opts, &WorkloadConf::new(), boot_scale);
+    let boot_wall = sink.wall_now();
+    let ctx = workload.run(cell_opts, &WorkloadConf::new(), boot_scale);
     let boot_bytes = (full as f64 * boot_scale) as u64;
     let snapshot = collect_dag(ctx.jobs(), boot_bytes);
     let signatures: Vec<u64> = snapshot
@@ -98,6 +112,20 @@ pub fn run_test_grid(
         snapshot,
     );
     runs += 1;
+    if sink.is_enabled() {
+        sink.span(
+            trace::Clock::Wall,
+            trace::Track::new(trace::pids::AUTOTUNE, 0),
+            format!("bootstrap scale={boot_scale}"),
+            "testrun",
+            boot_wall,
+            sink.wall_now(),
+            vec![
+                ("scale", boot_scale.into()),
+                ("signatures", signatures.len().into()),
+            ],
+        );
+    }
 
     // The grid: force every configurable stage to (kind, p) per run. Cells
     // are independent sandboxed runs, so they fan out over a worker pool;
@@ -113,6 +141,7 @@ pub fn run_test_grid(
     }
     let pool = WorkerPool::new(plan.parallelism.max(1));
     let signatures = &signatures;
+    let cell_sink = &sink;
     let results = pool.map(cells.len(), |i| {
         let (scale, p, kind) = cells[i];
         let mut conf = WorkloadConf::new();
@@ -126,14 +155,62 @@ pub fn run_test_grid(
                 },
             );
         }
-        let ctx = workload.run(engine_opts, &conf, scale);
+        let wall_start = cell_sink.wall_now();
+        let ctx = workload.run(cell_opts, &conf, scale);
         let bytes = (full as f64 * scale) as u64;
         (
             collect_observations(ctx.jobs(), bytes),
             collect_dag(ctx.jobs(), bytes),
+            (wall_start, cell_sink.wall_now()),
         )
     });
-    for (observations, dag) in results {
+    // Concurrent cells overlap in wall time; assign each the first free
+    // lane (by start time) so Perfetto shows one slice row per in-flight
+    // cell rather than overlapping slices on a single row.
+    let mut lane_of = vec![0usize; results.len()];
+    if sink.is_enabled() {
+        let mut order: Vec<usize> = (0..results.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (results[a].2 .0, results[b].2 .0);
+            sa.partial_cmp(&sb)
+                .expect("finite wall times")
+                .then(a.cmp(&b))
+        });
+        let mut lane_end: Vec<f64> = Vec::new();
+        for &i in &order {
+            let (start, end) = results[i].2;
+            let lane = lane_end
+                .iter()
+                .position(|&le| le <= start)
+                .unwrap_or_else(|| {
+                    lane_end.push(0.0);
+                    lane_end.len() - 1
+                });
+            lane_end[lane] = end;
+            lane_of[i] = lane;
+        }
+    }
+    for (i, (observations, dag, (wall_start, wall_end))) in results.into_iter().enumerate() {
+        if sink.is_enabled() {
+            let (scale, p, kind) = cells[i];
+            let track = trace::Track::new(trace::pids::AUTOTUNE, lane_of[i] as u32);
+            if !sink.has_thread_name(track) {
+                sink.name_thread(track, &format!("grid lane {}", lane_of[i]));
+            }
+            sink.span(
+                trace::Clock::Wall,
+                track,
+                format!("cell scale={scale} p={p} {kind:?}"),
+                "testrun",
+                wall_start,
+                wall_end,
+                vec![
+                    ("scale", scale.into()),
+                    ("partitions", p.into()),
+                    ("kind", format!("{kind:?}").into()),
+                ],
+            );
+        }
         db.record_run(workload.name(), observations, dag);
         runs += 1;
     }
@@ -197,6 +274,34 @@ mod tests {
         let agg_sig = snapshot.dag.last().unwrap().signature;
         assert!(!rec.observations(agg_sig, PartitionerKind::Hash).is_empty());
         assert!(!rec.observations(agg_sig, PartitionerKind::Range).is_empty());
+    }
+
+    #[test]
+    fn traced_grid_records_one_wall_span_per_run() {
+        let w = MiniAgg {
+            records_full: 5000,
+            keys: 50,
+        };
+        let sink = engine::TraceSink::enabled();
+        let mut opts = small_opts();
+        opts.trace = sink.clone();
+        let mut db = WorkloadDb::new();
+        let plan = TestRunPlan {
+            scales: vec![0.2, 0.5],
+            partitions: vec![4, 12],
+            kinds: vec![PartitionerKind::Hash],
+            probe_user_fixed: true,
+            parallelism: 2,
+        };
+        let runs = run_test_grid(&w, &opts, &plan, &mut db);
+        let events = sink.events();
+        let cell_spans = events
+            .iter()
+            .filter(|e| e.track.pid == trace::pids::AUTOTUNE && e.cat == "testrun")
+            .count();
+        assert_eq!(cell_spans, runs, "bootstrap + one span per grid cell");
+        // Sandboxed cells run untraced: no virtual-clock events leak in.
+        assert!(events.iter().all(|e| e.clock == trace::Clock::Wall));
     }
 
     #[test]

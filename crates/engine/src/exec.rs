@@ -22,6 +22,7 @@ use numeric::Reservoir;
 use simcluster::{ClusterSpec, NodeId, Simulation, TaskSpec};
 use std::collections::HashMap;
 use std::sync::Arc;
+use trace::TraceSink;
 
 /// Compute units charged per record for partition assignment during shuffle
 /// writes.
@@ -56,6 +57,11 @@ pub struct EngineOptions {
     /// longer than `m` × the stage's median get a backup copy on another
     /// node. The reactive alternative to CHOPPER's proactive partitioning.
     pub speculation: Option<f64>,
+    /// Execution-trace sink. Disabled by default; when enabled, stage
+    /// spans, task timelines, shuffle counters, and pool scheduling
+    /// counters are recorded. Tracing only observes — simulated timings
+    /// are bit-identical with the sink on or off.
+    pub trace: TraceSink,
 }
 
 impl Default for EngineOptions {
@@ -72,6 +78,7 @@ impl Default for EngineOptions {
             block_size: 128 * 1024 * 1024,
             driver_bandwidth: 1e9 / 8.0,
             speculation: None,
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -120,7 +127,18 @@ impl Context {
             options.block_size,
             3,
         ));
-        let pool = Arc::new(WorkerPool::new(options.workers));
+        let pool = Arc::new(WorkerPool::with_trace(
+            options.workers,
+            options.trace.clone(),
+        ));
+        if options.trace.is_enabled() {
+            options
+                .trace
+                .name_process(trace::pids::DRIVER, "driver (virtual time)");
+            options
+                .trace
+                .name_thread(trace::Track::new(trace::pids::DRIVER, 0), "stages");
+        }
         Context {
             graph: RddGraph::new(),
             sim,
@@ -138,6 +156,50 @@ impl Context {
     /// The persistent compute pool backing this context.
     pub fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
+    }
+
+    /// The execution-trace sink this context records into (disabled unless
+    /// set via [`EngineOptions::trace`]).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.options.trace
+    }
+
+    /// Per-stage summary of every job run so far (task-time percentiles,
+    /// skew, shuffle bytes) plus the executor pool's scheduling counters.
+    ///
+    /// Derived from collected [`StageMetrics`], so it is available whether
+    /// or not the trace sink was enabled, and the stage rows are
+    /// bit-deterministic across worker counts.
+    pub fn trace_summary(&self) -> trace::TraceSummary {
+        let mut stages = Vec::new();
+        let mut total_s = 0.0f64;
+        for job in &self.jobs {
+            for m in &job.stages {
+                let mut durations = m.task_durations.clone();
+                durations.sort_by(|a, b| a.partial_cmp(b).expect("finite task times"));
+                stages.push(trace::StageSummaryRow {
+                    stage_id: m.stage_id,
+                    job_id: m.job_id,
+                    name: m.name.clone(),
+                    kind: format!("{:?}", m.kind).to_lowercase(),
+                    tasks: m.num_tasks,
+                    duration_s: m.duration(),
+                    p50_task_s: trace::percentile(&durations, 50.0),
+                    p95_task_s: trace::percentile(&durations, 95.0),
+                    max_task_s: durations.last().copied().unwrap_or(0.0),
+                    skew: m.task_skew(),
+                    shuffle_read_bytes: m.shuffle_read_bytes,
+                    shuffle_write_bytes: m.shuffle_write_bytes,
+                    remote_read_bytes: m.remote_read_bytes,
+                });
+                total_s = total_s.max(m.end);
+            }
+        }
+        trace::TraceSummary {
+            stages,
+            pool: self.pool.stats(),
+            total_s,
+        }
     }
 
     /// A context on the paper's cluster with vanilla-Spark defaults.
@@ -811,9 +873,11 @@ impl Context {
         };
 
         // Parallel real computation on the persistent pool.
+        let sink = self.options.trace.clone();
         let graph = &self.graph;
         let chain = stage.chain.clone();
         let sample_spec = range_sample.as_ref();
+        let wall_compute_start = sink.wall_now();
         let outs: Vec<TaskOut> = self.pool.map(preps.len(), |i| {
             compute_task(
                 graph,
@@ -825,10 +889,12 @@ impl Context {
                 sample_spec,
             )
         });
+        let wall_compute_end = sink.wall_now();
 
         // ---------------- Phase B: shuffle write (if any) ----------------
         let mut bucketed: Option<Vec<TaskBuckets>> = None;
         let mut extra_cost: Vec<f64> = vec![0.0; num_tasks];
+        let mut wall_bucketize: Option<(f64, f64)> = None;
         if let StageOutput::ShuffleWrite(sidx) = stage.output {
             let spec = plan.shuffles[sidx].scheme;
             let combine_fn: Option<ReduceFn> = if plan.shuffles[sidx].combine {
@@ -861,6 +927,7 @@ impl Context {
             let partitioner_ref = &*partitioner;
             let combine_ref = combine_fn.as_ref();
             let outs_ref = &outs;
+            let wall_bucketize_start = sink.wall_now();
             let results: Vec<(TaskBuckets, f64)> = self.pool.map(num_tasks, |i| {
                 let records = outs_ref[i].records.as_slice();
                 let (tb, combine_ops) = bucketize(records, partitioner_ref, combine_ref);
@@ -871,6 +938,7 @@ impl Context {
                 }
                 (tb, cost)
             });
+            wall_bucketize = Some((wall_bucketize_start, sink.wall_now()));
             let mut tbs = Vec::with_capacity(num_tasks);
             for (i, (tb, c)) in results.into_iter().enumerate() {
                 extra_cost[i] = c;
@@ -1051,6 +1119,93 @@ impl Context {
             placements: timing.tasks.clone(),
             parents: parents_gids,
         };
+
+        // ---------------- Trace emission ----------------------------------
+        // Purely observational: everything below reads `timing` / `metrics`
+        // after the simulation advanced, so traced and untraced runs produce
+        // bit-identical stage timings. Virtual-clock events are emitted here
+        // on the driver thread in stage order, which keeps the virtual trace
+        // slice deterministic across host worker counts.
+        if sink.is_enabled() {
+            use trace::{pids, Clock, Track};
+            let label = format!("j{job_id}.s{gid} {}", metrics.name);
+            sink.span(
+                Clock::Virtual,
+                Track::new(pids::DRIVER, 0),
+                label.clone(),
+                "stage",
+                timing.start,
+                timing.end,
+                vec![
+                    ("stage", gid.into()),
+                    ("job", job_id.into()),
+                    ("tasks", num_tasks.into()),
+                    ("kind", format!("{:?}", metrics.kind).into()),
+                    ("skew", metrics.task_skew().into()),
+                    ("shuffle_read_bytes", metrics.shuffle_read_bytes.into()),
+                    ("shuffle_write_bytes", metrics.shuffle_write_bytes.into()),
+                ],
+            );
+            let shuf = Track::new(pids::DRIVER, 1);
+            if !sink.has_thread_name(shuf) {
+                sink.name_thread(shuf, "shuffle bytes");
+            }
+            sink.counter(
+                Clock::Virtual,
+                shuf,
+                "shuffle_read_bytes",
+                "shuffle",
+                timing.start,
+                metrics.shuffle_read_bytes as f64,
+            );
+            sink.counter(
+                Clock::Virtual,
+                shuf,
+                "remote_read_bytes",
+                "shuffle",
+                timing.start,
+                metrics.remote_read_bytes as f64,
+            );
+            sink.counter(
+                Clock::Virtual,
+                shuf,
+                "shuffle_write_bytes",
+                "shuffle",
+                timing.end,
+                metrics.shuffle_write_bytes as f64,
+            );
+            simcluster::emit_stage_trace(
+                &sink,
+                &self.options.cluster,
+                &timing,
+                &format!("j{job_id}.s{gid}"),
+                gid,
+            );
+            let phases = Track::new(pids::POOL, 1);
+            if !sink.has_thread_name(phases) {
+                sink.name_thread(phases, "driver phases");
+            }
+            sink.span(
+                Clock::Wall,
+                phases,
+                format!("compute {label}"),
+                "phase",
+                wall_compute_start,
+                wall_compute_end,
+                vec![("tasks", num_tasks.into())],
+            );
+            if let Some((start, end)) = wall_bucketize {
+                sink.span(
+                    Clock::Wall,
+                    phases,
+                    format!("bucketize {label}"),
+                    "phase",
+                    start,
+                    end,
+                    vec![("tasks", num_tasks.into())],
+                );
+            }
+        }
         (metrics, result_records)
     }
 }

@@ -66,3 +66,4 @@ pub use partitioner::{
 pub use pool::WorkerPool;
 pub use rdd::{Rdd, RddGraph, RddNode};
 pub use record::{batch_size, Key, Record, Value};
+pub use trace::{ClockFilter, TraceSink, TraceSummary};

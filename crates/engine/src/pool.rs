@@ -29,9 +29,10 @@
 //!   on the caller after the epoch drains.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use trace::{pids, Clock, PoolCounters, TraceSink, Track};
 
 /// A persistent pool of `workers` compute lanes (the caller plus
 /// `workers - 1` background threads).
@@ -40,6 +41,8 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
     /// Background threads (not counting the caller).
     threads: usize,
+    /// Wall-clock diagnostic sink ([`pids::POOL`] counters).
+    sink: TraceSink,
 }
 
 struct Shared {
@@ -48,6 +51,11 @@ struct Shared {
     job_posted: Condvar,
     /// Wakes the caller when the last background participant finishes.
     job_drained: Condvar,
+    /// Lifetime scheduling counters (see [`WorkerPool::stats`]).
+    jobs: AtomicU64,
+    items: AtomicU64,
+    stolen: AtomicU64,
+    idle_epochs: AtomicU64,
 }
 
 struct PoolState {
@@ -68,6 +76,15 @@ impl WorkerPool {
     /// Builds a pool with `workers` total compute lanes. `workers <= 1`
     /// spawns no threads; every `map` then runs inline on the caller.
     pub fn new(workers: usize) -> WorkerPool {
+        WorkerPool::with_trace(workers, TraceSink::disabled())
+    }
+
+    /// Like [`WorkerPool::new`], but also samples scheduling counters into
+    /// `sink` (wall clock, [`pids::POOL`]) after every `map`.
+    pub fn with_trace(workers: usize, sink: TraceSink) -> WorkerPool {
+        if sink.is_enabled() {
+            sink.name_process(pids::POOL, "executor pool (wall time)");
+        }
         let threads = workers.max(1) - 1;
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState {
@@ -78,6 +95,10 @@ impl WorkerPool {
             }),
             job_posted: Condvar::new(),
             job_drained: Condvar::new(),
+            jobs: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            idle_epochs: AtomicU64::new(0),
         });
         let handles = (0..threads)
             .map(|t| {
@@ -94,12 +115,60 @@ impl WorkerPool {
             shared,
             handles,
             threads,
+            sink,
         }
     }
 
     /// Total compute lanes, including the caller.
     pub fn workers(&self) -> usize {
         self.threads + 1
+    }
+
+    /// Snapshot of lifetime scheduling counters.
+    ///
+    /// Invariant (asserted in tests): across all `map` calls, items
+    /// executed by their block owner plus `stolen` equals `items`.
+    pub fn stats(&self) -> PoolCounters {
+        PoolCounters {
+            jobs: self.shared.jobs.load(Ordering::Relaxed),
+            items: self.shared.items.load(Ordering::Relaxed),
+            stolen: self.shared.stolen.load(Ordering::Relaxed),
+            idle_epochs: self.shared.idle_epochs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records the current counters as wall-clock counter samples.
+    fn sample_counters(&self) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        let now = self.sink.wall_now();
+        let track = Track::new(pids::POOL, 0);
+        let stats = self.stats();
+        self.sink.counter(
+            Clock::Wall,
+            track,
+            "pool.items",
+            "pool",
+            now,
+            stats.items as f64,
+        );
+        self.sink.counter(
+            Clock::Wall,
+            track,
+            "pool.stolen",
+            "pool",
+            now,
+            stats.stolen as f64,
+        );
+        self.sink.counter(
+            Clock::Wall,
+            track,
+            "pool.idle_epochs",
+            "pool",
+            now,
+            stats.idle_epochs as f64,
+        );
     }
 
     /// Runs `f(i)` for `i in 0..n` across the pool and returns the results
@@ -113,8 +182,13 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
+        self.shared.jobs.fetch_add(1, Ordering::Relaxed);
+        self.shared.items.fetch_add(n as u64, Ordering::Relaxed);
         if self.threads == 0 || n == 1 {
-            return (0..n).map(f).collect();
+            // Inline: the caller owns the whole range, nothing is stolen.
+            let out = (0..n).map(f).collect();
+            self.sample_counters();
+            return out;
         }
 
         let participants = self.workers();
@@ -156,6 +230,10 @@ impl WorkerPool {
             st.job = None;
         }
 
+        self.shared
+            .stolen
+            .fetch_add(ctx.stolen.load(Ordering::Relaxed) as u64, Ordering::Relaxed);
+        self.sample_counters();
         ctx.into_results()
     }
 }
@@ -186,6 +264,7 @@ fn worker_loop(shared: &Shared, participant: usize) {
                     seen_epoch = st.epoch;
                     break Arc::clone(st.job.as_ref().expect("job set with epoch"));
                 }
+                shared.idle_epochs.fetch_add(1, Ordering::Relaxed);
                 st = shared
                     .job_posted
                     .wait(st)
@@ -216,6 +295,8 @@ struct JobCtx<U, F> {
     blocks: Vec<Block>,
     /// Each participant appends `(index, value)` pairs to its own slot.
     results: Vec<Mutex<Vec<(usize, U)>>>,
+    /// Items executed by a participant other than the block owner.
+    stolen: AtomicUsize,
     poisoned: AtomicBool,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
@@ -241,6 +322,7 @@ impl<U: Send, F: Fn(usize) -> U + Sync> JobCtx<U, F> {
             chunk,
             blocks,
             results,
+            stolen: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
             panic: Mutex::new(None),
         }
@@ -264,6 +346,7 @@ impl<U: Send, F: Fn(usize) -> U + Sync> JobCtx<U, F> {
     fn work(&self, participant: usize) {
         let participants = self.blocks.len();
         let mut local: Vec<(usize, U)> = Vec::new();
+        let mut stolen = 0usize;
         // Own block first, then steal round-robin.
         for step in 0..participants {
             let owner = (participant + step) % participants;
@@ -277,10 +360,16 @@ impl<U: Send, F: Fn(usize) -> U + Sync> JobCtx<U, F> {
                     break;
                 }
                 let stop = (start + self.chunk).min(block.end);
+                if step > 0 {
+                    stolen += stop - start;
+                }
                 for i in start..stop {
                     local.push((i, (self.f)(i)));
                 }
             }
+        }
+        if stolen > 0 {
+            self.stolen.fetch_add(stolen, Ordering::Relaxed);
         }
         lock(&self.results[participant]).extend(local);
     }
@@ -374,6 +463,52 @@ mod tests {
         let data: Vec<u64> = (0..500).collect();
         let out = pool.map(data.len(), |i| data[i] + 1);
         assert_eq!(out.iter().sum::<u64>(), data.iter().sum::<u64>() + 500);
+    }
+
+    #[test]
+    fn counters_reconcile_with_task_counts() {
+        let pool = WorkerPool::new(4);
+        let sizes = [100usize, 257, 1, 64, 0, 33];
+        for &n in &sizes {
+            // Uneven cost forces stealing on the larger jobs.
+            let _ = pool.map(n, |i| {
+                if i % 50 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i
+            });
+        }
+        let stats = pool.stats();
+        // n == 0 jobs are not dispatched; every other size counts once.
+        let expect_jobs = sizes.iter().filter(|&&n| n > 0).count() as u64;
+        let expect_items: u64 = sizes.iter().map(|&n| n as u64).sum();
+        assert_eq!(stats.jobs, expect_jobs);
+        assert_eq!(stats.items, expect_items);
+        // Stolen items are a subset of all items: own + stolen == items.
+        assert!(
+            stats.stolen <= stats.items,
+            "stolen {} exceeds items {}",
+            stats.stolen,
+            stats.items
+        );
+    }
+
+    #[test]
+    fn traced_pool_samples_counters_per_job() {
+        let sink = trace::TraceSink::enabled();
+        let pool = WorkerPool::with_trace(4, sink.clone());
+        pool.map(64, |i| i);
+        pool.map(16, |i| i);
+        let counter_samples = sink
+            .events()
+            .iter()
+            .filter(|e| e.name == "pool.items")
+            .count();
+        assert_eq!(counter_samples, 2, "one items sample per map call");
+        // All pool events live on the wall clock.
+        assert!(sink.events().iter().all(|e| e.clock == trace::Clock::Wall));
+        let stats = pool.stats();
+        assert_eq!(stats.items, 80);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Tracing must be purely observational: enabling the sink cannot perturb
+//! simulated timings, and the virtual-clock slice of a trace must be
+//! byte-identical across host worker counts.
+
+use engine::{
+    ClockFilter, Context, EngineOptions, JobMetrics, Key, PartitionerSpec, Record, TraceSink, Value,
+};
+use simcluster::uniform_cluster;
+use std::sync::Arc;
+
+fn options(workers: usize, trace: TraceSink) -> EngineOptions {
+    EngineOptions {
+        cluster: uniform_cluster(3, 4, 2.0),
+        default_parallelism: 8,
+        workers,
+        trace,
+        ..EngineOptions::default()
+    }
+}
+
+/// Same multi-job workload shape as the pool determinism suite: fused
+/// narrow chain + cache, hash reduce, range group, repartition.
+fn run(workers: usize, trace: TraceSink) -> (Vec<Record>, Vec<JobMetrics>, Context) {
+    let mut ctx = Context::new(options(workers, trace));
+
+    let data: Vec<Record> = (0..3000)
+        .map(|i| Record::new(Key::Int(i % 89), Value::Int(i)))
+        .collect();
+    let src = ctx.parallelize(data, 8, "src");
+    let mapped = ctx.map(
+        src,
+        Arc::new(|r: &Record| Record::new(r.key.clone(), Value::Int(r.value.as_int() * 5))),
+        1e-7,
+        "mapped",
+    );
+    let filtered = ctx.filter(
+        mapped,
+        Arc::new(|r: &Record| r.value.as_int() % 3 != 0),
+        1e-7,
+        "filtered",
+    );
+    ctx.cache(filtered);
+    let reduced = ctx.reduce_by_key(
+        filtered,
+        Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int())),
+        None,
+        1e-6,
+        "reduced",
+    );
+    let out = ctx.collect(reduced, "sum-job");
+
+    let grouped = ctx.group_by_key(filtered, Some(PartitionerSpec::range(6)), 1e-6, "grouped");
+    let repart = ctx.repartition(grouped, Some(PartitionerSpec::hash(5)), "repart");
+    let _ = ctx.collect(repart, "group-job");
+
+    let jobs = ctx.jobs().to_vec();
+    (out, jobs, ctx)
+}
+
+fn assert_jobs_bit_identical(a: &[JobMetrics], b: &[JobMetrics], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: job count");
+    for (ja, jb) in a.iter().zip(b) {
+        assert!(
+            ja.start.to_bits() == jb.start.to_bits() && ja.end.to_bits() == jb.end.to_bits(),
+            "{what}: job {} timing diverged",
+            ja.name
+        );
+        assert_eq!(ja.stages.len(), jb.stages.len(), "{what}: stage count");
+        for (sa, sb) in ja.stages.iter().zip(&jb.stages) {
+            assert!(
+                sa.start.to_bits() == sb.start.to_bits() && sa.end.to_bits() == sb.end.to_bits(),
+                "{what}: stage {} timing diverged",
+                sa.name
+            );
+            assert_eq!(
+                sa.task_durations.len(),
+                sb.task_durations.len(),
+                "{what}: stage {} task count",
+                sa.name
+            );
+            for (da, db) in sa.task_durations.iter().zip(&sb.task_durations) {
+                assert!(
+                    da.to_bits() == db.to_bits(),
+                    "{what}: stage {} task duration diverged",
+                    sa.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tracing_on_vs_off_is_bit_identical() {
+    for workers in [1, 8] {
+        let (rec_off, jobs_off, _) = run(workers, TraceSink::disabled());
+        let (rec_on, jobs_on, ctx) = run(workers, TraceSink::enabled());
+        assert_eq!(rec_off, rec_on, "workers {workers}: records diverged");
+        assert_jobs_bit_identical(
+            &jobs_off,
+            &jobs_on,
+            &format!("workers {workers}, trace on/off"),
+        );
+        assert!(
+            !ctx.trace_sink().events().is_empty(),
+            "traced run must actually record events"
+        );
+    }
+}
+
+#[test]
+fn virtual_trace_slice_is_identical_across_worker_counts() {
+    let (_, jobs1, ctx1) = run(1, TraceSink::enabled());
+    let (_, jobs8, ctx8) = run(8, TraceSink::enabled());
+    assert_jobs_bit_identical(&jobs1, &jobs8, "workers 1 vs 8");
+
+    let json1 = ctx1
+        .trace_sink()
+        .chrome_json_filtered(ClockFilter::VirtualOnly);
+    let json8 = ctx8
+        .trace_sink()
+        .chrome_json_filtered(ClockFilter::VirtualOnly);
+    assert!(!json1.is_empty());
+    assert_eq!(
+        json1, json8,
+        "virtual trace slice must be byte-identical across worker counts"
+    );
+}
+
+#[test]
+fn summary_stage_rows_are_identical_across_worker_counts() {
+    let (_, _, ctx1) = run(1, TraceSink::enabled());
+    let (_, _, ctx8) = run(8, TraceSink::enabled());
+    let (s1, s8) = (ctx1.trace_summary(), ctx8.trace_summary());
+    // Stage rows are virtual-clock data: identical. Pool counters are
+    // wall-clock diagnostics and legitimately differ (stealing happens
+    // only with >1 worker), so they are excluded.
+    assert_eq!(s1.stages, s8.stages);
+    assert_eq!(s1.total_s.to_bits(), s8.total_s.to_bits());
+    assert!(s1.stages.iter().all(|r| r.tasks > 0));
+}

@@ -22,12 +22,14 @@
 //! exactly repeatable.
 
 pub mod gantt;
+pub mod perfetto;
 pub mod sim;
 pub mod spec;
 pub mod task;
 pub mod trace;
 
 pub use gantt::render as render_gantt;
+pub use perfetto::emit_stage_trace;
 pub use sim::{Simulation, StageTiming, TaskTiming};
 pub use spec::{paper_cluster, uniform_cluster, ClusterSpec, NodeId, NodeSpec};
 pub use task::TaskSpec;

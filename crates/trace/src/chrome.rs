@@ -1,0 +1,278 @@
+//! Chrome `trace_event` JSON export (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! The exporter is deliberately dependency-free and deterministic:
+//!
+//! * Metadata (`process_name` / `thread_name`) events come first, sorted
+//!   by `(pid, tid)`.
+//! * Payload events are stably sorted by `(pid, tid, ts, insertion
+//!   order)`, so timestamps are monotone within every track and the byte
+//!   output is a pure function of the recorded events.
+//! * Floats render via Rust's shortest-roundtrip `Display`, which never
+//!   produces exponents for finite values — valid JSON, and bit-stable
+//!   for bit-equal inputs.
+//!
+//! Only the event phases the sink records are emitted: `X` (complete),
+//! `i` (instant, thread scope), `C` (counter), and `M` (metadata).
+
+use crate::{ArgValue, Clock, Event, Phase};
+use std::collections::BTreeMap;
+
+/// Which clock's events to export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockFilter {
+    /// Everything.
+    All,
+    /// Only [`Clock::Virtual`] events — the deterministic slice.
+    VirtualOnly,
+    /// Only [`Clock::Wall`] events.
+    WallOnly,
+}
+
+impl ClockFilter {
+    fn admits(self, clock: Clock) -> bool {
+        match self {
+            ClockFilter::All => true,
+            ClockFilter::VirtualOnly => clock == Clock::Virtual,
+            ClockFilter::WallOnly => clock == Clock::Wall,
+        }
+    }
+}
+
+/// Renders events + track names to a Chrome `trace_event` JSON document.
+pub fn render(
+    events: &[Event],
+    names: &BTreeMap<(u32, Option<u32>), String>,
+    filter: ClockFilter,
+) -> String {
+    // Stable order: track, then timestamp, then insertion order.
+    let mut selected: Vec<(usize, &Event)> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| filter.admits(e.clock))
+        .collect();
+    selected.sort_by(|(ia, a), (ib, b)| {
+        (a.track, a.ts_us, *ia)
+            .partial_cmp(&(b.track, b.ts_us, *ib))
+            .expect("finite timestamps")
+    });
+
+    let used_pids: std::collections::BTreeSet<u32> =
+        selected.iter().map(|(_, e)| e.track.pid).collect();
+
+    let mut out = String::with_capacity(4096 + selected.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+
+    // Metadata for every named process/thread whose pid carries events.
+    for ((pid, tid), name) in names {
+        if !used_pids.contains(pid) {
+            continue;
+        }
+        push_sep(&mut out, &mut first);
+        match tid {
+            None => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    escape(name)
+                ));
+            }
+            Some(tid) => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    escape(name)
+                ));
+            }
+        }
+    }
+
+    for (_, e) in &selected {
+        push_sep(&mut out, &mut first);
+        let common = format!(
+            "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}",
+            escape(&e.name),
+            escape(e.cat),
+            e.track.pid,
+            e.track.tid,
+            fmt_f64(e.ts_us)
+        );
+        match &e.phase {
+            Phase::Span { dur_us } => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"X\",{common},\"dur\":{},\"args\":{}}}",
+                    fmt_f64(*dur_us),
+                    render_args(&e.args)
+                ));
+            }
+            Phase::Instant => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"i\",{common},\"s\":\"t\",\"args\":{}}}",
+                    render_args(&e.args)
+                ));
+            }
+            Phase::Counter { value } => {
+                // Chrome counters read their series from `args`.
+                out.push_str(&format!(
+                    "{{\"ph\":\"C\",{common},\"args\":{{\"value\":{}}}}}",
+                    fmt_f64(*value)
+                ));
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn render_args(args: &[(&'static str, ArgValue)]) -> String {
+    if args.is_empty() {
+        return "{}".to_string();
+    }
+    let mut s = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":", escape(k)));
+        match v {
+            ArgValue::Int(n) => s.push_str(&n.to_string()),
+            ArgValue::UInt(n) => s.push_str(&n.to_string()),
+            ArgValue::Float(f) => s.push_str(&fmt_f64(*f)),
+            ArgValue::Str(text) => s.push_str(&format!("\"{}\"", escape(text))),
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// JSON-safe float: finite values via shortest-roundtrip `Display`
+/// (never exponent-form in Rust), non-finite mapped to 0/±max.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        return "0".to_string();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 {
+            f64::MAX.to_string()
+        } else {
+            (-f64::MAX).to_string()
+        };
+    }
+    v.to_string()
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceSink, Track};
+
+    fn sample_sink() -> TraceSink {
+        let sink = TraceSink::enabled();
+        sink.name_process(1, "virtual: cluster");
+        sink.name_thread(Track::new(1, 3), "n0 lane0");
+        sink.span(
+            Clock::Virtual,
+            Track::new(1, 3),
+            "task 0",
+            "task",
+            0.5,
+            1.5,
+            vec![("node", 0u64.into())],
+        );
+        sink.counter(Clock::Wall, Track::new(4, 0), "stolen", "pool", 0.25, 7.0);
+        sink.instant(
+            Clock::Virtual,
+            Track::new(2, 0),
+            "decision",
+            "autotune",
+            2.0,
+            vec![("what", "retune".into())],
+        );
+        sink
+    }
+
+    #[test]
+    fn renders_expected_phases() {
+        let json = sample_sink().chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn virtual_filter_drops_wall_events_and_their_processes() {
+        let json = sample_sink().chrome_json_filtered(ClockFilter::VirtualOnly);
+        assert!(json.contains("task 0"));
+        assert!(json.contains("decision"));
+        assert!(!json.contains("stolen"));
+    }
+
+    #[test]
+    fn output_is_a_pure_function_of_events() {
+        let a = sample_sink().chrome_json_filtered(ClockFilter::VirtualOnly);
+        let b = sample_sink().chrome_json_filtered(ClockFilter::VirtualOnly);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn events_sort_monotone_within_tracks() {
+        let sink = TraceSink::enabled();
+        let t = Track::new(2, 0);
+        sink.instant(Clock::Virtual, t, "late", "c", 5.0, vec![]);
+        sink.instant(Clock::Virtual, t, "early", "c", 1.0, vec![]);
+        let json = sink.chrome_json();
+        let early = json.find("early").expect("early present");
+        let late = json.find("late").expect("late present");
+        assert!(early < late, "events must be time-sorted per track");
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let sink = TraceSink::enabled();
+        sink.instant(
+            Clock::Virtual,
+            Track::new(2, 0),
+            "a\"b\\c\nd",
+            "c",
+            0.0,
+            vec![],
+        );
+        let json = sink.chrome_json();
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_valid_json() {
+        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert!(!fmt_f64(f64::INFINITY).contains("inf"));
+        assert_eq!(fmt_f64(1.5), "1.5");
+    }
+}

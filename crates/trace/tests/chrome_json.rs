@@ -1,0 +1,196 @@
+//! Golden-schema test for the Chrome `trace_event` export: the document
+//! must be valid JSON, every event must carry the required fields,
+//! timestamps must be monotone per `(pid, tid)` track, and every pid/tid
+//! that carries events must have a metadata name mapping.
+
+use serde::Json;
+use std::collections::{BTreeMap, BTreeSet};
+use trace::{pids, Clock, ClockFilter, TraceSink, Track};
+
+/// Builds a sink shaped like a real run: cluster task lanes, driver stage
+/// spans + shuffle counters, pool wall counters, autotune instants.
+fn run_like_sink() -> TraceSink {
+    let sink = TraceSink::enabled();
+    sink.name_process(pids::CLUSTER, "virtual: cluster");
+    sink.name_process(pids::DRIVER, "virtual: driver");
+    sink.name_process(pids::POOL, "wall: executor pool");
+    sink.name_thread(Track::new(pids::DRIVER, 0), "stages");
+
+    let driver = Track::new(pids::DRIVER, 0);
+    for stage in 0..3u64 {
+        let t0 = stage as f64 * 2.0;
+        sink.span(
+            Clock::Virtual,
+            driver,
+            format!("stage {stage}"),
+            "stage",
+            t0,
+            t0 + 1.8,
+            vec![("tasks", 4u64.into())],
+        );
+        sink.counter(
+            Clock::Virtual,
+            driver,
+            "shuffle_read_bytes",
+            "shuffle",
+            t0,
+            (stage * 1024) as f64,
+        );
+        for task in 0..4u32 {
+            let lane = Track::new(pids::CLUSTER, task);
+            if !sink.has_thread_name(lane) {
+                sink.name_thread(lane, &format!("n0.c{task}"));
+            }
+            let s = t0 + 0.1 * task as f64;
+            sink.span(
+                Clock::Virtual,
+                lane,
+                format!("s{stage}.t{task}"),
+                "task",
+                s,
+                s + 1.0,
+                vec![("node", 0u64.into())],
+            );
+        }
+    }
+    sink.counter(
+        Clock::Wall,
+        Track::new(pids::POOL, 0),
+        "stolen",
+        "pool",
+        0.01,
+        3.0,
+    );
+    sink
+}
+
+fn trace_events(doc: &Json) -> &[Json] {
+    match doc.get_field("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    }
+}
+
+fn int_field(ev: &Json, name: &str) -> i128 {
+    match ev.get_field(name) {
+        Some(Json::Int(v)) => *v,
+        other => panic!("field {name} must be an integer, got {other:?}"),
+    }
+}
+
+fn num_field(ev: &Json, name: &str) -> f64 {
+    match ev.get_field(name) {
+        Some(Json::Int(v)) => *v as f64,
+        Some(Json::Float(v)) => *v,
+        other => panic!("field {name} must be numeric, got {other:?}"),
+    }
+}
+
+fn str_field<'j>(ev: &'j Json, name: &str) -> &'j str {
+    match ev.get_field(name) {
+        Some(Json::Str(s)) => s,
+        other => panic!("field {name} must be a string, got {other:?}"),
+    }
+}
+
+#[test]
+fn export_is_valid_json_with_trace_events_array() {
+    let json = run_like_sink().chrome_json();
+    let doc = Json::parse(&json).expect("chrome_json must be valid JSON");
+    assert_eq!(
+        doc.get_field("displayTimeUnit"),
+        Some(&Json::Str("ms".to_string()))
+    );
+    assert!(!trace_events(&doc).is_empty());
+}
+
+#[test]
+fn every_event_has_required_schema_fields() {
+    let json = run_like_sink().chrome_json();
+    let doc = Json::parse(&json).unwrap();
+    for ev in trace_events(&doc) {
+        let ph = str_field(ev, "ph");
+        assert!(
+            matches!(ph, "X" | "i" | "C" | "M"),
+            "unexpected phase {ph:?}"
+        );
+        str_field(ev, "name");
+        int_field(ev, "pid");
+        int_field(ev, "tid");
+        match ph {
+            "M" => {
+                // Metadata carries its payload under args.name.
+                let args = ev.get_field("args").expect("metadata args");
+                assert!(matches!(args.get_field("name"), Some(Json::Str(_))));
+            }
+            "X" => {
+                assert!(num_field(ev, "ts") >= 0.0);
+                assert!(num_field(ev, "dur") >= 0.0);
+            }
+            _ => {
+                assert!(num_field(ev, "ts") >= 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn timestamps_are_monotone_per_track() {
+    let json = run_like_sink().chrome_json();
+    let doc = Json::parse(&json).unwrap();
+    let mut last: BTreeMap<(i128, i128), f64> = BTreeMap::new();
+    for ev in trace_events(&doc) {
+        if str_field(ev, "ph") == "M" {
+            continue;
+        }
+        let key = (int_field(ev, "pid"), int_field(ev, "tid"));
+        let ts = num_field(ev, "ts");
+        if let Some(prev) = last.get(&key) {
+            assert!(ts >= *prev, "track {key:?} went backwards: {prev} -> {ts}");
+        }
+        last.insert(key, ts);
+    }
+    assert!(last.len() >= 5, "expected several distinct tracks");
+}
+
+#[test]
+fn every_event_pid_and_task_tid_has_a_name_mapping() {
+    let json = run_like_sink().chrome_json();
+    let doc = Json::parse(&json).unwrap();
+    let mut named_pids: BTreeSet<i128> = BTreeSet::new();
+    let mut named_tids: BTreeSet<(i128, i128)> = BTreeSet::new();
+    for ev in trace_events(&doc) {
+        if str_field(ev, "ph") != "M" {
+            continue;
+        }
+        match str_field(ev, "name") {
+            "process_name" => {
+                named_pids.insert(int_field(ev, "pid"));
+            }
+            "thread_name" => {
+                named_tids.insert((int_field(ev, "pid"), int_field(ev, "tid")));
+            }
+            other => panic!("unexpected metadata {other:?}"),
+        }
+    }
+    for ev in trace_events(&doc) {
+        if str_field(ev, "ph") == "M" {
+            continue;
+        }
+        let pid = int_field(ev, "pid");
+        assert!(named_pids.contains(&pid), "pid {pid} has no process_name");
+        if str_field(ev, "ph") == "X" && pid == pids::CLUSTER as i128 {
+            let key = (pid, int_field(ev, "tid"));
+            assert!(named_tids.contains(&key), "lane {key:?} has no thread_name");
+        }
+    }
+}
+
+#[test]
+fn virtual_slice_is_byte_identical_across_rebuilds() {
+    let a = run_like_sink().chrome_json_filtered(ClockFilter::VirtualOnly);
+    let b = run_like_sink().chrome_json_filtered(ClockFilter::VirtualOnly);
+    assert_eq!(a, b);
+    // The wall-clock counter must not appear in the deterministic slice.
+    assert!(!a.contains("stolen"));
+}
