@@ -14,6 +14,110 @@
 //! tolerance (default 15%) below the baseline's.
 
 use bench::report::{gate_checks, measure_dataplane, DataplaneReport};
+use engine::{Context, EngineOptions, Key, MemCounters, Record, Value};
+use simcluster::uniform_cluster;
+use std::sync::Arc;
+
+/// Deterministic memory-governance gate: the storage layer must stay
+/// inert under a generous budget, spill under a tight budget with fat
+/// tasks, and stop spilling once the partition count is raised — the
+/// exact mechanism the memory-aware optimizer relies on. These runs are
+/// virtual-clock simulations, so the assertions are exact, not
+/// tolerance-banded.
+fn mem_gate() -> Vec<(String, bool)> {
+    let run = |partitions: usize, executor_mem: Option<u64>| -> MemCounters {
+        let mut ctx = Context::new(EngineOptions {
+            cluster: uniform_cluster(3, 4, 2.0),
+            default_parallelism: partitions,
+            workers: 2,
+            executor_mem,
+            ..EngineOptions::default()
+        });
+        // Distinct keys so map-side combine cannot collapse the shuffle:
+        // per-task write volume scales as 1/P.
+        let data: Vec<Record> = (0..3000)
+            .map(|i| Record::new(Key::Int(i), Value::Int(i)))
+            .collect();
+        let src = ctx.parallelize(data, partitions, "src");
+        let summed = ctx.reduce_by_key(
+            src,
+            Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int())),
+            None,
+            1e-6,
+            "sum",
+        );
+        ctx.collect(summed, "mem-gate");
+        ctx.mem_counters()
+    };
+    // Cache-squeeze shape (two cached RDDs under a bounded store): the
+    // eviction machinery itself must engage.
+    let cache_run = |executor_mem: u64| -> MemCounters {
+        let mut ctx = Context::new(EngineOptions {
+            cluster: uniform_cluster(3, 4, 2.0),
+            default_parallelism: 8,
+            workers: 2,
+            executor_mem: Some(executor_mem),
+            ..EngineOptions::default()
+        });
+        let data: Vec<Record> = (0..3000)
+            .map(|i| Record::new(Key::Int(i % 89), Value::Int(i)))
+            .collect();
+        let src = ctx.parallelize(data, 8, "src");
+        let mapped = ctx.map(
+            src,
+            Arc::new(|r: &Record| Record::new(r.key.clone(), Value::Int(r.value.as_int() * 5))),
+            1e-7,
+            "mapped",
+        );
+        ctx.cache(mapped);
+        let filtered = ctx.filter(
+            mapped,
+            Arc::new(|r: &Record| r.value.as_int() % 3 != 0),
+            1e-7,
+            "filtered",
+        );
+        ctx.cache(filtered);
+        let reduced = ctx.reduce_by_key(
+            filtered,
+            Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int())),
+            None,
+            1e-6,
+            "reduced",
+        );
+        ctx.collect(reduced, "materialize");
+        let grouped = ctx.group_by_key(
+            filtered,
+            Some(engine::PartitionerSpec::range(6)),
+            1e-6,
+            "grouped",
+        );
+        ctx.count(grouped, "group");
+        ctx.mem_counters()
+    };
+
+    let generous = run(4, Some(1 << 40));
+    let naive = run(4, Some(16 * 1024));
+    let tuned = run(64, Some(16 * 1024));
+    let squeezed = cache_run(28 * 1024);
+    vec![
+        (
+            format!("generous budget stays inert ({generous:?})"),
+            generous == MemCounters::default(),
+        ),
+        (
+            format!("tight budget + fat tasks spill (spills={})", naive.spills),
+            naive.spills > 0 && naive.spill_bytes > 0,
+        ),
+        (
+            format!("tight budget + high P spill-free (spills={})", tuned.spills),
+            tuned.spills == 0 && tuned.spill_bytes == 0,
+        ),
+        (
+            format!("bounded cache evicts (evictions={})", squeezed.evictions),
+            squeezed.evictions > 0,
+        ),
+    ]
+}
 
 fn main() {
     let mut baseline_path = "results/BENCH_dataplane.json".to_string();
@@ -87,6 +191,11 @@ fn main() {
             if c.ok() { "ok" } else { "REGRESSED" }
         );
         failed |= !c.ok();
+    }
+    eprintln!("[perfgate] checking memory-governance invariants...");
+    for (name, ok) in mem_gate() {
+        println!("{:<80} {}", name, if ok { "ok" } else { "VIOLATED" });
+        failed |= !ok;
     }
     if failed {
         eprintln!(

@@ -60,6 +60,14 @@ pub fn kmeans_motivation() -> KMeans {
     KMeans::new(cfg)
 }
 
+/// A reduced KMeans (20k points) used by the memory-pressure experiment
+/// and the data-plane wall-clock benchmark.
+pub fn kmeans_reduced() -> KMeans {
+    let mut cfg = KMeansConfig::paper();
+    cfg.points = 20_000;
+    KMeans::new(cfg)
+}
+
 /// The PCA workload at evaluation scale.
 pub fn pca_paper() -> Pca {
     Pca::new(PcaConfig::paper())
@@ -72,7 +80,18 @@ pub fn sql_paper() -> Sql {
 
 /// The paper-protocol auto-tuner over the evaluation cluster.
 pub fn paper_autotuner() -> Autotuner {
-    let mut t = Autotuner::new(paper_engine(300, false));
+    paper_autotuner_mem(300, None)
+}
+
+/// The paper-protocol auto-tuner with an explicit vanilla default
+/// parallelism and per-executor memory budget: the optimizer sees the
+/// per-task share and applies its feasibility bound and spill-cost
+/// penalty, and both the vanilla and tuned runs execute under the
+/// bounded storage layer.
+pub fn paper_autotuner_mem(default_parallelism: usize, executor_mem: Option<u64>) -> Autotuner {
+    let mut base = paper_engine(default_parallelism, false);
+    base.executor_mem = executor_mem;
+    let mut t = Autotuner::new(base);
     t.test_plan = TestRunPlan::default();
     // Grid cells are independent sandboxed runs and their recorded metrics
     // are plan-determined, so fanning them out is free wall-clock.

@@ -28,6 +28,28 @@ pub struct BlockMeta {
     pub replicas: Vec<NodeId>,
 }
 
+/// Placement failure: not enough nodes with free capacity to hold a
+/// block at the required replication factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreFull {
+    /// Size of the block that could not be placed.
+    pub block_bytes: u64,
+    /// Replicas required per block.
+    pub replication: usize,
+}
+
+impl std::fmt::Display for StoreFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "block store full: cannot place a {}-byte block with {} replica(s)",
+            self.block_bytes, self.replication
+        )
+    }
+}
+
+impl std::error::Error for StoreFull {}
+
 /// Aggregate I/O counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoCounters {
@@ -54,6 +76,8 @@ pub struct BlockStore {
     num_nodes: usize,
     block_size: u64,
     replication: usize,
+    /// Per-node byte capacity; `None` means unbounded.
+    capacity: Option<u64>,
     inner: Mutex<Inner>,
 }
 
@@ -69,6 +93,21 @@ impl BlockStore {
     /// # Panics
     /// Panics if `num_nodes` or `block_size` or `replication` is zero.
     pub fn with_config(num_nodes: usize, block_size: u64, replication: usize) -> Self {
+        Self::with_capacity(num_nodes, block_size, replication, None)
+    }
+
+    /// Creates a store with an optional per-node byte capacity. When a
+    /// capacity is set, placement skips full nodes and
+    /// [`BlockStore::try_create_file`] errors once no placement exists.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` or `block_size` or `replication` is zero.
+    pub fn with_capacity(
+        num_nodes: usize,
+        block_size: u64,
+        replication: usize,
+        capacity: Option<u64>,
+    ) -> Self {
         assert!(num_nodes > 0, "need at least one data node");
         assert!(block_size > 0, "block size must be positive");
         assert!(replication > 0, "replication factor must be positive");
@@ -76,6 +115,7 @@ impl BlockStore {
             num_nodes,
             block_size,
             replication: replication.min(num_nodes),
+            capacity,
             inner: Mutex::new(Inner {
                 files: HashMap::new(),
                 used_bytes: vec![0; num_nodes],
@@ -99,12 +139,28 @@ impl BlockStore {
     ///
     /// Returns the number of blocks created. Writing counts toward the
     /// transaction counters (one write per stored replica).
+    ///
+    /// # Panics
+    /// Panics if a per-node capacity is set and placement is impossible;
+    /// use [`BlockStore::try_create_file`] when capacity can run out.
     pub fn create_file(&self, name: &str, total_bytes: u64) -> usize {
+        self.try_create_file(name, total_bytes)
+            .expect("block store capacity exhausted")
+    }
+
+    /// Fallible variant of [`BlockStore::create_file`]: returns
+    /// `Err(StoreFull)` when no node has room for a block, leaving the
+    /// store (including any previous file under `name`) untouched.
+    pub fn try_create_file(&self, name: &str, total_bytes: u64) -> Result<usize, StoreFull> {
         let mut inner = self.inner.lock();
-        if let Some(old) = inner.files.remove(name) {
-            for b in &old {
+        // Plan placement on a scratch copy of the usage vector so a
+        // failure mid-file leaves the store unchanged. The scratch view
+        // pretends the old file is already gone (re-creation replaces).
+        let mut used = inner.used_bytes.clone();
+        if let Some(old) = inner.files.get(name) {
+            for b in old {
                 for &n in &b.replicas {
-                    inner.used_bytes[n] = inner.used_bytes[n].saturating_sub(b.size);
+                    used[n] = used[n].saturating_sub(b.size);
                 }
             }
         }
@@ -115,15 +171,66 @@ impl BlockStore {
             let size = remaining
                 .min(self.block_size)
                 .max(if total_bytes == 0 { 0 } else { 1 });
-            let replicas = Self::place(&inner.used_bytes, self.replication);
+            let replicas = Self::place(&used, self.replication, self.capacity, size)?;
             for &n in &replicas {
-                inner.used_bytes[n] += size;
-                inner.counters.writes += 1;
-                inner.counters.bytes_written += size;
+                used[n] += size;
             }
             blocks.push(BlockMeta { size, replicas });
             if remaining == 0 {
                 break; // empty file still gets one zero-length block
+            }
+            remaining -= size;
+        }
+
+        // Commit: release the old file, charge the new blocks.
+        if let Some(old) = inner.files.remove(name) {
+            for b in &old {
+                for &n in &b.replicas {
+                    inner.used_bytes[n] = inner.used_bytes[n].saturating_sub(b.size);
+                }
+            }
+        }
+        for b in &blocks {
+            for &n in &b.replicas {
+                inner.used_bytes[n] += b.size;
+                inner.counters.writes += 1;
+                inner.counters.bytes_written += b.size;
+            }
+        }
+        let n = blocks.len();
+        inner.files.insert(name.to_string(), blocks);
+        Ok(n)
+    }
+
+    /// Creates (or replaces) an unreplicated file pinned entirely to
+    /// `node` — the engine's spill path writes evicted cache partitions
+    /// to the local disk of the node that held them. Capacity is not
+    /// enforced for spill files. Returns the number of blocks created.
+    pub fn create_file_on(&self, name: &str, total_bytes: u64, node: NodeId) -> usize {
+        assert!(node < self.num_nodes, "spill target node out of range");
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.files.remove(name) {
+            for b in &old {
+                for &n in &b.replicas {
+                    inner.used_bytes[n] = inner.used_bytes[n].saturating_sub(b.size);
+                }
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut remaining = total_bytes;
+        while remaining > 0 || blocks.is_empty() {
+            let size = remaining
+                .min(self.block_size)
+                .max(if total_bytes == 0 { 0 } else { 1 });
+            inner.used_bytes[node] += size;
+            inner.counters.writes += 1;
+            inner.counters.bytes_written += size;
+            blocks.push(BlockMeta {
+                size,
+                replicas: vec![node],
+            });
+            if remaining == 0 {
+                break;
             }
             remaining -= size;
         }
@@ -132,13 +239,27 @@ impl BlockStore {
         n
     }
 
-    /// Picks the `replication` least-loaded distinct nodes.
-    fn place(used: &[u64], replication: usize) -> Vec<NodeId> {
-        let mut order: Vec<NodeId> = (0..used.len()).collect();
+    /// Picks the `replication` least-loaded distinct nodes with room for
+    /// a `size`-byte block.
+    fn place(
+        used: &[u64],
+        replication: usize,
+        capacity: Option<u64>,
+        size: u64,
+    ) -> Result<Vec<NodeId>, StoreFull> {
+        let mut order: Vec<NodeId> = (0..used.len())
+            .filter(|&n| capacity.is_none_or(|cap| used[n] + size <= cap))
+            .collect();
         // Stable tiebreak on node id keeps placement deterministic.
         order.sort_by_key(|&n| (used[n], n));
+        if order.len() < replication {
+            return Err(StoreFull {
+                block_bytes: size,
+                replication,
+            });
+        }
         order.truncate(replication);
-        order
+        Ok(order)
     }
 
     /// The block list of a file, if it exists.
@@ -196,6 +317,11 @@ impl BlockStore {
     /// Number of data nodes.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
+    }
+
+    /// Per-node byte capacity, if bounded.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
     }
 }
 
@@ -301,6 +427,59 @@ mod tests {
         let s = BlockStore::new(3);
         assert_eq!(s.read_file("nope"), None);
         assert_eq!(s.file_len("nope"), None);
+    }
+
+    #[test]
+    fn capacity_exhaustion_errors_without_mutating() {
+        let s = BlockStore::with_capacity(2, 100, 1, Some(150));
+        assert_eq!(s.try_create_file("a", 250), Ok(3)); // 100+100+50 over 2 nodes
+        let before = s.used_bytes();
+        let err = s.try_create_file("b", 200).unwrap_err();
+        assert_eq!(err.replication, 1);
+        assert_eq!(s.used_bytes(), before, "failed create must not leak space");
+        assert_eq!(s.file_blocks("b"), None);
+    }
+
+    #[test]
+    fn failed_recreate_keeps_old_file() {
+        let s = BlockStore::with_capacity(1, 100, 1, Some(100));
+        assert_eq!(s.try_create_file("f", 80), Ok(1));
+        assert!(s.try_create_file("f", 300).is_err());
+        assert_eq!(
+            s.file_len("f"),
+            Some(80),
+            "old file survives a failed replace"
+        );
+        assert_eq!(s.used_bytes(), vec![80]);
+    }
+
+    #[test]
+    fn capacity_placement_skips_full_nodes() {
+        let s = BlockStore::with_capacity(3, 100, 1, Some(100));
+        s.create_file_on("pin", 100, 0); // node 0 full
+        let blocks = s.try_create_file("f", 200).unwrap();
+        assert_eq!(blocks, 2);
+        for b in s.file_blocks("f").unwrap() {
+            assert_ne!(b.replicas[0], 0, "full node must not receive blocks");
+        }
+    }
+
+    #[test]
+    fn spill_file_pins_to_node() {
+        let s = BlockStore::with_config(4, 100, 3);
+        let n = s.create_file_on("__spill/r1.p0", 250, 2);
+        assert_eq!(n, 3);
+        for b in s.file_blocks("__spill/r1.p0").unwrap() {
+            assert_eq!(
+                b.replicas,
+                vec![2],
+                "spill blocks are unreplicated + pinned"
+            );
+        }
+        assert_eq!(s.used_bytes(), vec![0, 0, 250, 0]);
+        let c = s.counters();
+        assert_eq!(c.writes, 3);
+        assert_eq!(c.bytes_written, 250);
     }
 
     #[test]

@@ -13,18 +13,23 @@ chopper-cli — CHOPPER auto-partitioning (CLUSTER 2016 reproduction)
 commands:
   run      --workload kmeans|pca|sql|logreg [--scale F] [--partitions N]
            [--copartition] [--gantt] [--conf FILE]
-           [--cluster paper|uniform:N,C,GHz]
+           [--cluster paper|uniform:N,C,GHz] [--executor-mem SIZE]
   tune     --workload W --db FILE [--out-conf FILE]
            [--scales 0.1,0.3,0.6] [--partitions 60,150,300,600,1200]
            [--test-parallelism N]
   plan     --workload W --db FILE [--out-conf FILE] [--partitions N]
-  compare  --workload W [--partitions N]
+  compare  --workload W [--partitions N] [--executor-mem SIZE]
   trace    <workload> | --workload W [--scale F] [--partitions N]
            [--out FILE] [--summary-out FILE] [--clock all|virtual|wall]
            [--conf FILE] [--cluster paper|uniform:N,C,GHz]
+           [--executor-mem SIZE]
   inspect  --db FILE
   conf     --file FILE
   help
+
+--executor-mem bounds each simulated executor's unified memory (cache +
+task working sets); accepts k/m/g suffixes, e.g. 512m. Omitting it keeps
+the cache unbounded (no eviction or spill).
 ";
 
 type CmdResult = Result<(), String>;
@@ -58,11 +63,37 @@ fn cluster(args: &Args) -> Result<ClusterSpec, String> {
     }
 }
 
+/// Parses a byte size with an optional k/m/g suffix (e.g. "512m", "2g").
+fn parse_mem_size(s: &str) -> Result<u64, String> {
+    let s = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(num) => {
+            let mult = match s.as_bytes()[s.len() - 1] {
+                b'k' => 1024u64,
+                b'm' => 1024 * 1024,
+                _ => 1024 * 1024 * 1024,
+            };
+            (num, mult)
+        }
+        None => (s.as_str(), 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad memory size '{s}' (expected e.g. 512m, 2g)"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("memory size '{s}' overflows"))
+}
+
 fn engine_opts(args: &Args) -> Result<EngineOptions, String> {
+    let executor_mem = match args.get("executor-mem") {
+        None => None,
+        Some(s) => Some(parse_mem_size(s)?),
+    };
     Ok(EngineOptions {
         cluster: cluster(args)?,
         default_parallelism: args.num("partitions", 300).map_err(|e| e.to_string())?,
         copartition_scheduling: args.has("copartition"),
+        executor_mem,
         ..EngineOptions::default()
     })
 }
@@ -176,6 +207,17 @@ pub fn trace(args: &Args) -> CmdResult {
     std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
     let summary = ctx.trace_summary();
     print!("{}", summary.render());
+    let mc = ctx.mem_counters();
+    println!(
+        "memory: {} evictions, {} spills ({} B), {} rereads ({} B), {} recomputes, {} released",
+        mc.evictions,
+        mc.spills,
+        mc.spill_bytes,
+        mc.rereads,
+        mc.reread_bytes,
+        mc.recomputes,
+        mc.released
+    );
     if let Some(path) = args.get("summary-out") {
         std::fs::write(path, summary.to_json()).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote summary JSON to {path}");
@@ -385,6 +427,30 @@ mod tests {
         let d = engine_opts(&args(&["run"])).unwrap();
         assert_eq!(d.default_parallelism, 300);
         assert!(!d.copartition_scheduling);
+    }
+
+    #[test]
+    fn mem_size_parsing() {
+        assert_eq!(parse_mem_size("1024"), Ok(1024));
+        assert_eq!(parse_mem_size("2k"), Ok(2048));
+        assert_eq!(parse_mem_size("512m"), Ok(512 * 1024 * 1024));
+        assert_eq!(parse_mem_size("2G"), Ok(2 * 1024 * 1024 * 1024));
+        assert!(parse_mem_size("lots").is_err());
+        assert!(parse_mem_size("12q").is_err());
+    }
+
+    #[test]
+    fn executor_mem_flag_bounds_the_engine() {
+        let o = engine_opts(&args(&["run", "--executor-mem", "256m"])).unwrap();
+        assert_eq!(o.executor_mem, Some(256 * 1024 * 1024));
+        assert!(o.per_task_mem_budget().is_some());
+        let d = engine_opts(&args(&["run"])).unwrap();
+        assert_eq!(d.executor_mem, None);
+        let err = match engine_opts(&args(&["run", "--executor-mem", "banana"])) {
+            Err(e) => e,
+            Ok(_) => panic!("bad size must be rejected"),
+        };
+        assert!(err.contains("memory size"));
     }
 
     #[test]

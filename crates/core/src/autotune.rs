@@ -37,6 +37,9 @@ impl Autotuner {
             // The optimizer records its fits/decisions into the same sink
             // the engine runs trace into.
             trace: base.trace.clone(),
+            // Under a bounded executor memory, feed the per-task share to
+            // the cost model so the partition search stays feasible.
+            task_mem_budget: base.per_task_mem_budget().map(|b| b as f64),
             ..OptimizerOptions::default()
         };
         Autotuner {

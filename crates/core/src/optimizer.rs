@@ -61,6 +61,16 @@ pub struct OptimizerOptions {
     /// Execution-trace sink: when enabled, model fits and per-stage
     /// decisions are recorded as wall-clock instants.
     pub trace: TraceSink,
+    /// Per-task execution-memory budget in bytes (derived from the
+    /// engine's `--executor-mem`). When set, candidates whose estimated
+    /// task working set (input share plus produced output) exceeds it
+    /// are memory-infeasible: the search prefers feasible candidates (a
+    /// lower bound on the partition count) and penalizes infeasible
+    /// ones by their spill overflow.
+    pub task_mem_budget: Option<f64>,
+    /// Multiplicative weight of the spill-cost penalty: cost scales by
+    /// `1 + spill_penalty × overflow/budget` for infeasible candidates.
+    pub spill_penalty: f64,
 }
 
 impl Default for OptimizerOptions {
@@ -78,8 +88,36 @@ impl Default for OptimizerOptions {
             basis: ModelBasis::default(),
             shuffle_bandwidth: Some(4e8),
             trace: TraceSink::disabled(),
+            task_mem_budget: None,
+            spill_penalty: 2.0,
         }
     }
+}
+
+/// A task's execution working set relative to its input share: it holds
+/// the input partition plus the output it produces, which we bound by
+/// the input (the engine's `TaskMetrics::memory_bytes` is input+output,
+/// and the optimizer must model the same quantity its reservations use).
+const WORKING_SET_FACTOR: f64 = 2.0;
+
+/// Estimated per-task execution working set at candidate `p`.
+fn task_working_set(input: InputResponse, p: f64) -> f64 {
+    WORKING_SET_FACTOR * input.d_at(p) / p
+}
+
+/// Spill-cost multiplier for evaluating a candidate `p`: 1 when the
+/// estimated task working set fits the execution-memory budget, and
+/// `1 + spill_penalty × overflow/budget` when it does not — each byte
+/// over budget pays a disk round-trip the in-memory path avoids.
+fn spill_factor(input: InputResponse, p: f64, opts: &OptimizerOptions) -> f64 {
+    let Some(budget) = opts.task_mem_budget else {
+        return 1.0;
+    };
+    if budget <= 0.0 || p <= 0.0 {
+        return 1.0;
+    }
+    let overflow = (task_working_set(input, p) - budget).max(0.0);
+    1.0 + opts.spill_penalty * overflow / budget
 }
 
 /// Algorithm 1's result for one stage.
@@ -199,21 +237,40 @@ fn get_min_par(
     } else {
         in_range
     };
+    // Memory-feasibility lower bound: when a budget is set and at least
+    // one candidate's estimated task working set fits in it, search only
+    // those — the optimizer must not pick a partition count that cannot
+    // hold a task's working set in memory. If no candidate fits, fall
+    // through with the spill penalty deciding among evils.
+    let feasible: Vec<usize> = match opts.task_mem_budget {
+        None => candidates.clone(),
+        Some(budget) => candidates
+            .iter()
+            .copied()
+            .filter(|&p| task_working_set(input, p as f64) <= budget)
+            .collect(),
+    };
+    let candidates = if feasible.is_empty() {
+        candidates
+    } else {
+        feasible
+    };
     candidates
         .iter()
         .map(|&p| {
             let d = input.d_at(p as f64);
             (
                 p,
-                cost_with_baseline(
-                    model,
-                    opts.weights,
-                    d,
-                    p as f64,
-                    baseline.0,
-                    baseline.1,
-                    baseline.2,
-                ),
+                spill_factor(input, p as f64, opts)
+                    * cost_with_baseline(
+                        model,
+                        opts.weights,
+                        d,
+                        p as f64,
+                        baseline.0,
+                        baseline.1,
+                        baseline.2,
+                    ),
             )
         })
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
@@ -395,6 +452,7 @@ fn group_cost(
             };
             let weight = stage.multiplicity as f64 * t0.max(1e-6);
             total += weight
+                * spill_factor(input, scheme.partitions as f64, opts)
                 * cost_with_baseline(
                     &model,
                     opts.weights,

@@ -18,6 +18,7 @@ use crate::shuffle::{
 };
 use crate::stage::{plan_job, MaterializedInfo, Plan, PlanStage, SideDep, StageOutput, StageRoot};
 use blockstore::BlockStore;
+use memman::{Disposition, EvictionPolicy, InsertOutcome, MemCounters, MemoryManager};
 use numeric::Reservoir;
 use simcluster::{ClusterSpec, NodeId, Simulation, TaskSpec};
 use std::collections::HashMap;
@@ -62,6 +63,15 @@ pub struct EngineOptions {
     /// counters are recorded. Tracing only observes — simulated timings
     /// are bit-identical with the sink on or off.
     pub trace: TraceSink,
+    /// Per-executor unified memory budget in bytes. `None` (the default)
+    /// leaves the storage layer ungoverned — the cache never evicts and
+    /// nothing spills, preserving the historical behaviour bit-for-bit.
+    /// `Some(b)` bounds each node's cached data + task working sets at
+    /// `b` bytes, enabling eviction, spill, and recompute paths.
+    pub executor_mem: Option<u64>,
+    /// Victim-selection policy for the bounded cache (LRC by default:
+    /// DAG-aware least-reference-count, after Yang et al.).
+    pub eviction_policy: EvictionPolicy,
 }
 
 impl Default for EngineOptions {
@@ -79,7 +89,27 @@ impl Default for EngineOptions {
             driver_bandwidth: 1e9 / 8.0,
             speculation: None,
             trace: TraceSink::disabled(),
+            executor_mem: None,
+            eviction_policy: EvictionPolicy::default(),
         }
+    }
+}
+
+impl EngineOptions {
+    /// The per-task execution-memory budget implied by `executor_mem`:
+    /// the tightest node's budget split across its cores (every core may
+    /// host a task concurrently). `None` when ungoverned.
+    pub fn per_task_mem_budget(&self) -> Option<u64> {
+        let mem = self.executor_mem?;
+        let max_cores = self
+            .cluster
+            .nodes
+            .iter()
+            .map(|n| n.cores)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        Some(mem / max_cores as u64)
     }
 }
 
@@ -88,6 +118,11 @@ struct Materialized {
     homes: Vec<NodeId>,
     partitioning: Option<PartitionerSpec>,
     producer_stage: usize,
+    /// When true the partitions' bytes live in spill files on each home
+    /// node's disk, not executor memory: reads charge local disk I/O
+    /// instead of memory-resident access. The host-side `Arc`s are kept
+    /// so reread data stays byte-identical.
+    spilled: bool,
 }
 
 struct ShuffleData {
@@ -113,6 +148,15 @@ pub struct Context {
     anchors: HashMap<(crate::partitioner::PartitionerKind, usize, usize), NodeId>,
     jobs: Vec<JobMetrics>,
     next_stage_id: usize,
+    /// Unified memory manager governing the cache (inert when
+    /// `executor_mem` is `None`).
+    mem: MemoryManager,
+    /// RDDs whose cached copy was dropped at least once — a later
+    /// re-materialization of one of these counts as a recompute.
+    evicted_once: std::collections::BTreeSet<Rdd>,
+    /// Cached reads already served per RDD, subtracted from the lineage
+    /// child count to get *remaining* references for LRC.
+    reads_done: HashMap<Rdd, usize>,
 }
 
 impl Context {
@@ -139,6 +183,11 @@ impl Context {
                 .trace
                 .name_thread(trace::Track::new(trace::pids::DRIVER, 0), "stages");
         }
+        let mem = MemoryManager::new(
+            options.cluster.num_nodes(),
+            options.executor_mem,
+            options.eviction_policy,
+        );
         Context {
             graph: RddGraph::new(),
             sim,
@@ -150,6 +199,9 @@ impl Context {
             anchors: HashMap::new(),
             jobs: Vec::new(),
             next_stage_id: 0,
+            mem,
+            evicted_once: std::collections::BTreeSet::new(),
+            reads_done: HashMap::new(),
         }
     }
 
@@ -316,6 +368,31 @@ impl Context {
     /// a job computes them.
     pub fn cache(&mut self, rdd: Rdd) {
         self.graph.set_cached(rdd);
+    }
+
+    /// Releases a cached RDD: drops its pin reference and frees the
+    /// materialization (memory residency, storage-region accounting, and
+    /// any spill files) immediately. A later read recomputes from lineage.
+    pub fn uncache(&mut self, rdd: Rdd) {
+        self.graph.set_uncached(rdd);
+        if let Some(freed) = self.mem.release(rdd.0 as u64) {
+            for (n, &b) in freed.iter().enumerate() {
+                self.sim.release_resident(n, b);
+            }
+        }
+        if let Some(mat) = self.materialized.remove(&rdd) {
+            if mat.spilled {
+                for i in 0..mat.parts.len() {
+                    self.store.delete_file(&spill_name(rdd, i));
+                }
+            }
+            // Ungoverned contexts track residency outside the manager.
+            if !self.governed() {
+                for (i, part) in mat.parts.iter().enumerate() {
+                    self.sim.release_resident(mat.homes[i], batch_size(part));
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -561,6 +638,12 @@ impl Context {
     }
 
     fn run_job(&mut self, final_rdd: Rdd, name: &str) -> Vec<Record> {
+        // Reclaim dead cache entries before planning: at this point the
+        // driver has built every consumer this job (and any iteration
+        // preceding it) will use, so a zero-ref entry really is garbage.
+        // Sweeping *before* the plan also guarantees the plan never
+        // schedules a CachedRead of an entry the sweep removed.
+        self.sweep_unreferenced();
         let plan = plan_job(
             &self.graph,
             final_rdd,
@@ -692,6 +775,8 @@ impl Context {
         // compute below owns everything it needs.
         let mut preps: Vec<TaskPrep> = Vec::with_capacity(num_tasks);
         let mut parents_gids: Vec<usize> = Vec::new();
+        // Cached RDDs consumed by this stage, for lineage ref-counting.
+        let mut cached_reads: Vec<Rdd> = Vec::new();
         match &stage.root {
             StageRoot::Source(rdd) => {
                 let node = self.graph.node(*rdd);
@@ -739,16 +824,32 @@ impl Context {
             StageRoot::CachedRead(rdd) => {
                 let mat = &self.materialized[rdd];
                 parents_gids.push(mat.producer_stage);
+                let spilled = mat.spilled;
                 for i in 0..num_tasks {
                     let bytes = batch_size(&mat.parts[i]);
-                    preps.push(TaskPrep {
-                        input: RootInput::Cached(Arc::clone(&mat.parts[i])),
-                        fetches: vec![(mat.homes[i], bytes)],
-                        fetch_chunks: 1,
-                        local_read_bytes: 0,
-                        preferred: vec![mat.homes[i]],
-                    });
+                    if spilled {
+                        // Bytes live in a spill file on the home node's
+                        // disk: the read is local disk I/O (feeding the
+                        // Fig. 14 transaction counters), not a memory-
+                        // resident fetch.
+                        preps.push(TaskPrep {
+                            input: RootInput::Cached(Arc::clone(&mat.parts[i])),
+                            fetches: Vec::new(),
+                            fetch_chunks: 0,
+                            local_read_bytes: bytes,
+                            preferred: vec![mat.homes[i]],
+                        });
+                    } else {
+                        preps.push(TaskPrep {
+                            input: RootInput::Cached(Arc::clone(&mat.parts[i])),
+                            fetches: vec![(mat.homes[i], bytes)],
+                            fetch_chunks: 1,
+                            local_read_bytes: 0,
+                            preferred: vec![mat.homes[i]],
+                        });
+                    }
                 }
+                cached_reads.push(*rdd);
             }
             StageRoot::ShuffleRead { wide, shuffle } => {
                 let data = shuffles[*shuffle]
@@ -787,8 +888,15 @@ impl Context {
             StageRoot::JoinRead { wide, left, right } => {
                 let is_join = matches!(self.graph.node(*wide).op, OpKind::Join { .. });
                 let cost = wide_cost(*wide);
-                type SideParts = (Vec<Vec<Arc<Vec<Record>>>>, Vec<Vec<(NodeId, u64)>>);
-                let side = |dep: &SideDep, parents_gids: &mut Vec<usize>| -> SideParts {
+                type SideParts = (
+                    Vec<Vec<Arc<Vec<Record>>>>,
+                    Vec<Vec<(NodeId, u64)>>,
+                    Vec<u64>,
+                );
+                let side = |dep: &SideDep,
+                            parents_gids: &mut Vec<usize>,
+                            cached_reads: &mut Vec<Rdd>|
+                 -> SideParts {
                     match dep {
                         SideDep::Shuffle(s) => {
                             let data = shuffles[*s].as_ref().expect("producer stage ran first");
@@ -806,24 +914,33 @@ impl Context {
                                     data.nodes.iter().zip(data.bytes.iter().map(|b| b[i])),
                                 ));
                             }
-                            (parts, fetches)
+                            (parts, fetches, vec![0; num_tasks])
                         }
                         SideDep::Narrow(rdd) => {
                             let mat = &self.materialized[rdd];
                             parents_gids.push(mat.producer_stage);
+                            cached_reads.push(*rdd);
                             let mut parts = Vec::with_capacity(num_tasks);
                             let mut fetches = Vec::with_capacity(num_tasks);
+                            let mut local = Vec::with_capacity(num_tasks);
                             for i in 0..num_tasks {
                                 let bytes = batch_size(&mat.parts[i]);
                                 parts.push(vec![Arc::clone(&mat.parts[i])]);
-                                fetches.push(vec![(mat.homes[i], bytes)]);
+                                if mat.spilled {
+                                    // Spilled side: local disk reread.
+                                    fetches.push(Vec::new());
+                                    local.push(bytes);
+                                } else {
+                                    fetches.push(vec![(mat.homes[i], bytes)]);
+                                    local.push(0);
+                                }
                             }
-                            (parts, fetches)
+                            (parts, fetches, local)
                         }
                     }
                 };
-                let (lparts, lfetches) = side(left, &mut parents_gids);
-                let (rparts, rfetches) = side(right, &mut parents_gids);
+                let (lparts, lfetches, llocal) = side(left, &mut parents_gids, &mut cached_reads);
+                let (rparts, rfetches, rlocal) = side(right, &mut parents_gids, &mut cached_reads);
                 for i in 0..num_tasks {
                     let mut fetches = lfetches[i].clone();
                     fetches.extend_from_slice(&rfetches[i]);
@@ -842,9 +959,27 @@ impl Context {
                         },
                         fetch_chunks: chunks,
                         fetches: aggregate_fetches(fetches.iter().map(|(n, b)| (n, *b))),
-                        local_read_bytes: 0,
+                        local_read_bytes: llocal[i] + rlocal[i],
                         preferred: Vec::new(),
                     });
+                }
+            }
+        }
+
+        // Account the cached reads: each consuming stage burns one
+        // lineage reference, bumps recency, and — for spilled entries —
+        // pays the reread through the spill files.
+        for rdd in &cached_reads {
+            *self.reads_done.entry(*rdd).or_insert(0) += 1;
+            if self.governed() {
+                let id = rdd.0 as u64;
+                self.mem.touch(id);
+                if self.mem.is_spilled(id) {
+                    self.mem.reread(id);
+                    let num_parts = self.materialized[rdd].parts.len();
+                    for i in 0..num_parts {
+                        self.store.read_file(&spill_name(*rdd, i));
+                    }
                 }
             }
         }
@@ -953,10 +1088,23 @@ impl Context {
             StageRoot::JoinRead { wide, .. } => plan.schemes.get(wide).copied(),
             _ => None,
         };
+        let task_mem_budget = self.options.per_task_mem_budget();
         let mut specs: Vec<TaskSpec> = Vec::with_capacity(num_tasks);
         for (i, prep) in preps.iter().enumerate() {
             let out = &outs[i];
-            let write_bytes = bucketed.as_ref().map(|b| b[i].total_bytes()).unwrap_or(0);
+            let mut write_bytes = bucketed.as_ref().map(|b| b[i].total_bytes()).unwrap_or(0);
+            let mut local_read_bytes = prep.local_read_bytes;
+            // Map-side combine overflow: a shuffle buffer larger than the
+            // task's execution-memory share spills the overflow to disk
+            // and re-reads it during the merge.
+            if let Some(budget) = task_mem_budget {
+                let overflow = crate::shuffle::spill_overflow(write_bytes, budget);
+                if overflow > 0 {
+                    self.mem.note_shuffle_spill(overflow);
+                    write_bytes += overflow;
+                    local_read_bytes += overflow;
+                }
+            }
             let out_bytes = batch_size(out.records.as_slice());
             let mut preferred = prep.preferred.clone();
             let mut pinned = None;
@@ -973,7 +1121,7 @@ impl Context {
             }
             specs.push(TaskSpec {
                 compute_cost: out.cost + extra_cost[i],
-                local_read_bytes: prep.local_read_bytes,
+                local_read_bytes,
                 fetches: prep.fetches.clone(),
                 fetch_chunks: prep.fetch_chunks,
                 write_bytes,
@@ -995,6 +1143,19 @@ impl Context {
         }
 
         // ---------------- Persist caches ---------------------------------
+        // Governed mode: reserve this stage's execution working set first
+        // (execution borrows from storage, possibly evicting cached data),
+        // then admit the captures through the memory manager.
+        if self.governed() {
+            let mut reserve = vec![0u64; self.options.cluster.num_nodes()];
+            for (spec, &n) in specs.iter().zip(&nodes) {
+                reserve[n] = reserve[n].max(spec.memory_bytes);
+            }
+            self.refresh_refs();
+            let evictions = self.mem.set_execution_reservation(&reserve);
+            self.apply_evictions(&evictions);
+        }
+
         let root_part = self.root_partitioning(plan, stage);
         let mut capture_map: HashMap<Rdd, Vec<Arc<Vec<Record>>>> = HashMap::new();
         for out in &outs {
@@ -1002,7 +1163,12 @@ impl Context {
                 capture_map.entry(*rdd).or_default().push(Arc::clone(data));
             }
         }
-        for (rdd, parts) in capture_map {
+        // Deterministic insertion order: under memory governance the
+        // insertion order decides who evicts whom, so hash-map order
+        // would leak into results.
+        let mut captures: Vec<(Rdd, Vec<Arc<Vec<Record>>>)> = capture_map.into_iter().collect();
+        captures.sort_by_key(|(r, _)| r.0);
+        for (rdd, parts) in captures {
             if parts.len() != num_tasks || self.materialized.contains_key(&rdd) {
                 continue;
             }
@@ -1011,9 +1177,20 @@ impl Context {
             } else {
                 self.partitioning_at(root_part, &stage.chain, rdd)
             };
-            for (i, p) in parts.iter().enumerate() {
-                self.sim.add_resident(nodes[i], batch_size(p));
+            // The producing stage consumes the capture inline unless the
+            // capture is the stage's final result — that consumption has
+            // already burned one lineage reference.
+            if !(rdd == stage.terminal && matches!(stage.output, StageOutput::Result)) {
+                *self.reads_done.entry(rdd).or_insert(0) += 1;
             }
+            let spilled = if self.governed() {
+                self.admit_capture(rdd, &parts, &nodes)
+            } else {
+                for (i, p) in parts.iter().enumerate() {
+                    self.sim.add_resident(nodes[i], batch_size(p));
+                }
+                false
+            };
             self.materialized.insert(
                 rdd,
                 Materialized {
@@ -1021,6 +1198,7 @@ impl Context {
                     homes: nodes.clone(),
                     partitioning,
                     producer_stage: gid,
+                    spilled,
                 },
             );
         }
@@ -1208,6 +1386,177 @@ impl Context {
         }
         (metrics, result_records)
     }
+
+    // ------------------------------------------------------------------
+    // Memory governance
+    // ------------------------------------------------------------------
+
+    /// Whether the storage layer is governed by a memory budget.
+    fn governed(&self) -> bool {
+        self.options.executor_mem.is_some()
+    }
+
+    /// Snapshot of the memory-manager counters (evictions, spills,
+    /// rereads, recomputes). All zero when ungoverned.
+    pub fn mem_counters(&self) -> MemCounters {
+        self.mem.counters()
+    }
+
+    /// Remaining references of a cached RDD: graph children not yet
+    /// served a read, plus one pin reference while the driver still holds
+    /// the cache handle (cleared by [`Context::uncache`]). The pin keeps
+    /// a lineage-idle cache from being dropped between jobs of a lazily
+    /// built DAG — an iterative driver re-reads it with consumers that do
+    /// not exist in the graph yet. Under pressure a pinned-but-idle entry
+    /// still ranks first for eviction, but it spills instead of dropping.
+    fn lineage_refs(&self, rdd: Rdd) -> usize {
+        let pin = usize::from(self.graph.node(rdd).cached);
+        self.graph
+            .child_count(rdd)
+            .saturating_sub(self.reads_done.get(&rdd).copied().unwrap_or(0))
+            .max(pin)
+    }
+
+    /// Push current lineage ref-counts into the memory manager so LRC
+    /// ranks victims on up-to-date information.
+    fn refresh_refs(&mut self) {
+        let mut ids: Vec<Rdd> = self.materialized.keys().copied().collect();
+        ids.sort_by_key(|r| r.0);
+        for rdd in ids {
+            let refs = self.lineage_refs(rdd);
+            self.mem.set_refs(rdd.0 as u64, refs);
+        }
+    }
+
+    /// Mirror the memory manager's eviction decisions into the engine:
+    /// release simulated residency, drop or spill the materialization,
+    /// and charge the spill writes to the victims' home disks.
+    fn apply_evictions(&mut self, evictions: &[memman::Eviction]) {
+        if evictions.is_empty() {
+            return;
+        }
+        let num_nodes = self.options.cluster.num_nodes();
+        let mut spill_write = vec![0u64; num_nodes];
+        for ev in evictions {
+            let rdd = Rdd(ev.id as usize);
+            for (n, &b) in ev.bytes.iter().enumerate() {
+                self.sim.release_resident(n, b);
+            }
+            match ev.disposition {
+                Disposition::Dropped => {
+                    self.materialized.remove(&rdd);
+                    self.evicted_once.insert(rdd);
+                }
+                Disposition::Spilled => {
+                    let mat = self
+                        .materialized
+                        .get_mut(&rdd)
+                        .expect("spilled victim is materialized");
+                    mat.spilled = true;
+                    for (w, b) in spill_write.iter_mut().zip(&ev.bytes) {
+                        *w += b;
+                    }
+                    let homes = mat.homes.clone();
+                    let sizes: Vec<u64> = mat.parts.iter().map(|p| batch_size(p)).collect();
+                    for (i, bytes) in sizes.into_iter().enumerate() {
+                        self.store
+                            .create_file_on(&spill_name(rdd, i), bytes, homes[i]);
+                    }
+                }
+            }
+            self.emit_mem_event(ev);
+        }
+        self.sim.charge_disk_io(&spill_write, true);
+    }
+
+    /// Admit a freshly captured cache entry through the memory manager.
+    /// Returns whether the entry went straight to spill.
+    fn admit_capture(&mut self, rdd: Rdd, parts: &[Arc<Vec<Record>>], nodes: &[NodeId]) -> bool {
+        let num_nodes = self.options.cluster.num_nodes();
+        let mut per_node = vec![0u64; num_nodes];
+        let sizes: Vec<u64> = parts.iter().map(|p| batch_size(p)).collect();
+        for (i, &b) in sizes.iter().enumerate() {
+            per_node[nodes[i]] += b;
+        }
+        if self.evicted_once.contains(&rdd) {
+            self.mem.note_recompute();
+        }
+        let refs = self.lineage_refs(rdd);
+        let outcome = self.mem.insert(rdd.0 as u64, per_node.clone(), refs);
+        let evicted = outcome.evicted().to_vec();
+        self.apply_evictions(&evicted);
+        match outcome {
+            InsertOutcome::Stored { .. } => {
+                for (i, &b) in sizes.iter().enumerate() {
+                    self.sim.add_resident(nodes[i], b);
+                }
+                false
+            }
+            InsertOutcome::Spilled { .. } => {
+                for (i, &b) in sizes.iter().enumerate() {
+                    self.store.create_file_on(&spill_name(rdd, i), b, nodes[i]);
+                }
+                self.sim.charge_disk_io(&per_node, true);
+                true
+            }
+        }
+    }
+
+    /// Drop cached entries whose reference count reached zero — no
+    /// remaining consumer in the graph built so far can read them and the
+    /// driver no longer pins them (see [`Context::uncache`]).
+    /// Governed mode only: ungoverned contexts keep the historical
+    /// retain-forever behaviour (and its bit-identical figures).
+    fn sweep_unreferenced(&mut self) {
+        if !self.governed() {
+            return;
+        }
+        self.refresh_refs();
+        for (id, freed) in self.mem.release_unreferenced() {
+            let rdd = Rdd(id as usize);
+            if let Some(mat) = self.materialized.remove(&rdd) {
+                for (n, &b) in freed.iter().enumerate() {
+                    self.sim.release_resident(n, b);
+                }
+                if mat.spilled {
+                    for i in 0..mat.parts.len() {
+                        self.store.delete_file(&spill_name(rdd, i));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Trace an eviction decision on the driver's memory lane.
+    fn emit_mem_event(&self, ev: &memman::Eviction) {
+        let sink = &self.options.trace;
+        if !sink.is_enabled() {
+            return;
+        }
+        use trace::{pids, Clock, Track};
+        let track = Track::new(pids::DRIVER, 2);
+        if !sink.has_thread_name(track) {
+            sink.name_thread(track, "memory manager");
+        }
+        let (name, cat) = match ev.disposition {
+            Disposition::Dropped => (format!("drop r{}", ev.id), "evict"),
+            Disposition::Spilled => (format!("spill r{}", ev.id), "spill"),
+        };
+        let bytes: u64 = ev.bytes.iter().sum();
+        sink.instant(
+            Clock::Virtual,
+            track,
+            name,
+            cat,
+            self.sim.clock(),
+            vec![("bytes", bytes.into()), ("refs", ev.refs.into())],
+        );
+    }
+}
+
+/// Name of the spill file backing partition `part` of a cached RDD.
+fn spill_name(rdd: Rdd, part: usize) -> String {
+    format!("__spill/r{}.p{}", rdd.0, part)
 }
 
 /// Aggregates `(node, bytes)` pairs by node, dropping empty transfers.
@@ -2085,5 +2434,67 @@ mod tests {
         let jobs = ctx.jobs();
         assert_eq!(jobs[0].stages[1].num_tasks, 6);
         assert_eq!(jobs[1].stages[1].num_tasks, 2);
+    }
+
+    #[test]
+    fn pinned_cache_survives_unrelated_jobs_under_governance() {
+        let mut opts = test_options();
+        opts.executor_mem = Some(1 << 20);
+        let mut ctx = Context::new(opts);
+        let src = ctx.parallelize(word_records(), 4, "src");
+        let doubled = ctx.map(
+            src,
+            Arc::new(|r: &Record| Record::new(r.key.clone(), Value::Int(r.value.as_int() * 2))),
+            1e-7,
+            "doubled",
+        );
+        ctx.cache(doubled);
+        ctx.count(doubled, "materialize");
+        // Jobs that never read `doubled`: its lineage ref-count is zero
+        // throughout, but the driver's pin must keep it materialized.
+        let other = ctx.parallelize(word_records(), 4, "other");
+        ctx.count(other, "unrelated");
+        assert_eq!(ctx.mem_counters().released, 0, "pin must block the sweep");
+        let counts = ctx.reduce_by_key(doubled, sum(), None, 1e-6, "count");
+        let out = ctx.collect(counts, "reuse");
+        assert_eq!(out.len(), 10);
+        assert_eq!(ctx.mem_counters().recomputes, 0, "cache hit, not rebuild");
+    }
+
+    #[test]
+    fn uncache_frees_the_entry_and_recomputes_on_reuse() {
+        let mut opts = test_options();
+        opts.executor_mem = Some(1 << 20);
+        let mut ctx = Context::new(opts);
+        let src = ctx.parallelize(word_records(), 4, "src");
+        let doubled = ctx.map(
+            src,
+            Arc::new(|r: &Record| Record::new(r.key.clone(), Value::Int(r.value.as_int() * 2))),
+            1e-7,
+            "doubled",
+        );
+        ctx.cache(doubled);
+        ctx.count(doubled, "materialize");
+        ctx.uncache(doubled);
+        assert_eq!(ctx.mem_counters().released, 1, "uncache frees immediately");
+        // Reuse still works — the read falls back to lineage recompute.
+        let counts = ctx.reduce_by_key(doubled, sum(), None, 1e-6, "count");
+        let out = ctx.collect(counts, "reuse");
+        assert_eq!(out.len(), 10);
+        for r in &out {
+            assert_eq!(r.value.as_int(), 40, "20 occurrences of value 2");
+        }
+    }
+
+    #[test]
+    fn uncache_on_an_ungoverned_context_is_safe() {
+        let mut ctx = Context::new(test_options());
+        let src = ctx.parallelize(word_records(), 4, "src");
+        ctx.cache(src);
+        ctx.count(src, "materialize");
+        ctx.uncache(src);
+        let out = ctx.collect(src, "reuse");
+        assert_eq!(out.len(), 200);
+        assert_eq!(ctx.mem_counters().released, 0, "manager is inert");
     }
 }

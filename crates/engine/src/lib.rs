@@ -57,6 +57,7 @@ pub mod stage;
 
 pub use config::WorkloadConf;
 pub use exec::{Context, EngineOptions};
+pub use memman::{EvictionPolicy, MemCounters};
 pub use metrics::{JobMetrics, StageKind, StageMetrics};
 pub use ops::{FilterFn, FlatMapFn, GenFn, MapFn, OpKind, ReduceFn};
 pub use partitioner::{

@@ -76,6 +76,21 @@ impl RddGraph {
         self.nodes[rdd.0].cached = true;
     }
 
+    /// Clears the cached mark — the driver released its handle, so the
+    /// materialization no longer holds a pin reference.
+    pub fn set_uncached(&mut self, rdd: Rdd) {
+        self.nodes[rdd.0].cached = false;
+    }
+
+    /// Number of direct consumers of `rdd` in the graph built so far —
+    /// the lineage reference count that drives LRC eviction.
+    pub fn child_count(&self, rdd: Rdd) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.parents.contains(&rdd))
+            .count()
+    }
+
     fn push(&mut self, op: OpKind, parents: Vec<Rdd>, tag: &'static str, cost: f64) -> Rdd {
         let user_fixed = op.explicit_scheme().is_some()
             || matches!(

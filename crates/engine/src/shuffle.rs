@@ -124,6 +124,14 @@ pub fn bucketize(
     )
 }
 
+/// Map-side spill overflow: the bytes of a task's shuffle write that do
+/// not fit in its execution-memory share. The overflow is written to
+/// disk during the map pass and read back during the merge, so it
+/// charges twice — once as a write, once as a local read.
+pub fn spill_overflow(write_bytes: u64, task_mem_budget: u64) -> u64 {
+    write_bytes.saturating_sub(task_mem_budget)
+}
+
 /// Reduce-side merge for `reduce_by_key`: folds all values of a key with
 /// `f`, preserving first-seen key order. Returns records and the number of
 /// reduce applications.
@@ -426,5 +434,17 @@ mod tests {
         let (tb, _) = bucketize(&[], &p, Some(&sum()));
         assert!(tb.buckets.iter().all(|b| b.is_empty()));
         assert_eq!(tb.total_bytes(), 0);
+    }
+
+    #[test]
+    fn spill_overflow_charges_only_the_excess() {
+        // Fits exactly: no spill.
+        assert_eq!(spill_overflow(1000, 1000), 0);
+        assert_eq!(spill_overflow(0, 1000), 0);
+        // One byte over the budget spills one byte.
+        assert_eq!(spill_overflow(1001, 1000), 1);
+        assert_eq!(spill_overflow(5000, 1000), 4000);
+        // Zero budget spills everything.
+        assert_eq!(spill_overflow(5000, 0), 5000);
     }
 }

@@ -89,6 +89,133 @@ fn assert_jobs_bit_identical(a: &[JobMetrics], b: &[JobMetrics], what: &str) {
     }
 }
 
+/// Same workload under a memory budget tight enough to force evictions
+/// and spills.
+fn run_governed(workers: usize, trace: TraceSink) -> (Vec<Record>, Vec<JobMetrics>, Context) {
+    let mut opts = options(workers, trace);
+    opts.executor_mem = Some(28 * 1024);
+    let mut ctx = Context::new(opts);
+
+    let data: Vec<Record> = (0..3000)
+        .map(|i| Record::new(Key::Int(i % 89), Value::Int(i)))
+        .collect();
+    let src = ctx.parallelize(data, 8, "src");
+    let mapped = ctx.map(
+        src,
+        Arc::new(|r: &Record| Record::new(r.key.clone(), Value::Int(r.value.as_int() * 5))),
+        1e-7,
+        "mapped",
+    );
+    ctx.cache(mapped);
+    let filtered = ctx.filter(
+        mapped,
+        Arc::new(|r: &Record| r.value.as_int() % 3 != 0),
+        1e-7,
+        "filtered",
+    );
+    ctx.cache(filtered);
+    let reduced = ctx.reduce_by_key(
+        filtered,
+        Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int())),
+        None,
+        1e-6,
+        "reduced",
+    );
+    let out = ctx.collect(reduced, "sum-job");
+
+    let grouped = ctx.group_by_key(filtered, Some(PartitionerSpec::range(6)), 1e-6, "grouped");
+    let repart = ctx.repartition(grouped, Some(PartitionerSpec::hash(5)), "repart");
+    let _ = ctx.collect(repart, "group-job");
+
+    let jobs = ctx.jobs().to_vec();
+    (out, jobs, ctx)
+}
+
+/// Eviction/spill decisions and every simulated timing must be
+/// bit-identical across host worker counts and with tracing on or off —
+/// memory governance may not introduce any host-dependent behaviour.
+#[test]
+fn governed_run_is_bit_identical_across_workers_and_trace() {
+    let (rec_ref, jobs_ref, ctx_ref) = run_governed(1, TraceSink::disabled());
+    let counters_ref = ctx_ref.mem_counters();
+    assert!(
+        counters_ref.evictions > 0 && counters_ref.spill_bytes > 0,
+        "budget must actually engage the memory manager, got {counters_ref:?}"
+    );
+    for workers in [1, 8] {
+        for trace_on in [false, true] {
+            let sink = if trace_on {
+                TraceSink::enabled()
+            } else {
+                TraceSink::disabled()
+            };
+            let (rec, jobs, ctx) = run_governed(workers, sink);
+            let what = format!("governed workers {workers}, trace {trace_on}");
+            assert_eq!(rec_ref, rec, "{what}: records diverged");
+            assert_jobs_bit_identical(&jobs_ref, &jobs, &what);
+            assert_eq!(
+                counters_ref,
+                ctx.mem_counters(),
+                "{what}: eviction/spill decisions diverged"
+            );
+        }
+    }
+}
+
+/// A budget too large to ever bind must leave every simulated timing
+/// bit-identical to the ungoverned engine — the subsystem is a strict
+/// superset, not a behaviour change.
+#[test]
+fn generous_budget_matches_ungoverned_run() {
+    let (rec_off, jobs_off, _) = run(1, TraceSink::disabled());
+    let mut opts = options(1, TraceSink::disabled());
+    opts.executor_mem = Some(1 << 40);
+    // Re-run the same workload under the (non-binding) governor.
+    let (rec_gov, jobs_gov, ctx) = {
+        let saved = opts;
+        // run_governed hard-codes the tight budget; inline the generous
+        // variant here.
+        let mut ctx = Context::new(saved);
+        let data: Vec<Record> = (0..3000)
+            .map(|i| Record::new(Key::Int(i % 89), Value::Int(i)))
+            .collect();
+        let src = ctx.parallelize(data, 8, "src");
+        let mapped = ctx.map(
+            src,
+            Arc::new(|r: &Record| Record::new(r.key.clone(), Value::Int(r.value.as_int() * 5))),
+            1e-7,
+            "mapped",
+        );
+        let filtered = ctx.filter(
+            mapped,
+            Arc::new(|r: &Record| r.value.as_int() % 3 != 0),
+            1e-7,
+            "filtered",
+        );
+        ctx.cache(filtered);
+        let reduced = ctx.reduce_by_key(
+            filtered,
+            Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int())),
+            None,
+            1e-6,
+            "reduced",
+        );
+        let out = ctx.collect(reduced, "sum-job");
+        let grouped = ctx.group_by_key(filtered, Some(PartitionerSpec::range(6)), 1e-6, "grouped");
+        let repart = ctx.repartition(grouped, Some(PartitionerSpec::hash(5)), "repart");
+        let _ = ctx.collect(repart, "group-job");
+        let jobs = ctx.jobs().to_vec();
+        (out, jobs, ctx)
+    };
+    assert_eq!(rec_off, rec_gov, "generous budget changed results");
+    assert_jobs_bit_identical(&jobs_off, &jobs_gov, "generous budget vs ungoverned");
+    let mc = ctx.mem_counters();
+    assert_eq!(mc.evictions, 0, "nothing to evict under a generous budget");
+    assert_eq!(mc.spills, 0);
+    assert_eq!(mc.rereads, 0);
+    assert_eq!(mc.recomputes, 0);
+}
+
 #[test]
 fn tracing_on_vs_off_is_bit_identical() {
     for workers in [1, 8] {

@@ -183,6 +183,37 @@ impl Simulation {
         self.resident_bytes[node] = self.resident_bytes[node].saturating_sub(bytes);
     }
 
+    /// Currently registered resident bytes per node.
+    pub fn resident_bytes(&self) -> &[u64] {
+        &self.resident_bytes
+    }
+
+    /// Charges a driver-coordinated disk transfer of `per_node_bytes`
+    /// outside any stage (the engine's cache-spill path): the transfers
+    /// run in parallel across nodes, the clock advances by the slowest
+    /// one, and each node's bytes feed the disk-transaction trace that
+    /// drives Fig. 14.
+    pub fn charge_disk_io(&mut self, per_node_bytes: &[u64], write: bool) {
+        assert_eq!(per_node_bytes.len(), self.spec.num_nodes());
+        let start = self.clock;
+        let mut end = start;
+        for (n, &bytes) in per_node_bytes.iter().enumerate() {
+            if bytes == 0 {
+                continue;
+            }
+            let node_end = start + bytes as f64 / self.spec.nodes[n].disk_bandwidth;
+            end = end.max(node_end);
+            let txns = (bytes as f64 / self.spec.io_transaction_bytes as f64).ceil();
+            self.trace.record_transactions(start, node_end, txns);
+            if write {
+                self.io.write_bytes += bytes;
+            } else {
+                self.io.local_read_bytes += bytes;
+            }
+        }
+        self.clock = end;
+    }
+
     /// Cumulative data-movement counters.
     pub fn io_stats(&self) -> IoStats {
         self.io

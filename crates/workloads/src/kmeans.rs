@@ -243,6 +243,9 @@ impl KMeans {
             "histogram",
         );
         let hist = ctx.collect(hist_rdd, "final-histogram");
+        // The driver is done with the cached input: release the pin so
+        // the storage layer frees it (memory or spill files) right away.
+        ctx.uncache(points);
         let mut histogram: Vec<(i64, i64)> = hist
             .iter()
             .map(|r| match (&r.key, &r.value) {
