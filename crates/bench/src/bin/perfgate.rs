@@ -3,17 +3,23 @@
 //! ```text
 //! cargo run --release -p bench --bin perfgate
 //! cargo run --release -p bench --bin perfgate -- --baseline results/BENCH_dataplane.json \
-//!     --tolerance 0.15 [--fresh-out results/BENCH_dataplane.fresh.json]
+//!     --shuffle-baseline results/BENCH_shuffle_pipeline.json \
+//!     --tolerance 0.15 [--fresh-out results/BENCH_dataplane.fresh.json] \
+//!     [--shuffle-fresh-out results/BENCH_shuffle_pipeline.fresh.json]
 //! ```
 //!
 //! Re-measures the before/after kernels on this host and compares each
-//! kernel's *speedup ratio* against the committed baseline. Ratios are
-//! machine-portable (both sides of each ratio run on the same host), so
-//! the gate works on heterogeneous CI runners where raw milliseconds
-//! would not. Exits 1 if any kernel's fresh ratio falls more than the
-//! tolerance (default 15%) below the baseline's.
+//! kernel's *speedup ratio* against the committed baselines (data-plane
+//! and shuffle-pipeline). Ratios are machine-portable (both sides of each
+//! ratio run on the same host), so the gate works on heterogeneous CI
+//! runners where raw milliseconds would not. Exits 1 if any kernel's
+//! fresh ratio falls more than the tolerance (default 15%) below the
+//! baseline's, or if the pipelined shuffle's end-to-end speedup drops
+//! below its hard 1.3x floor.
 
-use bench::report::{gate_checks, measure_dataplane, DataplaneReport};
+use bench::report::{
+    best_fresh, gate_checks, measure_dataplane, measure_shuffle_pipeline, DataplaneReport,
+};
 use engine::{Context, EngineOptions, Key, MemCounters, Record, Value};
 use simcluster::uniform_cluster;
 use std::sync::Arc;
@@ -119,10 +125,17 @@ fn mem_gate() -> Vec<(String, bool)> {
     ]
 }
 
+/// Hard floor on the fresh `pipeline_sql_join_e2e` speedup: the pipelined
+/// shuffle must beat the barrier engine by at least this much end-to-end,
+/// regardless of what the committed baseline says.
+const PIPELINE_E2E_FLOOR: f64 = 1.3;
+
 fn main() {
     let mut baseline_path = "results/BENCH_dataplane.json".to_string();
+    let mut shuffle_baseline_path = "results/BENCH_shuffle_pipeline.json".to_string();
     let mut tolerance = 0.15f64;
     let mut fresh_out: Option<String> = None;
+    let mut shuffle_fresh_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -133,6 +146,7 @@ fn main() {
         };
         match arg.as_str() {
             "--baseline" => baseline_path = value("--baseline"),
+            "--shuffle-baseline" => shuffle_baseline_path = value("--shuffle-baseline"),
             "--tolerance" => {
                 let raw = value("--tolerance");
                 tolerance = raw.parse().unwrap_or_else(|_| {
@@ -141,9 +155,13 @@ fn main() {
                 });
             }
             "--fresh-out" => fresh_out = Some(value("--fresh-out")),
+            "--shuffle-fresh-out" => shuffle_fresh_out = Some(value("--shuffle-fresh-out")),
             other => {
                 eprintln!("error: unknown argument '{other}'");
-                eprintln!("usage: perfgate [--baseline FILE] [--tolerance F] [--fresh-out FILE]");
+                eprintln!(
+                    "usage: perfgate [--baseline FILE] [--shuffle-baseline FILE] \
+                     [--tolerance F] [--fresh-out FILE] [--shuffle-fresh-out FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -153,25 +171,40 @@ fn main() {
         std::process::exit(2);
     }
 
-    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
-        eprintln!("error: read baseline {baseline_path}: {e}");
-        std::process::exit(2);
-    });
-    let baseline = DataplaneReport::parse(&text).unwrap_or_else(|e| {
-        eprintln!("error: {baseline_path}: {e}");
-        std::process::exit(2);
-    });
+    let load = |path: &str| -> DataplaneReport {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        DataplaneReport::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(&baseline_path);
+    let shuffle_baseline = load(&shuffle_baseline_path);
 
-    eprintln!("[perfgate] measuring data-plane kernels (best-of-5 per kernel)...");
-    let fresh = measure_dataplane();
+    eprintln!("[perfgate] measuring data-plane kernels (interleaved best-of-7, best of 2 runs)...");
+    let fresh = best_fresh((0..2).map(|_| measure_dataplane()).collect());
     if let Some(path) = &fresh_out {
         std::fs::write(path, fresh.to_json()).unwrap_or_else(|e| {
             eprintln!("error: write {path}: {e}");
             std::process::exit(2);
         });
     }
+    eprintln!(
+        "[perfgate] measuring shuffle-pipeline kernels (interleaved best-of-7, best of 2 runs)..."
+    );
+    let shuffle_fresh = best_fresh((0..2).map(|_| measure_shuffle_pipeline()).collect());
+    if let Some(path) = &shuffle_fresh_out {
+        std::fs::write(path, shuffle_fresh.to_json()).unwrap_or_else(|e| {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
 
-    let checks = gate_checks(&baseline, &fresh, tolerance);
+    let mut checks = gate_checks(&baseline, &fresh, tolerance);
+    checks.extend(gate_checks(&shuffle_baseline, &shuffle_fresh, tolerance));
     println!(
         "{:<36} {:>9} {:>9} {:>9}  verdict",
         "kernel", "baseline", "fresh", "floor"
@@ -192,6 +225,23 @@ fn main() {
         );
         failed |= !c.ok();
     }
+    // The end-to-end pipelining win also has an absolute floor: whatever
+    // the committed baseline says, `--pipeline on` must beat `--pipeline
+    // off` by at least 1.3x on the SQL-join workload.
+    let e2e = shuffle_fresh
+        .kernel("pipeline_sql_join_e2e")
+        .map(|k| k.speedup);
+    let e2e_ok = matches!(e2e, Some(s) if s >= PIPELINE_E2E_FLOOR);
+    println!(
+        "{:<36} {:>8.2}x {:>9} {:>8.2}x  {}",
+        "pipeline_sql_join_e2e (abs floor)",
+        PIPELINE_E2E_FLOOR,
+        e2e.map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "missing".to_string()),
+        PIPELINE_E2E_FLOOR,
+        if e2e_ok { "ok" } else { "REGRESSED" }
+    );
+    failed |= !e2e_ok;
     eprintln!("[perfgate] checking memory-governance invariants...");
     for (name, ok) in mem_gate() {
         println!("{:<80} {}", name, if ok { "ok" } else { "VIOLATED" });
@@ -199,13 +249,14 @@ fn main() {
     }
     if failed {
         eprintln!(
-            "perfgate: FAIL — a kernel regressed more than {:.0}% vs {baseline_path}",
+            "perfgate: FAIL — a kernel regressed more than {:.0}% vs {baseline_path} / \
+             {shuffle_baseline_path}, or the pipeline floor was missed",
             tolerance * 100.0
         );
         std::process::exit(1);
     }
     println!(
-        "perfgate: ok — all {} kernels within {:.0}% of {baseline_path}",
+        "perfgate: ok — all {} kernels within {:.0}% of {baseline_path} / {shuffle_baseline_path}",
         checks.len(),
         tolerance * 100.0
     );

@@ -7,12 +7,17 @@
 //!
 //! Output goes to stdout and, per experiment, to `results/<id>.txt`.
 //! Experiment ids: table1, fig2, fig3, fig4, sec2b, fig7, fig8, table2,
-//! table3, fig9, fig10, fig11, fig12, fig13, fig14, fig_mem, dataplane.
+//! table3, fig9, fig10, fig11, fig12, fig13, fig14, fig_mem, dataplane,
+//! shuffle_pipeline.
 //!
 //! `dataplane` additionally writes `results/BENCH_dataplane.json`: host
 //! wall-clock of the executor's before/after kernels (seed spawn dispatch
 //! vs persistent pool, op-at-a-time vs fused chain, seed vs hash-once
 //! bucketize) plus real-workload wall-clock across worker counts.
+//!
+//! `shuffle_pipeline` writes `results/BENCH_shuffle_pipeline.json`: the
+//! end-to-end SQL-join workload with the push-based pipelined shuffle on
+//! vs off, plus the streaming-merge and owned-bucketize micro-kernels.
 
 use bench::{
     fmt_kb, fmt_time, kmeans_motivation, kmeans_paper, kmeans_reduced, paper_autotuner,
@@ -44,6 +49,7 @@ fn main() {
             "fig14",
             "fig_mem",
             "dataplane",
+            "shuffle_pipeline",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -74,6 +80,7 @@ fn main() {
             }),
             "fig_mem" => fig_mem(),
             "dataplane" => dataplane(),
+            "shuffle_pipeline" => shuffle_pipeline(),
             other => {
                 eprintln!("unknown experiment id: {other}");
                 continue;
@@ -631,7 +638,8 @@ fn fig_mem() -> String {
 // ---- Data-plane before/after benchmark -----------------------------------
 
 fn dataplane() -> String {
-    let report = bench::report::measure_dataplane();
+    let runs = (0..3).map(|_| bench::report::measure_dataplane()).collect();
+    let report = bench::report::conservative_baseline(runs);
     std::fs::write("results/BENCH_dataplane.json", report.to_json())
         .expect("write results/BENCH_dataplane.json");
 
@@ -659,7 +667,40 @@ fn dataplane() -> String {
         "Data plane — before/after host wall-clock (BENCH_dataplane.json)",
         "Before = seed kernels (scoped spawn dispatch, deep-copy + op-at-a-time \
          chains, re-hashing bucketize); after = persistent pool + fused \
-         zero-copy data plane. Timings are best-of-5 host milliseconds.",
+         zero-copy data plane. Timings are interleaved best-of-7 host \
+         milliseconds; per kernel, the most conservative of three runs is \
+         committed so the one-sided CI gate never inherits an inflated floor.",
+        t.render(),
+    )
+}
+
+fn shuffle_pipeline() -> String {
+    let runs = (0..3)
+        .map(|_| bench::report::measure_shuffle_pipeline())
+        .collect();
+    let report = bench::report::conservative_baseline(runs);
+    std::fs::write("results/BENCH_shuffle_pipeline.json", report.to_json())
+        .expect("write results/BENCH_shuffle_pipeline.json");
+
+    let mut t = Table::new(&["kernel", "before ms", "after ms", "speedup"]);
+    for k in &report.kernels {
+        t.row(vec![
+            k.name.clone(),
+            format!("{:.2}", k.before_ms),
+            format!("{:.2}", k.after_ms),
+            format!("{:.2}x", k.speedup),
+        ]);
+    }
+    section(
+        "Shuffle pipeline — barrier vs push-based (BENCH_shuffle_pipeline.json)",
+        "pipeline_sql_join_e2e is the headline: host wall-clock of a \
+         multi-stage SQL-join workload (two aggregations feeding a join and \
+         a rebalance, 8 workers) with `--pipeline off` (stage-barrier \
+         engine) vs `--pipeline on` (push-based exchange, streaming merges, \
+         owned bucketize). The micro-kernels isolate the per-record wins \
+         the pipeline rides on. Timings are interleaved best-of-7 host \
+         milliseconds; per kernel, the most conservative of three runs is \
+         committed so the one-sided CI gate never inherits an inflated floor.",
         t.render(),
     )
 }

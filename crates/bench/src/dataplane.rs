@@ -9,7 +9,9 @@
 //! zero-copy data plane against the code it replaced, on identical inputs.
 
 use engine::shuffle::TaskBuckets;
-use engine::{batch_size, Partitioner, Record, ReduceFn};
+use engine::{
+    batch_size, Context, EngineOptions, GenFn, Key, Partitioner, Record, ReduceFn, Value,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -170,6 +172,160 @@ fn feed_owned(ops: &[ChainOp], rec: Record, out: &mut Vec<Record>) {
     }
 }
 
+/// The pre-pipelining reduce-side join merge: three `SipHash` hash maps
+/// grown on demand, a separate match-collection pass, and an output vector
+/// with no capacity hint.
+pub fn seed_merge_join(left: &[Record], right: &[Record]) -> (Vec<Record>, u64) {
+    let mut order: Vec<Key> = Vec::new();
+    let mut table: HashMap<Key, Vec<Value>> = HashMap::new();
+    for r in left {
+        table
+            .entry(r.key.clone())
+            .or_insert_with(|| {
+                order.push(r.key.clone());
+                Vec::new()
+            })
+            .push(r.value.clone());
+    }
+    let mut matches: HashMap<Key, Vec<Value>> = HashMap::new();
+    let mut probes = 0u64;
+    for r in right {
+        probes += 1;
+        if table.contains_key(&r.key) {
+            matches
+                .entry(r.key.clone())
+                .or_default()
+                .push(r.value.clone());
+        }
+    }
+    let mut out = Vec::new();
+    for k in order {
+        if let Some(rights) = matches.get(&k) {
+            for l in &table[&k] {
+                for r in rights {
+                    out.push(Record::new(
+                        k.clone(),
+                        Value::Pair(Box::new(l.clone()), Box::new(r.clone())),
+                    ));
+                }
+            }
+        }
+    }
+    (out, probes)
+}
+
+/// The pre-pipelining reduce-side co-group merge: two on-demand `SipHash`
+/// maps plus an order list, output assembled without a capacity hint.
+pub fn seed_merge_cogroup(left: &[Record], right: &[Record]) -> Vec<Record> {
+    let mut order: Vec<Key> = Vec::new();
+    let mut lefts: HashMap<Key, Vec<Value>> = HashMap::new();
+    let mut rights: HashMap<Key, Vec<Value>> = HashMap::new();
+    for r in left {
+        lefts
+            .entry(r.key.clone())
+            .or_insert_with(|| {
+                order.push(r.key.clone());
+                Vec::new()
+            })
+            .push(r.value.clone());
+    }
+    for r in right {
+        if !lefts.contains_key(&r.key) && !rights.contains_key(&r.key) {
+            order.push(r.key.clone());
+        }
+        rights
+            .entry(r.key.clone())
+            .or_default()
+            .push(r.value.clone());
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let l = lefts.remove(&k).unwrap_or_default();
+            let r = rights.remove(&k).unwrap_or_default();
+            Record::new(
+                k,
+                Value::Pair(
+                    Box::new(Value::List(Arc::new(l))),
+                    Box::new(Value::List(Arc::new(r))),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Builds and runs the multi-stage SQL-join workload used by the
+/// shuffle-pipeline benchmark: two generated tables each aggregated with
+/// `reduce_by_key` (independent sibling stages), joined on the shared key
+/// space, then collected. Returns the joined rows.
+///
+/// The tables carry boxed `Value::Pair` payloads, so every record the
+/// barrier engine clones out of a map bucket costs two heap allocations —
+/// exactly the copies the push-based exchange elides by moving bucket
+/// ownership into the reduce-side merges.
+pub fn sql_join_workload(pipeline: bool, workers: usize, rows: usize) -> Vec<Record> {
+    let parts = 8;
+    let opts = EngineOptions {
+        workers,
+        pipeline,
+        ..crate::paper_engine(parts, false)
+    };
+    let mut ctx = Context::new(opts);
+    let n = rows;
+
+    // A row payload shaped like a small SQL tuple: (id, (qty, amount)).
+    // Boxed nesting makes cloning a row cost four heap allocations.
+    let row = |id: i64, qty: i64, amount: i64| {
+        Value::Pair(
+            Box::new(Value::Int(id)),
+            Box::new(Value::Pair(
+                Box::new(Value::Int(qty)),
+                Box::new(Value::Int(amount)),
+            )),
+        )
+    };
+    let gen_orders: GenFn = Arc::new(move |i, p| {
+        let (lo, hi) = (i * n / p, (i + 1) * n / p);
+        (lo..hi)
+            .map(|j| Record::new(Key::Int((j % n) as i64), row(j as i64, 1, 7 * j as i64)))
+            .collect()
+    });
+    let gen_returns: GenFn = Arc::new(move |i, p| {
+        let (lo, hi) = (i * n / p, (i + 1) * n / p);
+        (lo..hi)
+            .map(|j| {
+                Record::new(
+                    Key::Int(((j * 3) % n) as i64),
+                    row(-(j as i64), 1, 11 * j as i64),
+                )
+            })
+            .collect()
+    });
+    let orders = ctx.text_file("pipe.orders", 30 * n as u64, gen_orders, 1e-9, "orders");
+    let returns = ctx.text_file("pipe.returns", 30 * n as u64, gen_returns, 1e-9, "returns");
+
+    let merge_pair: ReduceFn = Arc::new(|a, b| match (a, b) {
+        (Value::Pair(a1, rest_a), Value::Pair(b1, rest_b)) => {
+            match (rest_a.as_ref(), rest_b.as_ref()) {
+                (Value::Pair(a2, a3), Value::Pair(b2, b3)) => Value::Pair(
+                    Box::new(Value::Int(a1.as_int().min(b1.as_int()))),
+                    Box::new(Value::Pair(
+                        Box::new(Value::Int(a2.as_int() + b2.as_int())),
+                        Box::new(Value::Int(a3.as_int().max(b3.as_int()))),
+                    )),
+                ),
+                _ => unreachable!("nested pair rows"),
+            }
+        }
+        _ => unreachable!("pair-valued tables"),
+    });
+    let agg_orders = ctx.reduce_by_key(orders, merge_pair.clone(), None, 1e-9, "agg-orders");
+    let agg_returns = ctx.reduce_by_key(returns, merge_pair, None, 1e-9, "agg-returns");
+    let joined = ctx.join(agg_orders, agg_returns, None, 1e-9, "join-tables");
+    let balanced = ctx.repartition(joined, None, "rebalance");
+    ctx.collect(balanced, "sql-join-pipeline")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +373,41 @@ mod tests {
     fn spawn_par_map_covers_all_indices() {
         let out = spawn_par_map(4, 100, |i| i * 3);
         assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    fn sides(n: usize) -> (Vec<Record>, Vec<Record>) {
+        let left = (0..n)
+            .map(|i| Record::new(Key::Int(i as i64 % 23), Value::Int(i as i64)))
+            .collect();
+        let right = (0..n)
+            .map(|i| Record::new(Key::Int(i as i64 % 31), Value::Int(-(i as i64))))
+            .collect();
+        (left, right)
+    }
+
+    #[test]
+    fn seed_merge_join_matches_current() {
+        let (left, right) = sides(600);
+        assert_eq!(
+            seed_merge_join(&left, &right),
+            engine::shuffle::merge_join(&left, &right)
+        );
+    }
+
+    #[test]
+    fn seed_merge_cogroup_matches_current() {
+        let (left, right) = sides(600);
+        assert_eq!(
+            seed_merge_cogroup(&left, &right),
+            engine::shuffle::merge_cogroup(&left, &right)
+        );
+    }
+
+    #[test]
+    fn sql_join_workload_pipeline_matches_barrier() {
+        let on = sql_join_workload(true, 2, 3_000);
+        let off = sql_join_workload(false, 2, 3_000);
+        assert!(!on.is_empty());
+        assert_eq!(on, off);
     }
 }

@@ -12,7 +12,7 @@ chopper-cli — CHOPPER auto-partitioning (CLUSTER 2016 reproduction)
 
 commands:
   run      --workload kmeans|pca|sql|logreg [--scale F] [--partitions N]
-           [--copartition] [--gantt] [--conf FILE]
+           [--copartition] [--gantt] [--conf FILE] [--pipeline on|off]
            [--cluster paper|uniform:N,C,GHz] [--executor-mem SIZE]
   tune     --workload W --db FILE [--out-conf FILE]
            [--scales 0.1,0.3,0.6] [--partitions 60,150,300,600,1200]
@@ -89,11 +89,17 @@ fn engine_opts(args: &Args) -> Result<EngineOptions, String> {
         None => None,
         Some(s) => Some(parse_mem_size(s)?),
     };
+    let pipeline = match args.get("pipeline") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("bad --pipeline '{other}' (expected on|off)")),
+    };
     Ok(EngineOptions {
         cluster: cluster(args)?,
         default_parallelism: args.num("partitions", 300).map_err(|e| e.to_string())?,
         copartition_scheduling: args.has("copartition"),
         executor_mem,
+        pipeline,
         ..EngineOptions::default()
     })
 }
@@ -427,6 +433,26 @@ mod tests {
         let d = engine_opts(&args(&["run"])).unwrap();
         assert_eq!(d.default_parallelism, 300);
         assert!(!d.copartition_scheduling);
+    }
+
+    #[test]
+    fn pipeline_flag_parses_on_off() {
+        assert!(engine_opts(&args(&["run"])).unwrap().pipeline);
+        assert!(
+            engine_opts(&args(&["run", "--pipeline", "on"]))
+                .unwrap()
+                .pipeline
+        );
+        assert!(
+            !engine_opts(&args(&["run", "--pipeline", "off"]))
+                .unwrap()
+                .pipeline
+        );
+        let err = match engine_opts(&args(&["run", "--pipeline", "maybe"])) {
+            Err(e) => e,
+            Ok(_) => panic!("bad --pipeline value must be rejected"),
+        };
+        assert!(err.contains("--pipeline"));
     }
 
     #[test]

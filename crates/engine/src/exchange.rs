@@ -1,0 +1,1102 @@
+//! Push-based pipelined shuffle executor.
+//!
+//! The barrier engine ([`crate::exec`]) walks the DAG one stage at a time:
+//! every map task of a stage finishes, its buckets are stored, and only
+//! then do the consumer's reduce tasks start, each re-materializing and
+//! folding every bucket. This module removes that barrier on the *host*
+//! side: map tasks publish completed [`TaskBuckets`] into a per-shuffle
+//! [`Exchange`] the moment they finish, and reduce tasks start merging as
+//! soon as a deterministic prefix of map outputs is available. Independent
+//! sibling stages (e.g. the two parents of a join) run concurrently on the
+//! same [`WorkerPool`].
+//!
+//! **Determinism rule:** a reduce task consumes buckets strictly in map-task
+//! index order — bucket `m` is taken only once map tasks `0..=m` have all
+//! published (the exchange exposes a contiguous *available prefix*). Merges
+//! therefore see exactly the byte stream the barrier engine fed them, so
+//! results, per-bucket byte counts, range samples, and every simulated cost
+//! stay bit-identical to `--pipeline off`.
+//!
+//! The executor only does data-plane work (compute, merge, bucketize). It
+//! never touches the simulation, block store, or memory manager: after it
+//! returns, [`crate::exec`] replays each stage in plan order against the
+//! recorded [`StageData`], performing the identical fetch accounting,
+//! simulated timing, cache persistence, metrics, and virtual-clock trace
+//! emission as the barrier engine.
+
+use crate::exec::{
+    capture_arc, compute_task, run_chain_and_finish, Materialized, MergeKind, RootInput,
+    SampleSpec, TaskOut, TaskRecords, MERGE_BASE_COST, PARTITION_COST, SAMPLE_COST,
+};
+use crate::ops::{GenFn, OpKind, ReduceFn};
+use crate::partitioner::{build_partitioner, Partitioner, PartitionerKind, PartitionerSpec};
+use crate::pool::WorkerPool;
+use crate::rdd::{Rdd, RddGraph};
+use crate::record::{batch_size, Key, Record};
+use crate::shuffle::{
+    bucketize_in, bucketize_owned_in, CogroupMerge, ConcatMerge, GroupMerge, JoinMerge,
+    ReduceMerge, TaskArena, TaskBuckets,
+};
+use crate::stage::{Plan, SideDep, StageOutput, StageRoot};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::mem;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use trace::{pids, Clock, TraceSink, Track};
+
+/// Locks a mutex, ignoring poisoning (panics are re-raised by the
+/// scheduler after every participant stops).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Recorded per-stage output, replayed by the driver
+// ---------------------------------------------------------------------------
+
+/// Everything the driver needs to replay one stage's virtual-cluster
+/// accounting without re-touching the data plane.
+pub(crate) struct StageData {
+    /// Per-task outputs. For shuffle-write stages the records have been
+    /// consumed by the exchange and are empty; captures survive.
+    pub(crate) outs: Vec<TaskOut>,
+    /// Per-task output record counts, taken before the exchange consumed
+    /// the records.
+    pub(crate) out_lens: Vec<u64>,
+    /// Per-task output byte counts, ditto.
+    pub(crate) out_bytes: Vec<u64>,
+    /// `bytes[map_task][reduce_partition]` for shuffle-write stages.
+    pub(crate) bucket_bytes: Option<Vec<Vec<u64>>>,
+    /// Per-task bucketize cost (partitioning + map-side combine + range
+    /// sampling), mirroring the barrier engine's phase-B accounting.
+    pub(crate) extra_cost: Vec<f64>,
+}
+
+/// Borrowed inputs for one pipelined job run.
+pub(crate) struct PipelineInput<'a> {
+    pub(crate) graph: &'a RddGraph,
+    pub(crate) plan: &'a Plan,
+    /// Task count per plan stage (same derivation as the driver's).
+    pub(crate) num_tasks: &'a [usize],
+    pub(crate) materialized: &'a HashMap<Rdd, Materialized>,
+    pub(crate) pool: &'a WorkerPool,
+    pub(crate) job_id: usize,
+    pub(crate) trace: &'a TraceSink,
+}
+
+// ---------------------------------------------------------------------------
+// Exchange: published map buckets, consumed in map-index order
+// ---------------------------------------------------------------------------
+
+/// One shuffle's published map outputs.
+struct Exchange {
+    /// Number of map tasks feeding this exchange.
+    maps: usize,
+    /// Number of consuming *stages*. With exactly one, a consumed bucket is
+    /// taken by value (each reduce task owns its column); with more (e.g. a
+    /// self-join reading both sides from one shuffle) buckets are shared.
+    consumers: usize,
+    /// Shared empty bucket used to cheaply replace taken columns.
+    empty: Arc<Vec<Record>>,
+    inner: Mutex<ExInner>,
+}
+
+struct ExInner {
+    /// `rows[map_task][reduce_partition]`, `None` until published.
+    rows: Vec<Option<Vec<Arc<Vec<Record>>>>>,
+    /// Serialized bytes per published bucket, same shape.
+    bytes: Vec<Option<Vec<u64>>>,
+    /// Length of the contiguous published prefix: buckets of map tasks
+    /// `0..avail` may be consumed.
+    avail: usize,
+    /// Units parked until the prefix advances.
+    waiters: Vec<usize>,
+}
+
+impl Exchange {
+    fn new(maps: usize, consumers: usize) -> Exchange {
+        Exchange {
+            maps,
+            consumers,
+            empty: Arc::new(Vec::new()),
+            inner: Mutex::new(ExInner {
+                rows: (0..maps).map(|_| None).collect(),
+                bytes: (0..maps).map(|_| None).collect(),
+                avail: 0,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+}
+
+/// A consumed bucket: owned when this exchange has a single consuming stage
+/// (the merge can move the records), shared otherwise.
+enum Bucket {
+    Owned(Vec<Record>),
+    Shared(Arc<Vec<Record>>),
+}
+
+impl Bucket {
+    fn len(&self) -> usize {
+        match self {
+            Bucket::Owned(v) => v.len(),
+            Bucket::Shared(a) => a.len(),
+        }
+    }
+}
+
+/// Takes map task `m`'s bucket for reduce partition `col`, or parks `uid`
+/// on the exchange if `m` is past the published prefix. Returns the bucket
+/// plus its serialized byte count (as published by the producer, which is
+/// bit-identical to recomputing `batch_size` on the bucket).
+fn take_or_park(ex: &Exchange, m: usize, col: usize, uid: usize) -> Option<(Bucket, u64)> {
+    let mut inner = lock(&ex.inner);
+    if m >= inner.avail {
+        inner.waiters.push(uid);
+        return None;
+    }
+    let bytes = inner.bytes[m].as_ref().expect("published")[col];
+    let row = inner.rows[m].as_mut().expect("published");
+    let bucket = if ex.consumers > 1 {
+        Bucket::Shared(Arc::clone(&row[col]))
+    } else {
+        // Sole consumer: take the column and try to own it outright so the
+        // merge can move records instead of cloning them.
+        let arc = mem::replace(&mut row[col], Arc::clone(&ex.empty));
+        match Arc::try_unwrap(arc) {
+            Ok(v) => Bucket::Owned(v),
+            Err(shared) => Bucket::Shared(shared),
+        }
+    };
+    Some((bucket, bytes))
+}
+
+// ---------------------------------------------------------------------------
+// Stage recipes: the pure data-plane shape of each plan stage
+// ---------------------------------------------------------------------------
+
+/// A root whose inputs are fully available at job start.
+enum SimpleSrc {
+    /// In-memory collection, sliced per task.
+    Slice(Arc<Vec<Record>>),
+    /// Deterministic generator (block-store reads are replayed later).
+    Gen(GenFn),
+    /// Cached partitions, one per task.
+    Cached(Vec<Arc<Vec<Record>>>),
+}
+
+/// Where one join side's data comes from.
+enum SideRecipe {
+    /// Exchange index: consumed bucket-by-bucket in map order.
+    Exchange(usize),
+    /// Materialized narrow side: partition `i` feeds task `i` whole.
+    Narrow(Vec<Arc<Vec<Record>>>),
+}
+
+enum RootRecipe {
+    Simple(SimpleSrc),
+    Shuffle {
+        ex: usize,
+        merge: MergeKind,
+    },
+    Join {
+        left: SideRecipe,
+        right: SideRecipe,
+        is_join: bool,
+        cost: f64,
+    },
+}
+
+enum OutputRecipe {
+    Result,
+    Shuffle {
+        ex: usize,
+        combine: Option<ReduceFn>,
+        combine_cost: f64,
+        is_range: bool,
+        spec: PartitionerSpec,
+        seed: u64,
+        /// Pre-set for hash shuffles; built at the range barrier otherwise.
+        partitioner: OnceLock<Arc<dyn Partitioner>>,
+    },
+}
+
+struct StageRecipe {
+    chain: Vec<Rdd>,
+    root_rdd: Rdd,
+    capture_root: bool,
+    tasks: usize,
+    root: RootRecipe,
+    output: OutputRecipe,
+    sample: Option<SampleSpec>,
+}
+
+/// Internal barrier for stages feeding a *range* shuffle: the partitioner
+/// needs every task's reservoir sample, so buckets are cut only after all
+/// of this stage's tasks have deposited their outputs. Pipelining still
+/// overlaps this stage's compute with upstream stages.
+struct RangeSync {
+    state: Mutex<RangeState>,
+}
+
+struct RangeState {
+    deposited: usize,
+    waiters: Vec<usize>,
+}
+
+/// Deposited output of one completed task.
+#[derive(Default)]
+struct TaskSlot {
+    out: Option<TaskOut>,
+    out_len: u64,
+    out_bytes: u64,
+    extra_cost: f64,
+}
+
+// ---------------------------------------------------------------------------
+// Units: one state machine per (stage, task)
+// ---------------------------------------------------------------------------
+
+enum MergeAcc {
+    Reduce(ReduceMerge, f64),
+    Group(GroupMerge, f64),
+    Concat(ConcatMerge),
+}
+
+struct ShuffleProgress {
+    /// Next map-task index to consume.
+    next: usize,
+    acc: MergeAcc,
+    fetched: u64,
+    bytes: u64,
+}
+
+enum JoinAcc {
+    Join(JoinMerge),
+    Cogroup(CogroupMerge),
+}
+
+struct JoinProgress {
+    lnext: usize,
+    rnext: usize,
+    sealed: bool,
+    acc: JoinAcc,
+    fetched: u64,
+    bytes: u64,
+}
+
+enum UnitState {
+    Fresh,
+    Shuffle(ShuffleProgress),
+    Join(JoinProgress),
+    /// Output deposited; waiting on the range barrier before bucketizing.
+    Bucketize,
+}
+
+struct Unit {
+    stage: usize,
+    task: usize,
+    state: UnitState,
+    /// Wall time of the unit's first scheduling (overlap span bookkeeping).
+    start: f64,
+}
+
+enum Progress {
+    Done,
+    Parked,
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+struct SchedState {
+    queue: VecDeque<usize>,
+    /// Units not yet completed.
+    remaining: usize,
+    /// A unit panicked; every participant drains out.
+    poisoned: bool,
+}
+
+struct Sched {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Sched {
+    fn enqueue_many(&self, uids: Vec<usize>) {
+        if uids.is_empty() {
+            return;
+        }
+        let mut st = lock(&self.state);
+        st.queue.extend(uids);
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+struct Runtime<'a> {
+    graph: &'a RddGraph,
+    recipes: &'a [StageRecipe],
+    exchanges: &'a [Exchange],
+    units: &'a [Mutex<Unit>],
+    slots: &'a [Vec<Mutex<TaskSlot>>],
+    range_sync: &'a [Option<RangeSync>],
+    spans: &'a [Mutex<Option<(f64, f64)>>],
+    sched: &'a Sched,
+    pool: &'a WorkerPool,
+    sink: &'a TraceSink,
+}
+
+/// Runs the whole job's data plane with push-based pipelining and returns
+/// one [`StageData`] per plan stage, in plan order.
+pub(crate) fn run_pipelined(input: PipelineInput<'_>) -> Vec<StageData> {
+    let PipelineInput {
+        graph,
+        plan,
+        num_tasks,
+        materialized,
+        pool,
+        job_id,
+        trace: sink,
+    } = input;
+
+    // How many stages consume each shuffle (a self-join counts its one
+    // shuffle twice): the exchange only hands out owned buckets when there
+    // is exactly one consuming stage.
+    let mut consumers = vec![0usize; plan.shuffles.len()];
+    for stage in &plan.stages {
+        match &stage.root {
+            StageRoot::ShuffleRead { shuffle, .. } => consumers[*shuffle] += 1,
+            StageRoot::JoinRead { left, right, .. } => {
+                for dep in [left, right] {
+                    if let SideDep::Shuffle(s) = dep {
+                        consumers[*s] += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let exchanges: Vec<Exchange> = plan
+        .shuffles
+        .iter()
+        .enumerate()
+        .map(|(sidx, spec)| Exchange::new(num_tasks[spec.producer_stage], consumers[sidx]))
+        .collect();
+
+    let recipes: Vec<StageRecipe> = plan
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(s, stage)| {
+            let tasks = num_tasks[s];
+            let root = match &stage.root {
+                StageRoot::Source(rdd) => match &graph.node(*rdd).op {
+                    OpKind::SourceCollection { data, .. } => {
+                        RootRecipe::Simple(SimpleSrc::Slice(Arc::clone(data)))
+                    }
+                    OpKind::SourceBlocks { gen, .. } => {
+                        RootRecipe::Simple(SimpleSrc::Gen(Arc::clone(gen)))
+                    }
+                    other => unreachable!("source stage over {other:?}"),
+                },
+                StageRoot::CachedRead(rdd) => {
+                    RootRecipe::Simple(SimpleSrc::Cached(materialized[rdd].parts.clone()))
+                }
+                StageRoot::ShuffleRead { wide, shuffle } => {
+                    let c = graph.node(*wide).cost_per_record;
+                    let merge = match &graph.node(*wide).op {
+                        OpKind::ReduceByKey { f, .. } => MergeKind::Reduce(Arc::clone(f), c),
+                        OpKind::GroupByKey { .. } => MergeKind::Group(c),
+                        OpKind::Repartition { .. } => MergeKind::Concat,
+                        other => unreachable!("single-parent wide op expected, got {other:?}"),
+                    };
+                    RootRecipe::Shuffle {
+                        ex: *shuffle,
+                        merge,
+                    }
+                }
+                StageRoot::JoinRead { wide, left, right } => {
+                    let side = |dep: &SideDep| match dep {
+                        SideDep::Shuffle(s) => SideRecipe::Exchange(*s),
+                        SideDep::Narrow(rdd) => SideRecipe::Narrow(materialized[rdd].parts.clone()),
+                    };
+                    RootRecipe::Join {
+                        left: side(left),
+                        right: side(right),
+                        is_join: matches!(graph.node(*wide).op, OpKind::Join { .. }),
+                        cost: graph.node(*wide).cost_per_record,
+                    }
+                }
+            };
+            let output = match stage.output {
+                StageOutput::Result => OutputRecipe::Result,
+                StageOutput::ShuffleWrite(sidx) => {
+                    let spec = plan.shuffles[sidx].scheme;
+                    let combine = if plan.shuffles[sidx].combine {
+                        match &graph.node(plan.shuffles[sidx].for_wide).op {
+                            OpKind::ReduceByKey { f, .. } => Some(Arc::clone(f)),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    // Same seed derivation as the barrier engine's phase B.
+                    let seed = (job_id as u64) << 32 | (s as u64) << 8 | 0xC0;
+                    let is_range = spec.kind == PartitionerKind::Range;
+                    let partitioner = OnceLock::new();
+                    if !is_range {
+                        let _ = partitioner.set(build_partitioner(spec, std::iter::empty(), seed));
+                    }
+                    OutputRecipe::Shuffle {
+                        ex: sidx,
+                        combine,
+                        combine_cost: graph.node(plan.shuffles[sidx].for_wide).cost_per_record,
+                        is_range,
+                        spec,
+                        seed,
+                        partitioner,
+                    }
+                }
+            };
+            let sample = match &output {
+                OutputRecipe::Shuffle {
+                    is_range: true,
+                    spec,
+                    seed,
+                    ..
+                } => Some(SampleSpec {
+                    cap: (20 * spec.partitions).div_ceil(tasks.max(1)).max(8),
+                    seed: *seed,
+                }),
+                _ => None,
+            };
+            let root_rdd = stage.root_rdd();
+            // Evaluated at job start — a superset of the barrier engine's
+            // per-stage check when an earlier stage of this job captures the
+            // same RDD; the driver's replay drops redundant captures with no
+            // observable divergence (captures are cost-free).
+            let capture_root = graph.node(root_rdd).cached
+                && !materialized.contains_key(&root_rdd)
+                && !matches!(stage.root, StageRoot::CachedRead(_));
+            StageRecipe {
+                chain: stage.chain.clone(),
+                root_rdd,
+                capture_root,
+                tasks,
+                root,
+                output,
+                sample,
+            }
+        })
+        .collect();
+
+    let range_sync: Vec<Option<RangeSync>> = recipes
+        .iter()
+        .map(|r| match &r.output {
+            OutputRecipe::Shuffle { is_range: true, .. } => Some(RangeSync {
+                state: Mutex::new(RangeState {
+                    deposited: 0,
+                    waiters: Vec::new(),
+                }),
+            }),
+            _ => None,
+        })
+        .collect();
+
+    let slots: Vec<Vec<Mutex<TaskSlot>>> = recipes
+        .iter()
+        .map(|r| (0..r.tasks).map(|_| Mutex::default()).collect())
+        .collect();
+
+    // Units enqueued in (stage, task) order: with one worker, execution is
+    // exactly plan order and no unit ever parks (producers precede their
+    // consumers); with more workers, consumers start early and overlap.
+    let mut units: Vec<Mutex<Unit>> = Vec::new();
+    for (s, recipe) in recipes.iter().enumerate() {
+        for t in 0..recipe.tasks {
+            units.push(Mutex::new(Unit {
+                stage: s,
+                task: t,
+                state: UnitState::Fresh,
+                start: 0.0,
+            }));
+        }
+    }
+    let spans: Vec<Mutex<Option<(f64, f64)>>> =
+        (0..recipes.len()).map(|_| Mutex::new(None)).collect();
+    let sched = Sched {
+        state: Mutex::new(SchedState {
+            queue: (0..units.len()).collect(),
+            remaining: units.len(),
+            poisoned: false,
+        }),
+        cv: Condvar::new(),
+        panic_payload: Mutex::new(None),
+    };
+
+    let rt = Runtime {
+        graph,
+        recipes: &recipes,
+        exchanges: &exchanges,
+        units: &units,
+        slots: &slots,
+        range_sync: &range_sync,
+        spans: &spans,
+        sched: &sched,
+        pool,
+        sink,
+    };
+    let rt_ref = &rt;
+    pool.map_with(pool.workers(), |_, participant| {
+        scheduler_loop(rt_ref, participant)
+    });
+
+    if let Some(payload) = lock(&sched.panic_payload).take() {
+        panic::resume_unwind(payload);
+    }
+    debug_assert_eq!(lock(&sched.state).remaining, 0, "all units completed");
+
+    // Map/reduce overlap visibility: one wall span per stage covering its
+    // first task start to its last task end — overlapping spans across
+    // stages show the pipeline working.
+    if sink.is_enabled() {
+        let track = Track::new(pids::POOL, 2);
+        if !sink.has_thread_name(track) {
+            sink.name_thread(track, "pipeline stages");
+        }
+        for (s, span) in spans.iter().enumerate() {
+            if let Some((start, end)) = *lock(span) {
+                let tag = graph.node(plan.stages[s].terminal).tag;
+                sink.span(
+                    Clock::Wall,
+                    track,
+                    format!("pipeline j{job_id}.p{s} {tag}"),
+                    "pipeline",
+                    start,
+                    end,
+                    vec![("tasks", recipes[s].tasks.into())],
+                );
+            }
+        }
+    }
+
+    // Assemble the per-stage replay data.
+    recipes
+        .iter()
+        .enumerate()
+        .map(|(s, recipe)| {
+            let mut outs = Vec::with_capacity(recipe.tasks);
+            let mut out_lens = Vec::with_capacity(recipe.tasks);
+            let mut out_bytes = Vec::with_capacity(recipe.tasks);
+            let mut extra_cost = Vec::with_capacity(recipe.tasks);
+            for cell in slots[s].iter().take(recipe.tasks) {
+                let slot = mem::take(&mut *lock(cell));
+                outs.push(slot.out.expect("unit deposited"));
+                out_lens.push(slot.out_len);
+                out_bytes.push(slot.out_bytes);
+                extra_cost.push(slot.extra_cost);
+            }
+            let bucket_bytes = match &recipe.output {
+                OutputRecipe::Shuffle { ex, .. } => {
+                    let inner = lock(&exchanges[*ex].inner);
+                    Some(
+                        inner
+                            .bytes
+                            .iter()
+                            .map(|b| b.clone().expect("all maps published"))
+                            .collect(),
+                    )
+                }
+                OutputRecipe::Result => None,
+            };
+            StageData {
+                outs,
+                out_lens,
+                out_bytes,
+                bucket_bytes,
+                extra_cost,
+            }
+        })
+        .collect()
+}
+
+/// One participant's scheduling loop: pull runnable units until every unit
+/// has completed (or a panic poisons the run).
+fn scheduler_loop(rt: &Runtime<'_>, participant: usize) {
+    loop {
+        let uid = {
+            let mut st = lock(&rt.sched.state);
+            loop {
+                if st.remaining == 0 || st.poisoned {
+                    return;
+                }
+                if let Some(uid) = st.queue.pop_front() {
+                    break uid;
+                }
+                st = rt
+                    .sched
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        match panic::catch_unwind(AssertUnwindSafe(|| run_unit(rt, uid, participant))) {
+            Ok(Progress::Parked) => {}
+            Ok(Progress::Done) => {
+                let mut st = lock(&rt.sched.state);
+                st.remaining -= 1;
+                if st.remaining == 0 {
+                    drop(st);
+                    rt.sched.cv.notify_all();
+                }
+            }
+            Err(payload) => {
+                let mut slot = lock(&rt.sched.panic_payload);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                drop(slot);
+                let mut st = lock(&rt.sched.state);
+                st.poisoned = true;
+                drop(st);
+                rt.sched.cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+/// Advances one unit as far as its inputs allow.
+fn run_unit(rt: &Runtime<'_>, uid: usize, participant: usize) -> Progress {
+    let mut unit = lock(&rt.units[uid]);
+    let task = unit.task;
+    let recipe = &rt.recipes[unit.stage];
+    if matches!(unit.state, UnitState::Fresh) && rt.sink.is_enabled() {
+        unit.start = rt.sink.wall_now();
+    }
+    loop {
+        match &mut unit.state {
+            UnitState::Fresh => match &recipe.root {
+                RootRecipe::Simple(src) => {
+                    let input = match src {
+                        SimpleSrc::Slice(data) => {
+                            let len = data.len();
+                            let start = task * len / recipe.tasks;
+                            let end = (task + 1) * len / recipe.tasks;
+                            RootInput::Slice(Arc::clone(data), start, end)
+                        }
+                        SimpleSrc::Gen(gen) => RootInput::Gen(Arc::clone(gen), task, recipe.tasks),
+                        SimpleSrc::Cached(parts) => RootInput::Cached(Arc::clone(&parts[task])),
+                    };
+                    let out = compute_task(
+                        rt.graph,
+                        &input,
+                        &recipe.chain,
+                        task,
+                        recipe.capture_root,
+                        recipe.root_rdd,
+                        recipe.sample.as_ref(),
+                    );
+                    return finish_unit(rt, &mut unit, uid, out, participant);
+                }
+                RootRecipe::Shuffle { merge, .. } => {
+                    unit.state = UnitState::Shuffle(ShuffleProgress {
+                        next: 0,
+                        acc: match merge {
+                            MergeKind::Reduce(f, c) => {
+                                MergeAcc::Reduce(ReduceMerge::new(Arc::clone(f)), *c)
+                            }
+                            MergeKind::Group(c) => MergeAcc::Group(GroupMerge::new(), *c),
+                            MergeKind::Concat => MergeAcc::Concat(ConcatMerge::new()),
+                        },
+                        fetched: 0,
+                        bytes: 0,
+                    });
+                }
+                RootRecipe::Join { is_join, .. } => {
+                    unit.state = UnitState::Join(JoinProgress {
+                        lnext: 0,
+                        rnext: 0,
+                        sealed: false,
+                        acc: if *is_join {
+                            JoinAcc::Join(JoinMerge::new())
+                        } else {
+                            JoinAcc::Cogroup(CogroupMerge::new())
+                        },
+                        fetched: 0,
+                        bytes: 0,
+                    });
+                }
+            },
+            UnitState::Shuffle(sp) => {
+                let RootRecipe::Shuffle { ex, .. } = &recipe.root else {
+                    unreachable!()
+                };
+                let exch = &rt.exchanges[*ex];
+                while sp.next < exch.maps {
+                    let Some((bucket, b)) = take_or_park(exch, sp.next, task, uid) else {
+                        return Progress::Parked;
+                    };
+                    sp.fetched += bucket.len() as u64;
+                    sp.bytes += b;
+                    match (&mut sp.acc, bucket) {
+                        (MergeAcc::Reduce(m, _), Bucket::Owned(v)) => m.push_owned(v),
+                        (MergeAcc::Reduce(m, _), Bucket::Shared(a)) => m.push_slice(&a),
+                        (MergeAcc::Group(m, _), Bucket::Owned(v)) => m.push_owned(v),
+                        (MergeAcc::Group(m, _), Bucket::Shared(a)) => m.push_slice(&a),
+                        (MergeAcc::Concat(m), Bucket::Owned(v)) => m.push_owned(v),
+                        (MergeAcc::Concat(m), Bucket::Shared(a)) => m.push_slice(&a),
+                    }
+                    sp.next += 1;
+                }
+                break;
+            }
+            UnitState::Join(jp) => {
+                let RootRecipe::Join { left, right, .. } = &recipe.root else {
+                    unreachable!()
+                };
+                // Drain the left side fully, seal, then the right: the
+                // merge sees both streams in map-index order, exactly as
+                // the barrier engine's flattened inputs.
+                if !consume_side(rt, left, task, uid, jp, true) {
+                    return Progress::Parked;
+                }
+                if !jp.sealed {
+                    match &mut jp.acc {
+                        JoinAcc::Join(m) => m.seal_left(),
+                        JoinAcc::Cogroup(m) => m.seal_left(),
+                    }
+                    jp.sealed = true;
+                }
+                if !consume_side(rt, right, task, uid, jp, false) {
+                    return Progress::Parked;
+                }
+                break;
+            }
+            UnitState::Bucketize => {
+                return bucketize_from_slot(rt, &mut unit, participant);
+            }
+        }
+    }
+
+    // A merge-root unit consumed every input: finish the merge (charging
+    // costs in the barrier engine's exact f64 accumulation order), run the
+    // narrow chain, and hand the output on.
+    let state = mem::replace(&mut unit.state, UnitState::Bucketize);
+    let (records, cost, fetched, bytes) = match state {
+        UnitState::Shuffle(sp) => {
+            let mut cost = 0.0;
+            cost += sp.fetched as f64 * MERGE_BASE_COST;
+            let records = match sp.acc {
+                MergeAcc::Reduce(m, c) => {
+                    let (out, ops) = m.finish();
+                    cost += ops as f64 * c;
+                    out
+                }
+                MergeAcc::Group(m, c) => {
+                    cost += sp.fetched as f64 * c;
+                    m.finish()
+                }
+                MergeAcc::Concat(m) => m.finish(),
+            };
+            (records, cost, sp.fetched, sp.bytes)
+        }
+        UnitState::Join(jp) => {
+            let RootRecipe::Join { cost: c, .. } = &recipe.root else {
+                unreachable!()
+            };
+            let mut cost = 0.0;
+            cost += jp.fetched as f64 * (MERGE_BASE_COST + c);
+            let records = match jp.acc {
+                JoinAcc::Join(m) => {
+                    let (out, probes) = m.finish();
+                    cost += probes as f64 * MERGE_BASE_COST;
+                    out
+                }
+                JoinAcc::Cogroup(m) => m.finish(),
+            };
+            (records, cost, jp.fetched, jp.bytes)
+        }
+        _ => unreachable!(),
+    };
+    let records = TaskRecords::Owned(records);
+    let mut captures = Vec::new();
+    if recipe.capture_root {
+        captures.push((recipe.root_rdd, capture_arc(&records)));
+    }
+    let out = run_chain_and_finish(
+        rt.graph,
+        &recipe.chain,
+        task,
+        records,
+        cost,
+        fetched,
+        bytes,
+        captures,
+        recipe.sample.as_ref(),
+    );
+    finish_unit(rt, &mut unit, uid, out, participant)
+}
+
+/// Consumes one join side into the accumulator. Returns `false` if parked.
+fn consume_side(
+    rt: &Runtime<'_>,
+    side: &SideRecipe,
+    task: usize,
+    uid: usize,
+    jp: &mut JoinProgress,
+    is_left: bool,
+) -> bool {
+    let next = if is_left {
+        &mut jp.lnext
+    } else {
+        &mut jp.rnext
+    };
+    match side {
+        SideRecipe::Narrow(parts) => {
+            if *next == 0 {
+                let part = &parts[task];
+                jp.fetched += part.len() as u64;
+                jp.bytes += batch_size(part);
+                match &mut jp.acc {
+                    JoinAcc::Join(m) if is_left => m.push_left_slice(part),
+                    JoinAcc::Join(m) => m.push_right_slice(part),
+                    JoinAcc::Cogroup(m) if is_left => m.push_left_slice(part),
+                    JoinAcc::Cogroup(m) => m.push_right_slice(part),
+                }
+                *next = 1;
+            }
+            true
+        }
+        SideRecipe::Exchange(e) => {
+            let exch = &rt.exchanges[*e];
+            while *next < exch.maps {
+                let Some((bucket, b)) = take_or_park(exch, *next, task, uid) else {
+                    return false;
+                };
+                jp.fetched += bucket.len() as u64;
+                jp.bytes += b;
+                match (&mut jp.acc, bucket) {
+                    (JoinAcc::Join(m), Bucket::Owned(v)) if is_left => m.push_left_owned(v),
+                    (JoinAcc::Join(m), Bucket::Owned(v)) => m.push_right_owned(v),
+                    (JoinAcc::Join(m), Bucket::Shared(a)) if is_left => m.push_left_slice(&a),
+                    (JoinAcc::Join(m), Bucket::Shared(a)) => m.push_right_slice(&a),
+                    (JoinAcc::Cogroup(m), Bucket::Owned(v)) if is_left => m.push_left_owned(v),
+                    (JoinAcc::Cogroup(m), Bucket::Owned(v)) => m.push_right_owned(v),
+                    (JoinAcc::Cogroup(m), Bucket::Shared(a)) if is_left => m.push_left_slice(&a),
+                    (JoinAcc::Cogroup(m), Bucket::Shared(a)) => m.push_right_slice(&a),
+                }
+                *next += 1;
+            }
+            true
+        }
+    }
+}
+
+/// Routes a finished task output: deposit for result stages, bucketize and
+/// publish for shuffle writes (range writes first wait for the stage-wide
+/// sample barrier).
+fn finish_unit(
+    rt: &Runtime<'_>,
+    unit: &mut Unit,
+    uid: usize,
+    out: TaskOut,
+    participant: usize,
+) -> Progress {
+    let (s, task) = (unit.stage, unit.task);
+    let recipe = &rt.recipes[s];
+    let out_len = out.records.len() as u64;
+    let out_bytes = batch_size(out.records.as_slice());
+    match &recipe.output {
+        OutputRecipe::Result => {
+            let mut slot = lock(&rt.slots[s][task]);
+            slot.out = Some(out);
+            slot.out_len = out_len;
+            slot.out_bytes = out_bytes;
+            drop(slot);
+            complete(rt, unit);
+            Progress::Done
+        }
+        OutputRecipe::Shuffle {
+            ex,
+            combine,
+            combine_cost,
+            is_range: false,
+            partitioner,
+            ..
+        } => {
+            // Hash shuffle: bucketize inline and publish immediately.
+            let p = partitioner.get().expect("hash partitioner pre-built");
+            let mut out = out;
+            let (tb, extra) = {
+                let records = mem::replace(&mut out.records, TaskRecords::Owned(Vec::new()));
+                let n = records.len() as f64;
+                let mut arena = rt.pool.arena(participant);
+                let (tb, combine_ops) = bucketize_task(records, &**p, combine.as_ref(), &mut arena);
+                (tb, n * PARTITION_COST + combine_ops as f64 * combine_cost)
+            };
+            let mut slot = lock(&rt.slots[s][task]);
+            slot.out = Some(out);
+            slot.out_len = out_len;
+            slot.out_bytes = out_bytes;
+            slot.extra_cost = extra;
+            drop(slot);
+            publish(rt, *ex, task, tb);
+            complete(rt, unit);
+            Progress::Done
+        }
+        OutputRecipe::Shuffle { is_range: true, .. } => {
+            {
+                let mut slot = lock(&rt.slots[s][task]);
+                slot.out = Some(out);
+                slot.out_len = out_len;
+                slot.out_bytes = out_bytes;
+            }
+            unit.state = UnitState::Bucketize;
+            let sync = rt.range_sync[s].as_ref().expect("range stage has sync");
+            let mut st = lock(&sync.state);
+            st.deposited += 1;
+            if st.deposited < recipe.tasks {
+                st.waiters.push(uid);
+                return Progress::Parked;
+            }
+            // Last depositor: build the range partitioner from every
+            // task's reservoir sample, concatenated in task order — the
+            // same key stream the barrier engine feeds it.
+            let woken = mem::take(&mut st.waiters);
+            drop(st);
+            let OutputRecipe::Shuffle {
+                spec,
+                seed,
+                partitioner,
+                ..
+            } = &recipe.output
+            else {
+                unreachable!()
+            };
+            let mut keys: Vec<Key> = Vec::new();
+            for t in 0..recipe.tasks {
+                let slot = lock(&rt.slots[s][t]);
+                keys.extend(
+                    slot.out
+                        .as_ref()
+                        .expect("all tasks deposited")
+                        .sample
+                        .iter()
+                        .cloned(),
+                );
+            }
+            let _ = partitioner.set(build_partitioner(*spec, keys.iter(), *seed));
+            rt.sched.enqueue_many(woken);
+            bucketize_from_slot(rt, unit, participant)
+        }
+    }
+}
+
+/// Bucketizes a deposited range-stage output once the partitioner exists.
+fn bucketize_from_slot(rt: &Runtime<'_>, unit: &mut Unit, participant: usize) -> Progress {
+    let (s, task) = (unit.stage, unit.task);
+    let recipe = &rt.recipes[s];
+    let OutputRecipe::Shuffle {
+        ex,
+        combine,
+        combine_cost,
+        partitioner,
+        ..
+    } = &recipe.output
+    else {
+        unreachable!("bucketize state only for shuffle writes")
+    };
+    let p = partitioner.get().expect("partitioner built at barrier");
+    let records = {
+        let mut slot = lock(&rt.slots[s][task]);
+        let out = slot.out.as_mut().expect("deposited before barrier");
+        mem::replace(&mut out.records, TaskRecords::Owned(Vec::new()))
+    };
+    let (tb, extra) = {
+        let n = records.len() as f64;
+        let mut arena = rt.pool.arena(participant);
+        let (tb, combine_ops) = bucketize_task(records, &**p, combine.as_ref(), &mut arena);
+        (
+            tb,
+            n * PARTITION_COST + combine_ops as f64 * combine_cost + n * SAMPLE_COST,
+        )
+    };
+    lock(&rt.slots[s][task]).extra_cost = extra;
+    publish(rt, *ex, task, tb);
+    complete(rt, unit);
+    Progress::Done
+}
+
+/// Bucketizes a finished task's records, *moving* them into buckets when
+/// the task owns its output (the common case) and borrowing when the
+/// records window a shared cache partition. Both paths produce identical
+/// buckets and byte tables.
+fn bucketize_task(
+    records: TaskRecords,
+    partitioner: &dyn Partitioner,
+    combine: Option<&ReduceFn>,
+    arena: &mut TaskArena,
+) -> (TaskBuckets, u64) {
+    match records {
+        TaskRecords::Owned(v) => bucketize_owned_in(v, partitioner, combine, arena),
+        shared => bucketize_in(shared.as_slice(), partitioner, combine, arena),
+    }
+}
+
+/// Publishes one map task's buckets and wakes consumers if the available
+/// prefix advanced.
+fn publish(rt: &Runtime<'_>, ex_idx: usize, map: usize, tb: TaskBuckets) {
+    let ex = &rt.exchanges[ex_idx];
+    let (woken, avail) = {
+        let mut inner = lock(&ex.inner);
+        inner.rows[map] = Some(tb.buckets);
+        inner.bytes[map] = Some(tb.bytes);
+        let mut advanced = false;
+        while inner.avail < ex.maps && inner.rows[inner.avail].is_some() {
+            inner.avail += 1;
+            advanced = true;
+        }
+        let woken = if advanced {
+            mem::take(&mut inner.waiters)
+        } else {
+            Vec::new()
+        };
+        (woken, inner.avail)
+    };
+    if rt.sink.is_enabled() {
+        let track = Track::new(pids::POOL, 3);
+        if !rt.sink.has_thread_name(track) {
+            rt.sink.name_thread(track, "exchange");
+        }
+        rt.sink.counter(
+            Clock::Wall,
+            track,
+            format!("exchange.s{ex_idx}.avail"),
+            "exchange",
+            rt.sink.wall_now(),
+            avail as f64,
+        );
+    }
+    rt.sched.enqueue_many(woken);
+}
+
+/// Folds this unit's wall window into its stage's overlap span.
+fn complete(rt: &Runtime<'_>, unit: &Unit) {
+    if !rt.sink.is_enabled() {
+        return;
+    }
+    let end = rt.sink.wall_now();
+    let mut span = lock(&rt.spans[unit.stage]);
+    match &mut *span {
+        Some((s, e)) => {
+            *s = s.min(unit.start);
+            *e = e.max(end);
+        }
+        None => *span = Some((unit.start, end)),
+    }
+}

@@ -14,7 +14,7 @@ use crate::pool::WorkerPool;
 use crate::rdd::{Rdd, RddGraph};
 use crate::record::{batch_size, Key, Record};
 use crate::shuffle::{
-    bucketize, merge_cogroup, merge_concat, merge_group, merge_join, merge_reduce, TaskBuckets,
+    merge_cogroup, merge_concat, merge_group, merge_join, merge_reduce, TaskBuckets,
 };
 use crate::stage::{plan_job, MaterializedInfo, Plan, PlanStage, SideDep, StageOutput, StageRoot};
 use blockstore::BlockStore;
@@ -27,11 +27,11 @@ use trace::TraceSink;
 
 /// Compute units charged per record for partition assignment during shuffle
 /// writes.
-const PARTITION_COST: f64 = 0.05e-6;
+pub(crate) const PARTITION_COST: f64 = 0.05e-6;
 /// Compute units charged per record for range-partitioner sampling.
-const SAMPLE_COST: f64 = 0.02e-6;
+pub(crate) const SAMPLE_COST: f64 = 0.02e-6;
 /// Compute units charged per fetched record during reduce-side merges.
-const MERGE_BASE_COST: f64 = 0.03e-6;
+pub(crate) const MERGE_BASE_COST: f64 = 0.03e-6;
 
 /// Engine construction options.
 #[derive(Clone)]
@@ -72,6 +72,16 @@ pub struct EngineOptions {
     /// Victim-selection policy for the bounded cache (LRC by default:
     /// DAG-aware least-reference-count, after Yang et al.).
     pub eviction_policy: EvictionPolicy,
+    /// Push-based pipelined shuffle (the default): map tasks publish
+    /// buckets into a per-shuffle exchange and reduce tasks merge as map
+    /// outputs become available, with independent sibling stages running
+    /// concurrently on the worker pool. Results, metrics, and
+    /// virtual-clock traces are bit-identical either way — only host
+    /// wall-clock behaviour differs. `false` restores the stage-barrier
+    /// engine. Memory-governed contexts (`executor_mem`) always use the
+    /// barrier engine, because eviction decisions are interleaved with
+    /// stage execution.
+    pub pipeline: bool,
 }
 
 impl Default for EngineOptions {
@@ -91,6 +101,7 @@ impl Default for EngineOptions {
             trace: TraceSink::disabled(),
             executor_mem: None,
             eviction_policy: EvictionPolicy::default(),
+            pipeline: true,
         }
     }
 }
@@ -113,24 +124,24 @@ impl EngineOptions {
     }
 }
 
-struct Materialized {
-    parts: Vec<Arc<Vec<Record>>>,
-    homes: Vec<NodeId>,
-    partitioning: Option<PartitionerSpec>,
-    producer_stage: usize,
+pub(crate) struct Materialized {
+    pub(crate) parts: Vec<Arc<Vec<Record>>>,
+    pub(crate) homes: Vec<NodeId>,
+    pub(crate) partitioning: Option<PartitionerSpec>,
+    pub(crate) producer_stage: usize,
     /// When true the partitions' bytes live in spill files on each home
     /// node's disk, not executor memory: reads charge local disk I/O
     /// instead of memory-resident access. The host-side `Arc`s are kept
     /// so reread data stays byte-identical.
-    spilled: bool,
+    pub(crate) spilled: bool,
 }
 
-struct ShuffleData {
+pub(crate) struct ShuffleData {
     /// `buckets[map_task][reduce_partition]`.
-    buckets: Vec<Vec<Arc<Vec<Record>>>>,
-    bytes: Vec<Vec<u64>>,
-    nodes: Vec<NodeId>,
-    producer_gid: usize,
+    pub(crate) buckets: Vec<Vec<Arc<Vec<Record>>>>,
+    pub(crate) bytes: Vec<Vec<u64>>,
+    pub(crate) nodes: Vec<NodeId>,
+    pub(crate) producer_gid: usize,
 }
 
 /// The engine context: owns the lineage graph, the simulated cluster, the
@@ -654,6 +665,34 @@ impl Context {
         let job_id = self.jobs.len();
         let job_start = self.sim.clock();
 
+        // Pipelined mode runs the whole job's data plane up front on the
+        // host pool — map tasks push buckets into per-shuffle exchanges,
+        // reduce tasks merge incrementally, sibling stages overlap — then
+        // the loop below replays each stage's virtual-cluster accounting in
+        // plan order from the recorded per-stage data. Memory-governed
+        // contexts keep the barrier engine: eviction decisions interleave
+        // with stage execution.
+        let pipelined = self.options.pipeline && !self.governed();
+        let mut pre_stages: std::collections::VecDeque<crate::exchange::StageData> =
+            std::collections::VecDeque::new();
+        if pipelined {
+            let num_tasks: Vec<usize> = plan
+                .stages
+                .iter()
+                .map(|s| self.stage_partitions(&plan, s).max(1))
+                .collect();
+            pre_stages = crate::exchange::run_pipelined(crate::exchange::PipelineInput {
+                graph: &self.graph,
+                plan: &plan,
+                num_tasks: &num_tasks,
+                materialized: &self.materialized,
+                pool: &self.pool,
+                job_id,
+                trace: &self.options.trace,
+            })
+            .into();
+        }
+
         let mut shuffles: Vec<Option<ShuffleData>> = Vec::new();
         shuffles.resize_with(plan.shuffles.len(), || None);
         let mut stage_metrics: Vec<StageMetrics> = Vec::new();
@@ -662,8 +701,9 @@ impl Context {
         for (idx, stage) in plan.stages.iter().enumerate() {
             let gid = self.next_stage_id;
             self.next_stage_id += 1;
+            let pre = pre_stages.pop_front();
             let (metrics, output_records) =
-                self.exec_stage(&plan, idx, stage, gid, job_id, &mut shuffles);
+                self.exec_stage(&plan, idx, stage, gid, job_id, &mut shuffles, pre);
             stage_metrics.push(metrics);
             if let Some(records) = output_records {
                 result = records;
@@ -758,6 +798,7 @@ impl Context {
         cur
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_stage(
         &mut self,
         plan: &Plan,
@@ -766,9 +807,16 @@ impl Context {
         gid: usize,
         job_id: usize,
         shuffles: &mut [Option<ShuffleData>],
+        pre: Option<crate::exchange::StageData>,
     ) -> (StageMetrics, Option<Vec<Record>>) {
         let num_tasks = self.stage_partitions(plan, stage).max(1);
         let wide_cost = |wide: Rdd| self.graph.node(wide).cost_per_record;
+        // Replay mode: the pipelined executor already did this stage's
+        // data-plane work (compute + bucketize). This pass only replays the
+        // virtual-cluster side — fetch accounting, simulation, captures,
+        // metrics, trace — from the recorded `StageData`, in plan order, so
+        // every simulated quantity is bit-identical to the barrier engine.
+        let replay = pre.is_some();
 
         // ---------------- Phase A: materialize inputs per task -----------
         // Pre-gather per-task inputs (cheap Arc clones) so the parallel
@@ -865,19 +913,25 @@ impl Context {
                     other => unreachable!("single-parent wide op expected, got {other:?}"),
                 };
                 for i in 0..num_tasks {
-                    let parts: Vec<Arc<Vec<Record>>> = data
-                        .buckets
-                        .iter()
-                        .map(|task_buckets| Arc::clone(&task_buckets[i]))
-                        .collect();
+                    let input = if replay {
+                        // Pipelined runs leave `buckets` empty: the exchange
+                        // consumed them. Fetch accounting only needs `bytes`.
+                        RootInput::Replay
+                    } else {
+                        RootInput::Shuffle {
+                            parts: data
+                                .buckets
+                                .iter()
+                                .map(|task_buckets| Arc::clone(&task_buckets[i]))
+                                .collect(),
+                            merge: merge.clone(),
+                        }
+                    };
                     let fetches =
                         aggregate_fetches(data.nodes.iter().zip(data.bytes.iter().map(|b| b[i])));
                     let chunks = data.bytes.iter().filter(|b| b[i] > 0).count();
                     preps.push(TaskPrep {
-                        input: RootInput::Shuffle {
-                            parts,
-                            merge: merge.clone(),
-                        },
+                        input,
                         fetches,
                         fetch_chunks: chunks,
                         local_read_bytes: 0,
@@ -892,6 +946,7 @@ impl Context {
                     Vec<Vec<Arc<Vec<Record>>>>,
                     Vec<Vec<(NodeId, u64)>>,
                     Vec<u64>,
+                    Vec<usize>,
                 );
                 let side = |dep: &SideDep,
                             parents_gids: &mut Vec<usize>,
@@ -903,18 +958,28 @@ impl Context {
                             parents_gids.push(data.producer_gid);
                             let mut parts = Vec::with_capacity(num_tasks);
                             let mut fetches = Vec::with_capacity(num_tasks);
+                            let mut chunks = Vec::with_capacity(num_tasks);
                             for i in 0..num_tasks {
-                                parts.push(
-                                    data.buckets
-                                        .iter()
-                                        .map(|tb| Arc::clone(&tb[i]))
-                                        .collect::<Vec<_>>(),
-                                );
+                                if replay {
+                                    parts.push(Vec::new());
+                                } else {
+                                    parts.push(
+                                        data.buckets
+                                            .iter()
+                                            .map(|tb| Arc::clone(&tb[i]))
+                                            .collect::<Vec<_>>(),
+                                    );
+                                }
                                 fetches.push(aggregate_fetches(
                                     data.nodes.iter().zip(data.bytes.iter().map(|b| b[i])),
                                 ));
+                                // One chunk per producer task with data for
+                                // us; a bucket is non-empty iff its byte
+                                // count is (every record encodes ≥ 2 bytes),
+                                // so this works without the bucket data.
+                                chunks.push(data.bytes.iter().filter(|b| b[i] > 0).count());
                             }
-                            (parts, fetches, vec![0; num_tasks])
+                            (parts, fetches, vec![0; num_tasks], chunks)
                         }
                         SideDep::Narrow(rdd) => {
                             let mat = &self.materialized[rdd];
@@ -923,9 +988,11 @@ impl Context {
                             let mut parts = Vec::with_capacity(num_tasks);
                             let mut fetches = Vec::with_capacity(num_tasks);
                             let mut local = Vec::with_capacity(num_tasks);
+                            let mut chunks = Vec::with_capacity(num_tasks);
                             for i in 0..num_tasks {
                                 let bytes = batch_size(&mat.parts[i]);
                                 parts.push(vec![Arc::clone(&mat.parts[i])]);
+                                chunks.push(usize::from(!mat.parts[i].is_empty()));
                                 if mat.spilled {
                                     // Spilled side: local disk reread.
                                     fetches.push(Vec::new());
@@ -935,29 +1002,30 @@ impl Context {
                                     local.push(0);
                                 }
                             }
-                            (parts, fetches, local)
+                            (parts, fetches, local, chunks)
                         }
                     }
                 };
-                let (lparts, lfetches, llocal) = side(left, &mut parents_gids, &mut cached_reads);
-                let (rparts, rfetches, rlocal) = side(right, &mut parents_gids, &mut cached_reads);
+                let (lparts, lfetches, llocal, lchunks) =
+                    side(left, &mut parents_gids, &mut cached_reads);
+                let (rparts, rfetches, rlocal, rchunks) =
+                    side(right, &mut parents_gids, &mut cached_reads);
                 for i in 0..num_tasks {
                     let mut fetches = lfetches[i].clone();
                     fetches.extend_from_slice(&rfetches[i]);
-                    // One chunk per producer task holding data for us.
-                    let chunks = lparts[i]
-                        .iter()
-                        .chain(rparts[i].iter())
-                        .filter(|p| !p.is_empty())
-                        .count();
-                    preps.push(TaskPrep {
-                        input: RootInput::Join {
+                    let input = if replay {
+                        RootInput::Replay
+                    } else {
+                        RootInput::Join {
                             left: lparts[i].clone(),
                             right: rparts[i].clone(),
                             is_join,
                             cost,
-                        },
-                        fetch_chunks: chunks,
+                        }
+                    };
+                    preps.push(TaskPrep {
+                        input,
+                        fetch_chunks: lchunks[i] + rchunks[i],
                         fetches: aggregate_fetches(fetches.iter().map(|(n, b)| (n, *b))),
                         local_read_bytes: llocal[i] + rlocal[i],
                         preferred: Vec::new(),
@@ -1007,30 +1075,49 @@ impl Context {
             _ => None,
         };
 
-        // Parallel real computation on the persistent pool.
+        // Parallel real computation on the persistent pool. In replay mode
+        // the pipelined executor already produced every task's output; the
+        // recorded lengths/bytes stand in for the consumed shuffle buckets.
         let sink = self.options.trace.clone();
         let graph = &self.graph;
         let chain = stage.chain.clone();
         let sample_spec = range_sample.as_ref();
+        let mut pre_lens: Option<Vec<u64>> = None;
+        let mut pre_bytes: Option<Vec<u64>> = None;
+        let mut pre_bucket_bytes: Option<Vec<Vec<u64>>> = None;
+        let mut pre_extra: Option<Vec<f64>> = None;
         let wall_compute_start = sink.wall_now();
-        let outs: Vec<TaskOut> = self.pool.map(preps.len(), |i| {
-            compute_task(
-                graph,
-                &preps[i].input,
-                &chain,
-                i,
-                capture_root,
-                root_rdd,
-                sample_spec,
-            )
-        });
+        let outs: Vec<TaskOut> = match pre {
+            Some(sd) => {
+                pre_lens = Some(sd.out_lens);
+                pre_bytes = Some(sd.out_bytes);
+                pre_bucket_bytes = sd.bucket_bytes;
+                pre_extra = Some(sd.extra_cost);
+                sd.outs
+            }
+            None => self.pool.map(preps.len(), |i| {
+                compute_task(
+                    graph,
+                    &preps[i].input,
+                    &chain,
+                    i,
+                    capture_root,
+                    root_rdd,
+                    sample_spec,
+                )
+            }),
+        };
         let wall_compute_end = sink.wall_now();
 
         // ---------------- Phase B: shuffle write (if any) ----------------
         let mut bucketed: Option<Vec<TaskBuckets>> = None;
+        let mut bucket_bytes: Option<Vec<Vec<u64>>> = None;
         let mut extra_cost: Vec<f64> = vec![0.0; num_tasks];
         let mut wall_bucketize: Option<(f64, f64)> = None;
-        if let StageOutput::ShuffleWrite(sidx) = stage.output {
+        if replay {
+            bucket_bytes = pre_bucket_bytes;
+            extra_cost = pre_extra.expect("replay stage data carries extra costs");
+        } else if let StageOutput::ShuffleWrite(sidx) = stage.output {
             let spec = plan.shuffles[sidx].scheme;
             let combine_fn: Option<ReduceFn> = if plan.shuffles[sidx].combine {
                 match &self.graph.node(plan.shuffles[sidx].for_wide).op {
@@ -1062,10 +1149,13 @@ impl Context {
             let partitioner_ref = &*partitioner;
             let combine_ref = combine_fn.as_ref();
             let outs_ref = &outs;
+            let pool = &*self.pool;
             let wall_bucketize_start = sink.wall_now();
-            let results: Vec<(TaskBuckets, f64)> = self.pool.map(num_tasks, |i| {
+            let results: Vec<(TaskBuckets, f64)> = pool.map_with(num_tasks, |i, p| {
+                let mut arena = pool.arena(p);
                 let records = outs_ref[i].records.as_slice();
-                let (tb, combine_ops) = bucketize(records, partitioner_ref, combine_ref);
+                let (tb, combine_ops) =
+                    crate::shuffle::bucketize_in(records, partitioner_ref, combine_ref, &mut arena);
                 let n = records.len() as f64;
                 let mut cost = n * PARTITION_COST + combine_ops as f64 * combine_cost;
                 if is_range {
@@ -1079,6 +1169,7 @@ impl Context {
                 extra_cost[i] = c;
                 tbs.push(tb);
             }
+            bucket_bytes = Some(tbs.iter().map(|tb| tb.bytes.clone()).collect());
             bucketed = Some(tbs);
         }
 
@@ -1092,7 +1183,10 @@ impl Context {
         let mut specs: Vec<TaskSpec> = Vec::with_capacity(num_tasks);
         for (i, prep) in preps.iter().enumerate() {
             let out = &outs[i];
-            let mut write_bytes = bucketed.as_ref().map(|b| b[i].total_bytes()).unwrap_or(0);
+            let mut write_bytes = bucket_bytes
+                .as_ref()
+                .map(|b| b[i].iter().sum::<u64>())
+                .unwrap_or(0);
             let mut local_read_bytes = prep.local_read_bytes;
             // Map-side combine overflow: a shuffle buffer larger than the
             // task's execution-memory share spills the overflow to disk
@@ -1105,7 +1199,10 @@ impl Context {
                     local_read_bytes += overflow;
                 }
             }
-            let out_bytes = batch_size(out.records.as_slice());
+            let out_bytes = pre_bytes
+                .as_ref()
+                .map(|v| v[i])
+                .unwrap_or_else(|| batch_size(out.records.as_slice()));
             let mut preferred = prep.preferred.clone();
             let mut pinned = None;
             if self.options.copartition_scheduling {
@@ -1208,11 +1305,18 @@ impl Context {
         let shuffle_write_bytes;
         match stage.output {
             StageOutput::ShuffleWrite(sidx) => {
-                let tbs = bucketed.expect("bucketed in phase B");
-                shuffle_write_bytes = tbs.iter().map(TaskBuckets::total_bytes).sum();
+                let bytes = bucket_bytes.take().expect("bucket bytes in phase B");
+                shuffle_write_bytes = bytes.iter().flatten().sum();
+                // Replayed stages published their buckets through the
+                // exchange, which consumed them; only byte accounting
+                // survives for downstream fetch simulation.
+                let buckets = match bucketed {
+                    Some(tbs) => tbs.into_iter().map(|tb| tb.buckets).collect(),
+                    None => Vec::new(),
+                };
                 shuffles[sidx] = Some(ShuffleData {
-                    buckets: tbs.iter().map(|tb| tb.buckets.clone()).collect(),
-                    bytes: tbs.iter().map(|tb| tb.bytes.clone()).collect(),
+                    buckets,
+                    bytes,
                     nodes: nodes.clone(),
                     producer_gid: gid,
                 });
@@ -1286,8 +1390,14 @@ impl Context {
             num_tasks,
             input_records: outs.iter().map(|o| o.input_records).sum(),
             input_bytes: outs.iter().map(|o| o.input_bytes).sum(),
-            output_records: outs.iter().map(|o| o.records.len() as u64).sum(),
-            output_bytes: outs.iter().map(|o| batch_size(o.records.as_slice())).sum(),
+            output_records: match &pre_lens {
+                Some(v) => v.iter().sum(),
+                None => outs.iter().map(|o| o.records.len() as u64).sum(),
+            },
+            output_bytes: match &pre_bytes {
+                Some(v) => v.iter().sum(),
+                None => outs.iter().map(|o| batch_size(o.records.as_slice())).sum(),
+            },
             shuffle_read_bytes,
             shuffle_write_bytes,
             remote_read_bytes,
@@ -1363,15 +1473,20 @@ impl Context {
             if !sink.has_thread_name(phases) {
                 sink.name_thread(phases, "driver phases");
             }
-            sink.span(
-                Clock::Wall,
-                phases,
-                format!("compute {label}"),
-                "phase",
-                wall_compute_start,
-                wall_compute_end,
-                vec![("tasks", num_tasks.into())],
-            );
+            // Replayed stages did their data-plane work in the pipelined
+            // executor, which emits its own wall overlap spans; a zero-width
+            // driver compute span here would only mislead.
+            if !replay {
+                sink.span(
+                    Clock::Wall,
+                    phases,
+                    format!("compute {label}"),
+                    "phase",
+                    wall_compute_start,
+                    wall_compute_end,
+                    vec![("tasks", num_tasks.into())],
+                );
+            }
             if let Some((start, end)) = wall_bucketize {
                 sink.span(
                     Clock::Wall,
@@ -1576,13 +1691,13 @@ where
 }
 
 #[derive(Clone)]
-enum MergeKind {
+pub(crate) enum MergeKind {
     Reduce(ReduceFn, f64),
     Group(f64),
     Concat,
 }
 
-enum RootInput {
+pub(crate) enum RootInput {
     Slice(Arc<Vec<Record>>, usize, usize),
     Gen(GenFn, usize, usize),
     Cached(Arc<Vec<Record>>),
@@ -1596,6 +1711,9 @@ enum RootInput {
         is_join: bool,
         cost: f64,
     },
+    /// Placeholder used when replaying a stage whose data-plane work already
+    /// ran in the pipelined executor: the replay never computes records.
+    Replay,
 }
 
 struct TaskPrep {
@@ -1609,29 +1727,29 @@ struct TaskPrep {
 /// Per-task reservoir sampling for range-partitioned shuffle writes: each
 /// map task samples its own output during the compute pass instead of a
 /// serial driver-side scan over every task's records.
-struct SampleSpec {
+pub(crate) struct SampleSpec {
     /// Reservoir capacity per task.
-    cap: usize,
+    pub(crate) cap: usize,
     /// Stage-level seed; each task derives its own stream from it.
-    seed: u64,
+    pub(crate) seed: u64,
 }
 
 /// A task's output records: either owned by the task, or a window into a
 /// shared source/cache partition that the narrow chain never needed to copy.
-enum TaskRecords {
+pub(crate) enum TaskRecords {
     Owned(Vec<Record>),
     Shared(Arc<Vec<Record>>, usize, usize),
 }
 
 impl TaskRecords {
-    fn as_slice(&self) -> &[Record] {
+    pub(crate) fn as_slice(&self) -> &[Record] {
         match self {
             TaskRecords::Owned(v) => v,
             TaskRecords::Shared(data, start, end) => &data[*start..*end],
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             TaskRecords::Owned(v) => v.len(),
             TaskRecords::Shared(_, start, end) => end - start,
@@ -1641,7 +1759,7 @@ impl TaskRecords {
 
 /// An `Arc` snapshot of the records for cache persistence. Shared windows
 /// covering a whole partition are captured without copying.
-fn capture_arc(records: &TaskRecords) -> Arc<Vec<Record>> {
+pub(crate) fn capture_arc(records: &TaskRecords) -> Arc<Vec<Record>> {
     match records {
         TaskRecords::Owned(v) => Arc::new(v.clone()),
         TaskRecords::Shared(data, start, end) => {
@@ -1654,14 +1772,14 @@ fn capture_arc(records: &TaskRecords) -> Arc<Vec<Record>> {
     }
 }
 
-struct TaskOut {
-    records: TaskRecords,
-    cost: f64,
-    input_records: u64,
-    input_bytes: u64,
-    captures: Vec<(Rdd, Arc<Vec<Record>>)>,
+pub(crate) struct TaskOut {
+    pub(crate) records: TaskRecords,
+    pub(crate) cost: f64,
+    pub(crate) input_records: u64,
+    pub(crate) input_bytes: u64,
+    pub(crate) captures: Vec<(Rdd, Arc<Vec<Record>>)>,
     /// Keys reservoir-sampled from the final records (range shuffles only).
-    sample: Vec<Key>,
+    pub(crate) sample: Vec<Key>,
 }
 
 /// One narrow op compiled for a fused streaming pass.
@@ -1747,7 +1865,7 @@ fn feed_ref(ops: &mut [OpState<'_>], rec: &Record, out: &mut Vec<Record>) {
 /// segment ends at (and includes) the next cached node, whose full output
 /// must be materialized for capture. Slice/Cached roots are borrowed, not
 /// copied — an empty chain passes the shared window straight through.
-fn compute_task(
+pub(crate) fn compute_task(
     graph: &RddGraph,
     input: &RootInput,
     chain: &[Rdd],
@@ -1757,7 +1875,7 @@ fn compute_task(
     range_sample: Option<&SampleSpec>,
 ) -> TaskOut {
     let mut cost = 0.0;
-    let (mut records, input_records, input_bytes) = match input {
+    let (records, input_records, input_bytes) = match input {
         RootInput::Slice(data, start, end) => {
             let slice = &data[*start..*end];
             let b = batch_size(slice);
@@ -1816,6 +1934,7 @@ fn compute_task(
             };
             (TaskRecords::Owned(records), fetched, bytes)
         }
+        RootInput::Replay => unreachable!("replayed stages never recompute records"),
     };
 
     let mut captures = Vec::new();
@@ -1823,6 +1942,35 @@ fn compute_task(
         captures.push((root_rdd, capture_arc(&records)));
     }
 
+    run_chain_and_finish(
+        graph,
+        chain,
+        task_index,
+        records,
+        cost,
+        input_records,
+        input_bytes,
+        captures,
+        range_sample,
+    )
+}
+
+/// Runs the fused narrow chain over `records` and finishes the task:
+/// per-op cost accounting, cache captures, and range-shuffle sampling.
+/// Shared between the barrier path (`compute_task`) and the pipelined
+/// executor, whose roots are materialized incrementally from exchanges.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_chain_and_finish(
+    graph: &RddGraph,
+    chain: &[Rdd],
+    task_index: usize,
+    mut records: TaskRecords,
+    mut cost: f64,
+    input_records: u64,
+    input_bytes: u64,
+    mut captures: Vec<(Rdd, Arc<Vec<Record>>)>,
+    range_sample: Option<&SampleSpec>,
+) -> TaskOut {
     let mut counts: Vec<u64> = vec![0; chain.len()];
     let mut pos = 0;
     while pos < chain.len() {

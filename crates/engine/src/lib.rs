@@ -45,6 +45,7 @@
 //! ```
 
 pub mod config;
+mod exchange;
 pub mod exec;
 pub mod metrics;
 pub mod ops;

@@ -28,9 +28,10 @@
 //!   participants stop claiming chunks, and the first payload is re-thrown
 //!   on the caller after the epoch drains.
 
+use crate::shuffle::TaskArena;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use trace::{pids, Clock, PoolCounters, TraceSink, Track};
 
@@ -43,6 +44,12 @@ pub struct WorkerPool {
     threads: usize,
     /// Wall-clock diagnostic sink ([`pids::POOL`] counters).
     sink: TraceSink,
+    /// One reusable [`TaskArena`] per participant: scratch allocations for
+    /// `bucketize_in` survive across tasks instead of being re-allocated
+    /// per call. Items dispatched via [`WorkerPool::map_with`] receive
+    /// their participant id and borrow that participant's arena
+    /// uncontended (a participant runs one item at a time).
+    arenas: Vec<Mutex<TaskArena>>,
 }
 
 struct Shared {
@@ -116,6 +123,7 @@ impl WorkerPool {
             handles,
             threads,
             sink,
+            arenas: (0..threads + 1).map(|_| Mutex::default()).collect(),
         }
     }
 
@@ -179,6 +187,25 @@ impl WorkerPool {
         U: Send,
         F: Fn(usize) -> U + Sync,
     {
+        self.map_with(n, |i, _| f(i))
+    }
+
+    /// Borrows the reusable scratch arena of `participant` (as reported to
+    /// a [`WorkerPool::map_with`] closure). Uncontended in practice: a
+    /// participant runs one item at a time.
+    pub fn arena(&self, participant: usize) -> MutexGuard<'_, TaskArena> {
+        lock(&self.arenas[participant])
+    }
+
+    /// Like [`WorkerPool::map`], but `f` also receives the id of the
+    /// participant executing the item (`0..workers()`, stable for the
+    /// lifetime of the pool), for access to per-participant scratch state
+    /// such as [`WorkerPool::arena`].
+    pub fn map_with<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, usize) -> U + Sync,
+    {
         if n == 0 {
             return Vec::new();
         }
@@ -186,7 +213,7 @@ impl WorkerPool {
         self.shared.items.fetch_add(n as u64, Ordering::Relaxed);
         if self.threads == 0 || n == 1 {
             // Inline: the caller owns the whole range, nothing is stolen.
-            let out = (0..n).map(f).collect();
+            let out = (0..n).map(|i| f(i, 0)).collect();
             self.sample_counters();
             return out;
         }
@@ -301,7 +328,7 @@ struct JobCtx<U, F> {
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
-impl<U: Send, F: Fn(usize) -> U + Sync> JobCtx<U, F> {
+impl<U: Send, F: Fn(usize, usize) -> U + Sync> JobCtx<U, F> {
     fn new(f: F, n: usize, participants: usize) -> JobCtx<U, F> {
         // Small chunks keep heavyweight stage tasks balanced; the floor
         // of 1 keeps index coverage exact.
@@ -364,7 +391,7 @@ impl<U: Send, F: Fn(usize) -> U + Sync> JobCtx<U, F> {
                     stolen += stop - start;
                 }
                 for i in start..stop {
-                    local.push((i, (self.f)(i)));
+                    local.push((i, (self.f)(i, participant)));
                 }
             }
         }
@@ -509,6 +536,28 @@ mod tests {
         assert!(sink.events().iter().all(|e| e.clock == trace::Clock::Wall));
         let stats = pool.stats();
         assert_eq!(stats.items, 80);
+    }
+
+    #[test]
+    fn map_with_reports_valid_participants_and_arenas_are_usable() {
+        use crate::partitioner::HashPartitioner;
+        use crate::record::{Key, Record, Value};
+        let pool = WorkerPool::new(4);
+        let records: Vec<Record> = (0..64)
+            .map(|i| Record::new(Key::Int(i % 7), Value::Int(i)))
+            .collect();
+        let p = HashPartitioner::new(4);
+        let expected = crate::shuffle::bucketize(&records, &p, None).0;
+        let out = pool.map_with(32, |i, participant| {
+            assert!(participant < pool.workers());
+            let mut arena = pool.arena(participant);
+            let (tb, _) = crate::shuffle::bucketize_in(&records, &p, None, &mut arena);
+            (i, tb.bytes)
+        });
+        for (i, (idx, bytes)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*bytes, expected.bytes);
+        }
     }
 
     #[test]

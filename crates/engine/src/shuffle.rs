@@ -9,9 +9,20 @@
 //! each partition sees fewer duplicate keys, the combiner collapses less,
 //! and more records survive to be shuffled.
 //!
-//! All merge functions preserve first-seen key order, keeping the engine
+//! Reduce-side merges are *incremental*: each merge is an accumulator
+//! ([`ReduceMerge`], [`GroupMerge`], [`ConcatMerge`], [`JoinMerge`],
+//! [`CogroupMerge`]) that consumes one map-task bucket at a time, so the
+//! pipelined shuffle can start merging as soon as the first map output is
+//! published. Buckets pushed by value are *moved* into the accumulator
+//! (no per-record clone); the batch `merge_*` functions are thin wrappers
+//! that feed borrowed slices through the same accumulators.
+//!
+//! All merges preserve first-seen key order, keeping the engine
 //! deterministic end-to-end (no `HashMap` iteration order leaks into
-//! results, byte counts, or range-partitioner samples).
+//! results, byte counts, or range-partitioner samples). The dedup tables
+//! are keyed on each key's [`Key::stable_hash`] through a pass-through
+//! hasher, with same-hash slots disambiguated by a real key comparison —
+//! equality semantics identical to hashing the key itself.
 
 use crate::ops::ReduceFn;
 use crate::partitioner::Partitioner;
@@ -54,6 +65,18 @@ impl std::hash::Hasher for IdentityHasher {
 
 type IdentityBuild = std::hash::BuildHasherDefault<IdentityHasher>;
 
+/// Reusable scratch space for [`bucketize_in`]: the partition-assignment
+/// vector, bucket-count vector, and combine dedup indexes survive across
+/// calls, so a long-lived worker stops paying per-task allocation churn.
+/// Bucket payload vectors themselves are *not* pooled — they are moved
+/// into `Arc`s and owned downstream by the shuffle consumer.
+#[derive(Default)]
+pub struct TaskArena {
+    assignment: Vec<u32>,
+    counts: Vec<usize>,
+    index: Vec<HashMap<u64, Vec<u32>, IdentityBuild>>,
+}
+
 /// Buckets `records` by `partitioner`, optionally combining values per key
 /// within each bucket (map-side combine for reduce-by-key).
 ///
@@ -69,21 +92,37 @@ pub fn bucketize(
     partitioner: &dyn Partitioner,
     combine: Option<&ReduceFn>,
 ) -> (TaskBuckets, u64) {
+    bucketize_in(records, partitioner, combine, &mut TaskArena::default())
+}
+
+/// [`bucketize`] with caller-owned scratch space. Behaviour is identical;
+/// only the allocation pattern differs (scratch buffers are cleared and
+/// reused instead of freshly allocated).
+pub fn bucketize_in(
+    records: &[Record],
+    partitioner: &dyn Partitioner,
+    combine: Option<&ReduceFn>,
+    arena: &mut TaskArena,
+) -> (TaskBuckets, u64) {
     let p = partitioner.num_partitions();
     let mut combine_ops = 0u64;
     let buckets: Vec<Vec<Record>> = match combine {
         None => {
             // Pass 1: partition assignment + exact bucket sizes.
-            let mut assignment: Vec<u32> = Vec::with_capacity(records.len());
-            let mut counts: Vec<usize> = vec![0; p];
+            let assignment = &mut arena.assignment;
+            assignment.clear();
+            assignment.reserve(records.len());
+            let counts = &mut arena.counts;
+            counts.clear();
+            counts.resize(p, 0);
             for r in records {
                 let b = partitioner.partition(&r.key);
                 counts[b] += 1;
                 assignment.push(b as u32);
             }
             // Pass 2: copy each surviving record into a pre-sized bucket.
-            let mut out: Vec<Vec<Record>> = counts.into_iter().map(Vec::with_capacity).collect();
-            for (r, &b) in records.iter().zip(&assignment) {
+            let mut out: Vec<Vec<Record>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+            for (r, &b) in records.iter().zip(assignment.iter()) {
                 out[b as usize].push(r.clone());
             }
             out
@@ -92,8 +131,14 @@ pub fn bucketize(
             // First-seen-order combine per bucket. The dedup index is keyed
             // on the record's stable hash (identity-hashed); same-hash slots
             // are disambiguated by a real key comparison.
+            if arena.index.len() < p {
+                arena.index.resize_with(p, HashMap::default);
+            }
+            let index = &mut arena.index[..p];
+            for m in index.iter_mut() {
+                m.clear();
+            }
             let mut out: Vec<Vec<Record>> = vec![Vec::new(); p];
-            let mut index: Vec<HashMap<u64, Vec<u32>, IdentityBuild>> = vec![HashMap::default(); p];
             for r in records {
                 let h = r.key.stable_hash();
                 let b = partitioner.partition_hashed(&r.key, h);
@@ -124,12 +169,151 @@ pub fn bucketize(
     )
 }
 
+/// [`bucketize_in`] over an *owned* record vector: records are moved into
+/// their buckets instead of cloned. Output is identical to the borrowing
+/// version on the same input — same bucket contents, same byte table, same
+/// combine-op count — only the allocation pattern differs. The pipelined
+/// executor uses this at shuffle-write task finish, where it owns the task
+/// output outright; the barrier engine keeps the borrowing version because
+/// it still needs the records for per-task byte accounting afterwards.
+pub fn bucketize_owned_in(
+    records: Vec<Record>,
+    partitioner: &dyn Partitioner,
+    combine: Option<&ReduceFn>,
+    arena: &mut TaskArena,
+) -> (TaskBuckets, u64) {
+    let p = partitioner.num_partitions();
+    let mut combine_ops = 0u64;
+    let buckets: Vec<Vec<Record>> = match combine {
+        None => {
+            let assignment = &mut arena.assignment;
+            assignment.clear();
+            assignment.reserve(records.len());
+            let counts = &mut arena.counts;
+            counts.clear();
+            counts.resize(p, 0);
+            for r in &records {
+                let b = partitioner.partition(&r.key);
+                counts[b] += 1;
+                assignment.push(b as u32);
+            }
+            let mut out: Vec<Vec<Record>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+            for (r, &b) in records.into_iter().zip(arena.assignment.iter()) {
+                out[b as usize].push(r);
+            }
+            out
+        }
+        Some(f) => {
+            if arena.index.len() < p {
+                arena.index.resize_with(p, HashMap::default);
+            }
+            let index = &mut arena.index[..p];
+            for m in index.iter_mut() {
+                m.clear();
+            }
+            let mut out: Vec<Vec<Record>> = vec![Vec::new(); p];
+            for r in records {
+                let h = r.key.stable_hash();
+                let b = partitioner.partition_hashed(&r.key, h);
+                let bucket = &mut out[b];
+                let slots = index[b].entry(h).or_default();
+                match slots.iter().find(|&&i| bucket[i as usize].key == r.key) {
+                    Some(&i) => {
+                        let merged = f(&bucket[i as usize].value, &r.value);
+                        bucket[i as usize].value = merged;
+                        combine_ops += 1;
+                    }
+                    None => {
+                        slots.push(bucket.len() as u32);
+                        bucket.push(r);
+                    }
+                }
+            }
+            out
+        }
+    };
+    let bytes = buckets.iter().map(|b| batch_size(b)).collect();
+    (
+        TaskBuckets {
+            buckets: buckets.into_iter().map(Arc::new).collect(),
+            bytes,
+        },
+        combine_ops,
+    )
+}
+
 /// Map-side spill overflow: the bytes of a task's shuffle write that do
 /// not fit in its execution-memory share. The overflow is written to
 /// disk during the map pass and read back during the merge, so it
 /// charges twice — once as a write, once as a local read.
 pub fn spill_overflow(write_bytes: u64, task_mem_budget: u64) -> u64 {
     write_bytes.saturating_sub(task_mem_budget)
+}
+
+/// Streaming reduce-side merge for `reduce_by_key`: folds all values of a
+/// key with `f`, preserving first-seen key order. Buckets can be pushed
+/// one at a time, owned (records are moved) or borrowed (records are
+/// cloned on first sight only).
+pub struct ReduceMerge {
+    f: ReduceFn,
+    out: Vec<Record>,
+    index: HashMap<u64, Vec<u32>, IdentityBuild>,
+    ops: u64,
+}
+
+impl ReduceMerge {
+    /// New accumulator folding with `f`.
+    pub fn new(f: ReduceFn) -> Self {
+        Self {
+            f,
+            out: Vec::new(),
+            index: HashMap::default(),
+            ops: 0,
+        }
+    }
+
+    /// Fold an owned bucket in; first-seen records are moved, not cloned.
+    pub fn push_owned(&mut self, records: Vec<Record>) {
+        let Self { f, out, index, ops } = self;
+        for r in records {
+            let h = r.key.stable_hash();
+            let slots = index.entry(h).or_default();
+            match slots.iter().find(|&&i| out[i as usize].key == r.key) {
+                Some(&i) => {
+                    out[i as usize].value = f(&out[i as usize].value, &r.value);
+                    *ops += 1;
+                }
+                None => {
+                    slots.push(out.len() as u32);
+                    out.push(r);
+                }
+            }
+        }
+    }
+
+    /// Fold a borrowed bucket in; first-seen records are cloned.
+    pub fn push_slice(&mut self, records: &[Record]) {
+        let Self { f, out, index, ops } = self;
+        for r in records {
+            let h = r.key.stable_hash();
+            let slots = index.entry(h).or_default();
+            match slots.iter().find(|&&i| out[i as usize].key == r.key) {
+                Some(&i) => {
+                    out[i as usize].value = f(&out[i as usize].value, &r.value);
+                    *ops += 1;
+                }
+                None => {
+                    slots.push(out.len() as u32);
+                    out.push(r.clone());
+                }
+            }
+        }
+    }
+
+    /// Merged records in first-seen key order, plus reduce-op count.
+    pub fn finish(self) -> (Vec<Record>, u64) {
+        (self.out, self.ops)
+    }
 }
 
 /// Reduce-side merge for `reduce_by_key`: folds all values of a key with
@@ -139,24 +323,76 @@ pub fn merge_reduce<'a, I>(parts: I, f: &ReduceFn) -> (Vec<Record>, u64)
 where
     I: IntoIterator<Item = &'a [Record]>,
 {
-    let mut out: Vec<Record> = Vec::new();
-    let mut index: HashMap<Key, usize> = HashMap::new();
-    let mut ops = 0u64;
+    let mut m = ReduceMerge::new(Arc::clone(f));
     for part in parts {
-        for r in part {
-            match index.get(&r.key) {
-                Some(&i) => {
-                    out[i].value = f(&out[i].value, &r.value);
-                    ops += 1;
-                }
+        m.push_slice(part);
+    }
+    m.finish()
+}
+
+/// Streaming reduce-side merge for `group_by_key`: collects all values of
+/// a key into a `Value::List`, preserving first-seen key order.
+#[derive(Default)]
+pub struct GroupMerge {
+    order: Vec<Key>,
+    groups: Vec<Vec<Value>>,
+    index: HashMap<u64, Vec<u32>, IdentityBuild>,
+}
+
+impl GroupMerge {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collect an owned bucket; keys and values are moved.
+    pub fn push_owned(&mut self, records: Vec<Record>) {
+        for r in records {
+            let h = r.key.stable_hash();
+            let slots = self.index.entry(h).or_default();
+            match slots
+                .iter()
+                .find(|&&i| self.order[i as usize] == r.key)
+                .copied()
+            {
+                Some(i) => self.groups[i as usize].push(r.value),
                 None => {
-                    index.insert(r.key.clone(), out.len());
-                    out.push(r.clone());
+                    slots.push(self.order.len() as u32);
+                    self.order.push(r.key);
+                    self.groups.push(vec![r.value]);
                 }
             }
         }
     }
-    (out, ops)
+
+    /// Collect a borrowed bucket; keys and values are cloned.
+    pub fn push_slice(&mut self, records: &[Record]) {
+        for r in records {
+            let h = r.key.stable_hash();
+            let slots = self.index.entry(h).or_default();
+            match slots
+                .iter()
+                .find(|&&i| self.order[i as usize] == r.key)
+                .copied()
+            {
+                Some(i) => self.groups[i as usize].push(r.value.clone()),
+                None => {
+                    slots.push(self.order.len() as u32);
+                    self.order.push(r.key.clone());
+                    self.groups.push(vec![r.value.clone()]);
+                }
+            }
+        }
+    }
+
+    /// One `Record(k, List(values))` per key, in first-seen key order.
+    pub fn finish(self) -> Vec<Record> {
+        self.order
+            .into_iter()
+            .zip(self.groups)
+            .map(|(k, vals)| Record::new(k, Value::List(Arc::new(vals))))
+            .collect()
+    }
 }
 
 /// Reduce-side merge for `group_by_key`: collects all values of a key into
@@ -165,24 +401,44 @@ pub fn merge_group<'a, I>(parts: I) -> Vec<Record>
 where
     I: IntoIterator<Item = &'a [Record]>,
 {
-    let mut order: Vec<Key> = Vec::new();
-    let mut groups: HashMap<Key, Vec<Value>> = HashMap::new();
+    let mut m = GroupMerge::new();
     for part in parts {
-        for r in part {
-            let entry = groups.entry(r.key.clone()).or_insert_with(|| {
-                order.push(r.key.clone());
-                Vec::new()
-            });
-            entry.push(r.value.clone());
+        m.push_slice(part);
+    }
+    m.finish()
+}
+
+/// Streaming merge for `repartition`: plain concatenation in push order.
+/// The first owned bucket is adopted wholesale (no copy at all).
+#[derive(Default)]
+pub struct ConcatMerge {
+    out: Vec<Record>,
+}
+
+impl ConcatMerge {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an owned bucket; records are moved.
+    pub fn push_owned(&mut self, records: Vec<Record>) {
+        if self.out.is_empty() {
+            self.out = records;
+        } else {
+            self.out.extend(records);
         }
     }
-    order
-        .into_iter()
-        .map(|k| {
-            let vals = groups.remove(&k).expect("key recorded in order list");
-            Record::new(k, Value::List(Arc::new(vals)))
-        })
-        .collect()
+
+    /// Append a borrowed bucket; records are cloned.
+    pub fn push_slice(&mut self, records: &[Record]) {
+        self.out.extend_from_slice(records);
+    }
+
+    /// Concatenated records in push order.
+    pub fn finish(self) -> Vec<Record> {
+        self.out
+    }
 }
 
 /// Reduce-side merge for `repartition`: plain concatenation.
@@ -190,44 +446,155 @@ pub fn merge_concat<'a, I>(parts: I) -> Vec<Record>
 where
     I: IntoIterator<Item = &'a [Record]>,
 {
-    let mut out = Vec::new();
+    let mut m = ConcatMerge::new();
     for part in parts {
-        out.extend_from_slice(part);
+        m.push_slice(part);
     }
-    out
+    m.finish()
 }
 
-/// Inner hash join of two sides: emits `Record(k, Pair(l, r))` for every
-/// pair of matching values, in left-side first-seen key order. Returns the
-/// output and the number of probe operations.
-pub fn merge_join(left: &[Record], right: &[Record]) -> (Vec<Record>, u64) {
-    let mut order: Vec<Key> = Vec::new();
-    let mut table: HashMap<Key, Vec<Value>> = HashMap::new();
-    for r in left {
-        table
-            .entry(r.key.clone())
-            .or_insert_with(|| {
-                order.push(r.key.clone());
-                Vec::new()
-            })
-            .push(r.value.clone());
-    }
-    let mut matches: HashMap<Key, Vec<Value>> = HashMap::new();
-    let mut probes = 0u64;
-    for r in right {
-        probes += 1;
-        if table.contains_key(&r.key) {
-            matches
-                .entry(r.key.clone())
-                .or_default()
-                .push(r.value.clone());
+/// Streaming inner hash join. Left buckets build the table; right buckets
+/// probe it. Right buckets pushed before [`JoinMerge::seal_left`] are
+/// buffered untouched and probed at seal time in arrival order, so a
+/// pipelined consumer may interleave sides freely while producing output
+/// identical to "all left, then all right".
+pub struct JoinMerge {
+    order: Vec<Key>,
+    lefts: Vec<Vec<Value>>,
+    rights: Vec<Vec<Value>>,
+    index: HashMap<u64, Vec<u32>, IdentityBuild>,
+    pending: Vec<Record>,
+    sealed: bool,
+    probes: u64,
+}
+
+impl JoinMerge {
+    /// New empty join accumulator.
+    pub fn new() -> Self {
+        Self {
+            order: Vec::new(),
+            lefts: Vec::new(),
+            rights: Vec::new(),
+            index: HashMap::default(),
+            pending: Vec::new(),
+            sealed: false,
+            probes: 0,
         }
     }
-    let mut out = Vec::new();
-    for k in order {
-        if let Some(rights) = matches.get(&k) {
-            for l in &table[&k] {
-                for r in rights {
+
+    fn build(&mut self, key: Key, value: Value) {
+        let h = key.stable_hash();
+        let slots = self.index.entry(h).or_default();
+        match slots
+            .iter()
+            .find(|&&i| self.order[i as usize] == key)
+            .copied()
+        {
+            Some(i) => self.lefts[i as usize].push(value),
+            None => {
+                slots.push(self.order.len() as u32);
+                self.order.push(key);
+                self.lefts.push(vec![value]);
+                self.rights.push(Vec::new());
+            }
+        }
+    }
+
+    /// Build the table from an owned left bucket; records are moved.
+    pub fn push_left_owned(&mut self, records: Vec<Record>) {
+        debug_assert!(!self.sealed, "left side pushed after seal_left");
+        for r in records {
+            self.build(r.key, r.value);
+        }
+    }
+
+    /// Build the table from a borrowed left bucket; records are cloned.
+    pub fn push_left_slice(&mut self, records: &[Record]) {
+        debug_assert!(!self.sealed, "left side pushed after seal_left");
+        for r in records {
+            self.build(r.key.clone(), r.value.clone());
+        }
+    }
+
+    fn probe_owned(&mut self, r: Record) {
+        self.probes += 1;
+        let h = r.key.stable_hash();
+        let hit = self
+            .index
+            .get(&h)
+            .and_then(|slots| slots.iter().find(|&&i| self.order[i as usize] == r.key))
+            .copied();
+        if let Some(i) = hit {
+            self.rights[i as usize].push(r.value);
+        }
+    }
+
+    fn probe_ref(&mut self, r: &Record) {
+        self.probes += 1;
+        let h = r.key.stable_hash();
+        let hit = self
+            .index
+            .get(&h)
+            .and_then(|slots| slots.iter().find(|&&i| self.order[i as usize] == r.key))
+            .copied();
+        if let Some(i) = hit {
+            self.rights[i as usize].push(r.value.clone());
+        }
+    }
+
+    /// Declare the left side complete; buffered right buckets are probed
+    /// now, in the order they arrived.
+    pub fn seal_left(&mut self) {
+        self.sealed = true;
+        let pending = std::mem::take(&mut self.pending);
+        for r in pending {
+            self.probe_owned(r);
+        }
+    }
+
+    /// Probe with an owned right bucket (buffered if the left side is not
+    /// sealed yet); matched values are moved, not cloned.
+    pub fn push_right_owned(&mut self, records: Vec<Record>) {
+        if !self.sealed {
+            if self.pending.is_empty() {
+                self.pending = records;
+            } else {
+                self.pending.extend(records);
+            }
+            return;
+        }
+        for r in records {
+            self.probe_owned(r);
+        }
+    }
+
+    /// Probe with a borrowed right bucket; matched values are cloned.
+    pub fn push_right_slice(&mut self, records: &[Record]) {
+        if !self.sealed {
+            self.pending.extend_from_slice(records);
+            return;
+        }
+        for r in records {
+            self.probe_ref(r);
+        }
+    }
+
+    /// Cross-product output per matched key, in left first-seen key order,
+    /// pre-sized exactly from per-key match counts; plus the probe count.
+    pub fn finish(mut self) -> (Vec<Record>, u64) {
+        if !self.sealed {
+            self.seal_left();
+        }
+        let total: usize = self
+            .lefts
+            .iter()
+            .zip(&self.rights)
+            .map(|(ls, rs)| ls.len() * rs.len())
+            .sum();
+        let mut out = Vec::with_capacity(total);
+        for ((k, ls), rs) in self.order.iter().zip(&self.lefts).zip(&self.rights) {
+            for l in ls {
+                for r in rs {
                     out.push(Record::new(
                         k.clone(),
                         Value::Pair(Box::new(l.clone()), Box::new(r.clone())),
@@ -235,49 +602,164 @@ pub fn merge_join(left: &[Record], right: &[Record]) -> (Vec<Record>, u64) {
                 }
             }
         }
+        (out, self.probes)
     }
-    (out, probes)
+}
+
+impl Default for JoinMerge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Inner hash join of two sides: emits `Record(k, Pair(l, r))` for every
+/// pair of matching values, in left-side first-seen key order. Returns the
+/// output and the number of probe operations.
+pub fn merge_join(left: &[Record], right: &[Record]) -> (Vec<Record>, u64) {
+    let mut m = JoinMerge::new();
+    m.push_left_slice(left);
+    m.seal_left();
+    m.push_right_slice(right);
+    m.finish()
+}
+
+/// Streaming co-group of two sides. Shares [`JoinMerge`]'s seal protocol:
+/// right buckets pushed before [`CogroupMerge::seal_left`] are buffered and
+/// replayed at seal time, preserving the "left keys first, then unseen
+/// right keys" output order.
+#[derive(Default)]
+pub struct CogroupMerge {
+    order: Vec<Key>,
+    lefts: Vec<Vec<Value>>,
+    rights: Vec<Vec<Value>>,
+    index: HashMap<u64, Vec<u32>, IdentityBuild>,
+    pending: Vec<Record>,
+    sealed: bool,
+}
+
+impl CogroupMerge {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, key: &Key) -> Option<usize> {
+        let h = key.stable_hash();
+        self.index
+            .get(&h)
+            .and_then(|slots| slots.iter().find(|&&i| &self.order[i as usize] == key))
+            .map(|&i| i as usize)
+    }
+
+    fn insert(&mut self, key: Key) -> usize {
+        let h = key.stable_hash();
+        let i = self.order.len();
+        self.index.entry(h).or_default().push(i as u32);
+        self.order.push(key);
+        self.lefts.push(Vec::new());
+        self.rights.push(Vec::new());
+        i
+    }
+
+    /// Collect an owned left bucket; records are moved.
+    pub fn push_left_owned(&mut self, records: Vec<Record>) {
+        debug_assert!(!self.sealed, "left side pushed after seal_left");
+        for r in records {
+            let i = match self.slot(&r.key) {
+                Some(i) => i,
+                None => self.insert(r.key),
+            };
+            self.lefts[i].push(r.value);
+        }
+    }
+
+    /// Collect a borrowed left bucket; records are cloned.
+    pub fn push_left_slice(&mut self, records: &[Record]) {
+        debug_assert!(!self.sealed, "left side pushed after seal_left");
+        for r in records {
+            let i = match self.slot(&r.key) {
+                Some(i) => i,
+                None => self.insert(r.key.clone()),
+            };
+            self.lefts[i].push(r.value.clone());
+        }
+    }
+
+    fn right_record(&mut self, key: Key, value: Value) {
+        let i = match self.slot(&key) {
+            Some(i) => i,
+            None => self.insert(key),
+        };
+        self.rights[i].push(value);
+    }
+
+    /// Declare the left side complete; buffered right buckets are replayed
+    /// now, in the order they arrived.
+    pub fn seal_left(&mut self) {
+        self.sealed = true;
+        let pending = std::mem::take(&mut self.pending);
+        for r in pending {
+            self.right_record(r.key, r.value);
+        }
+    }
+
+    /// Collect an owned right bucket (buffered if the left side is not
+    /// sealed yet); records are moved.
+    pub fn push_right_owned(&mut self, records: Vec<Record>) {
+        if !self.sealed {
+            if self.pending.is_empty() {
+                self.pending = records;
+            } else {
+                self.pending.extend(records);
+            }
+            return;
+        }
+        for r in records {
+            self.right_record(r.key, r.value);
+        }
+    }
+
+    /// Collect a borrowed right bucket; records are cloned.
+    pub fn push_right_slice(&mut self, records: &[Record]) {
+        if !self.sealed {
+            self.pending.extend_from_slice(records);
+            return;
+        }
+        for r in records {
+            self.right_record(r.key.clone(), r.value.clone());
+        }
+    }
+
+    /// One `Record(k, Pair(List(lefts), List(rights)))` per key present on
+    /// either side, in first-seen key order (left side first), pre-sized
+    /// from the key count.
+    pub fn finish(mut self) -> Vec<Record> {
+        if !self.sealed {
+            self.seal_left();
+        }
+        let mut out = Vec::with_capacity(self.order.len());
+        for ((k, l), r) in self.order.into_iter().zip(self.lefts).zip(self.rights) {
+            out.push(Record::new(
+                k,
+                Value::Pair(
+                    Box::new(Value::List(Arc::new(l))),
+                    Box::new(Value::List(Arc::new(r))),
+                ),
+            ));
+        }
+        out
+    }
 }
 
 /// Co-group of two sides: one record per key present on either side, value
 /// `Pair(List(left values), List(right values))`, in first-seen key order
 /// (left side first).
 pub fn merge_cogroup(left: &[Record], right: &[Record]) -> Vec<Record> {
-    let mut order: Vec<Key> = Vec::new();
-    let mut lefts: HashMap<Key, Vec<Value>> = HashMap::new();
-    let mut rights: HashMap<Key, Vec<Value>> = HashMap::new();
-    for r in left {
-        lefts
-            .entry(r.key.clone())
-            .or_insert_with(|| {
-                order.push(r.key.clone());
-                Vec::new()
-            })
-            .push(r.value.clone());
-    }
-    for r in right {
-        if !lefts.contains_key(&r.key) && !rights.contains_key(&r.key) {
-            order.push(r.key.clone());
-        }
-        rights
-            .entry(r.key.clone())
-            .or_default()
-            .push(r.value.clone());
-    }
-    order
-        .into_iter()
-        .map(|k| {
-            let l = lefts.remove(&k).unwrap_or_default();
-            let r = rights.remove(&k).unwrap_or_default();
-            Record::new(
-                k,
-                Value::Pair(
-                    Box::new(Value::List(Arc::new(l))),
-                    Box::new(Value::List(Arc::new(r))),
-                ),
-            )
-        })
-        .collect()
+    let mut m = CogroupMerge::new();
+    m.push_left_slice(left);
+    m.seal_left();
+    m.push_right_slice(right);
+    m.finish()
 }
 
 #[cfg(test)]
@@ -434,6 +916,89 @@ mod tests {
         let (tb, _) = bucketize(&[], &p, Some(&sum()));
         assert!(tb.buckets.iter().all(|b| b.is_empty()));
         assert_eq!(tb.total_bytes(), 0);
+    }
+
+    #[test]
+    fn streaming_reduce_matches_batch_wrapper() {
+        let a: Vec<Record> = (0..40).map(|i| rec(i % 7, i)).collect();
+        let b: Vec<Record> = (0..40).map(|i| rec(i % 5, i * 3)).collect();
+        let (batch, batch_ops) = merge_reduce([a.as_slice(), b.as_slice()], &sum());
+        let mut m = ReduceMerge::new(sum());
+        m.push_owned(a.clone());
+        m.push_slice(&b);
+        let (streamed, ops) = m.finish();
+        assert_eq!(streamed, batch);
+        assert_eq!(ops, batch_ops);
+    }
+
+    #[test]
+    fn streaming_group_matches_batch_wrapper() {
+        let a: Vec<Record> = (0..30).map(|i| rec(i % 4, i)).collect();
+        let b: Vec<Record> = (0..30).map(|i| rec(i % 9, i)).collect();
+        let batch = merge_group([a.as_slice(), b.as_slice()]);
+        let mut m = GroupMerge::new();
+        m.push_owned(a.clone());
+        m.push_owned(b.clone());
+        assert_eq!(m.finish(), batch);
+    }
+
+    #[test]
+    fn streaming_concat_matches_batch_wrapper() {
+        let a = vec![rec(1, 1), rec(2, 2)];
+        let b = vec![rec(3, 3)];
+        let batch = merge_concat([a.as_slice(), b.as_slice()]);
+        let mut m = ConcatMerge::new();
+        m.push_owned(a.clone());
+        m.push_slice(&b);
+        assert_eq!(m.finish(), batch);
+    }
+
+    #[test]
+    fn streaming_join_buffers_rights_pushed_before_seal() {
+        let left: Vec<Record> = (0..20).map(|i| rec(i % 6, i)).collect();
+        let right: Vec<Record> = (0..15).map(|i| rec(i % 8, i + 100)).collect();
+        let (batch, batch_probes) = merge_join(&left, &right);
+        // Interleave: rights arrive before the left side is complete.
+        let mut m = JoinMerge::new();
+        m.push_right_owned(right[..7].to_vec());
+        m.push_left_owned(left[..10].to_vec());
+        m.push_right_owned(right[7..].to_vec());
+        m.push_left_owned(left[10..].to_vec());
+        m.seal_left();
+        let (streamed, probes) = m.finish();
+        assert_eq!(streamed, batch);
+        assert_eq!(probes, batch_probes);
+    }
+
+    #[test]
+    fn streaming_cogroup_matches_batch_wrapper() {
+        let left: Vec<Record> = (0..12).map(|i| rec(i % 5, i)).collect();
+        let right: Vec<Record> = (0..12).map(|i| rec(i % 7, i + 50)).collect();
+        let batch = merge_cogroup(&left, &right);
+        let mut m = CogroupMerge::new();
+        m.push_right_owned(right[..5].to_vec());
+        m.push_left_owned(left.clone());
+        m.push_right_owned(right[5..].to_vec());
+        m.seal_left();
+        assert_eq!(m.finish(), batch);
+    }
+
+    #[test]
+    fn bucketize_in_reuses_arena_without_behaviour_change() {
+        let p = HashPartitioner::new(4);
+        let mut arena = TaskArena::default();
+        for round in 0..3 {
+            for combine in [None, Some(sum())] {
+                let records: Vec<Record> = (0..200).map(|i| rec((i + round) % 13, i)).collect();
+                let fresh = bucketize(&records, &p, combine.as_ref());
+                let reused = bucketize_in(&records, &p, combine.as_ref(), &mut arena);
+                assert_eq!(reused.1, fresh.1);
+                assert_eq!(reused.0.bytes, fresh.0.bytes);
+                for (a, b) in reused.0.buckets.iter().zip(&fresh.0.buckets) {
+                    assert_eq!(a, b);
+                }
+            }
+        }
     }
 
     #[test]

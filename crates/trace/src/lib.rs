@@ -48,7 +48,12 @@ pub mod pids {
     pub const DRIVER: u32 = 2;
     /// Wall clock: the autotune loop (grid cells, fits, decisions).
     pub const AUTOTUNE: u32 = 3;
-    /// Wall clock: the host executor pool (phase spans, steal counters).
+    /// Wall clock: the host executor pool. Track layout: tid 0 carries
+    /// the pool's steal/idle counters, tid 1 the barrier executor's
+    /// per-stage phase spans, tid 2 the pipelined executor's per-stage
+    /// overlap spans (first task start → last task end; spans that
+    /// overlap across stages are the pipeline at work), and tid 3 the
+    /// per-exchange available-prefix counters.
     pub const POOL: u32 = 4;
 }
 
