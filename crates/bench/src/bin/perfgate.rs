@@ -20,7 +20,7 @@
 use bench::report::{
     best_fresh, gate_checks, measure_dataplane, measure_shuffle_pipeline, DataplaneReport,
 };
-use engine::{Context, EngineOptions, Key, MemCounters, Record, Value};
+use engine::{Context, EngineOptions, FaultCounters, FaultPlan, Key, MemCounters, Record, Value};
 use simcluster::uniform_cluster;
 use std::sync::Arc;
 
@@ -121,6 +121,84 @@ fn mem_gate() -> Vec<(String, bool)> {
         (
             format!("bounded cache evicts (evictions={})", squeezed.evictions),
             squeezed.evictions > 0,
+        ),
+    ]
+}
+
+/// Deterministic fault-recovery gate. The kernel ratio gates above
+/// already police the *wall-clock* cost of carrying the recovery hooks:
+/// the committed baselines predate the fault subsystem, so a fresh
+/// measurement that fell more than the tolerance below them would fail
+/// the run. What this gate adds are the exact virtual-clock invariants:
+/// an inert plan is bit-identical to no plan, an active plan injects
+/// faults without moving results, and a node loss blacklists the node
+/// and recomputes its live map outputs through lineage.
+fn fault_gate() -> Vec<(String, bool)> {
+    // Results + virtual stage metrics + fault counters of a two-job run
+    // (cached map feeding two shuffles) under the given plan. Per-record
+    // costs are sized so the virtual clock passes the lossy plan's t=20
+    // node loss while the first shuffle's map outputs are live.
+    let run = |faults: Option<FaultPlan>| -> (String, String, FaultCounters) {
+        let mut ctx = Context::new(EngineOptions {
+            cluster: uniform_cluster(3, 4, 2.0),
+            default_parallelism: 8,
+            workers: 2,
+            faults,
+            ..EngineOptions::default()
+        });
+        let data: Vec<Record> = (0..4000)
+            .map(|i| Record::new(Key::Int(i % 97), Value::Int(i)))
+            .collect();
+        let src = ctx.parallelize(data, 8, "src");
+        let mapped = ctx.map(
+            src,
+            Arc::new(|r: &Record| Record::new(r.key.clone(), Value::Int(r.value.as_int() * 3))),
+            0.25,
+            "scale",
+        );
+        ctx.cache(mapped);
+        let sum = |a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int());
+        let reduced = ctx.reduce_by_key(mapped, Arc::new(sum), None, 0.02, "sum");
+        let mut out = ctx.collect(reduced, "first");
+        let again = ctx.reduce_by_key(mapped, Arc::new(sum), None, 0.02, "sum-again");
+        out.extend(ctx.collect(again, "second"));
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        (
+            format!("{out:?}"),
+            format!("{:?}", ctx.all_stages()),
+            ctx.fault_counters(),
+        )
+    };
+
+    let plan = |text: &str| FaultPlan::from_text(text).expect("shipped plan parses");
+    let (clean_out, clean_stages, _) = run(None);
+    let (inert_out, inert_stages, _) = run(Some(FaultPlan::default()));
+    let (smoke_out, _, smoke) = run(Some(plan(include_str!(
+        "../../../../plans/plan_smoke.plan"
+    ))));
+    let (lossy_out, _, lossy) = run(Some(plan(include_str!(
+        "../../../../plans/plan_lossy.plan"
+    ))));
+    vec![
+        (
+            "inert fault plan is bit-identical to no plan".to_string(),
+            inert_out == clean_out && inert_stages == clean_stages,
+        ),
+        (
+            format!(
+                "smoke plan injects retries without moving results (retried={})",
+                smoke.retried_tasks
+            ),
+            smoke.retried_tasks > 0 && smoke_out == clean_out,
+        ),
+        (
+            format!(
+                "lossy plan loses the node and recovers (lost={} recomputed={} rehomed={})",
+                lossy.nodes_lost, lossy.recomputed_map_tasks, lossy.replica_rehomed_partitions
+            ),
+            lossy.nodes_lost == 1
+                && lossy.recomputed_map_tasks + lossy.replica_rehomed_partitions > 0
+                && lossy_out == clean_out,
         ),
     ]
 }
@@ -244,6 +322,11 @@ fn main() {
     failed |= !e2e_ok;
     eprintln!("[perfgate] checking memory-governance invariants...");
     for (name, ok) in mem_gate() {
+        println!("{:<80} {}", name, if ok { "ok" } else { "VIOLATED" });
+        failed |= !ok;
+    }
+    eprintln!("[perfgate] checking fault-recovery invariants...");
+    for (name, ok) in fault_gate() {
         println!("{:<80} {}", name, if ok { "ok" } else { "VIOLATED" });
         failed |= !ok;
     }

@@ -21,10 +21,11 @@
 
 use bench::{
     fmt_kb, fmt_time, kmeans_motivation, kmeans_paper, kmeans_reduced, paper_autotuner,
-    paper_autotuner_mem, paper_engine, pca_paper, sql_paper, stages, total_time, Table,
+    paper_autotuner_degraded, paper_autotuner_mem, paper_engine, pca_paper, sql_paper, stages,
+    total_time, wordcount_paper, Table,
 };
 use chopper::{Comparison, Workload};
-use engine::{Context, StageMetrics, WorkloadConf};
+use engine::{Context, FaultPlan, StageMetrics, WorkloadConf};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -48,6 +49,7 @@ fn main() {
             "fig13",
             "fig14",
             "fig_mem",
+            "fig_faults",
             "dataplane",
             "shuffle_pipeline",
         ]
@@ -79,6 +81,7 @@ fn main() {
                 p.transactions_per_sec
             }),
             "fig_mem" => fig_mem(),
+            "fig_faults" => fig_faults(),
             "dataplane" => dataplane(),
             "shuffle_pipeline" => shuffle_pipeline(),
             other => {
@@ -632,6 +635,109 @@ fn fig_mem() -> String {
          spills and rereads; the bounded memory-aware run has zero \
          spills and matches the unbounded tuned profile.",
         t.render(),
+    )
+}
+
+// ---- Fig faults: deterministic fault injection + lineage recovery ---------
+
+/// Placement- and timing-independent view of a run: stage structure plus
+/// every byte/record table. Faults must never move any of it.
+fn byte_table(ctx: &Context) -> String {
+    let mut s = String::new();
+    for j in ctx.jobs() {
+        let _ = writeln!(s, "job {} ({} stages)", j.name, j.stages.len());
+        for m in &j.stages {
+            let _ = writeln!(
+                s,
+                "  {} tasks={} in={}r/{}B out={}r/{}B shuffle_r={}B shuffle_w={}B",
+                m.name,
+                m.num_tasks,
+                m.input_records,
+                m.input_bytes,
+                m.output_records,
+                m.output_bytes,
+                m.shuffle_read_bytes,
+                m.shuffle_write_bytes
+            );
+        }
+    }
+    s
+}
+
+fn fig_faults() -> String {
+    let plan = FaultPlan::from_text(include_str!("../../../../plans/fig_faults.plan"))
+        .expect("shipped fig_faults plan parses");
+
+    // Wordcount + SQL join under the canned three-fault plan, checked
+    // against their fault-free twins.
+    let workloads: Vec<(&str, Box<dyn Workload>)> = vec![
+        ("wordcount", Box::new(wordcount_paper())),
+        ("SQL join", Box::new(sql_paper())),
+    ];
+    let mut t = Table::new(&[
+        "workload",
+        "jobs ok",
+        "clean time",
+        "faulted time",
+        "retries",
+        "recomputed maps",
+        "re-homed",
+        "stragglers",
+        "tables equal",
+    ]);
+    for (name, w) in &workloads {
+        eprintln!("[repro] fig_faults: {name} fault-free + faulted runs...");
+        let clean = w.run_full(&paper_engine(300, false), &WorkloadConf::new());
+        let mut opts = paper_engine(300, false);
+        opts.faults = Some(plan.clone());
+        let faulted = w.run_full(&opts, &WorkloadConf::new());
+        let fc = faulted.fault_counters();
+        let equal = byte_table(&clean) == byte_table(&faulted);
+        t.row(vec![
+            (*name).into(),
+            format!("{}/{}", faulted.jobs().len(), clean.jobs().len()),
+            fmt_time(total_time(&clean)),
+            fmt_time(total_time(&faulted)),
+            fc.retried_tasks.to_string(),
+            fc.recomputed_map_tasks.to_string(),
+            fc.replica_rehomed_partitions.to_string(),
+            fc.stragglers_applied.to_string(),
+            if equal { "yes" } else { "NO" }.into(),
+        ]);
+    }
+
+    // After the loss the cluster is one node smaller and tasks keep
+    // failing at the plan's rate: CHOPPER re-tunes and chooses a new P.
+    eprintln!("[repro] fig_faults: re-tuning wordcount on the degraded cluster...");
+    let w = wordcount_paper();
+    let healthy = paper_autotuner_mem(300, None).compare(&w);
+    let degraded = paper_autotuner_degraded(300, 1, plan.task_fail_prob).compare(&w);
+    let mut o = Table::new(&["cluster", "max tuned P", "tuned time"]);
+    o.row(vec![
+        "healthy (5 nodes)".into(),
+        max_tuned_p(&healthy.plan).to_string(),
+        fmt_time(healthy.chopper_time()),
+    ]);
+    o.row(vec![
+        format!(
+            "degraded (node B lost, {:.0}% task failures)",
+            100.0 * plan.task_fail_prob
+        ),
+        max_tuned_p(&degraded.plan).to_string(),
+        fmt_time(degraded.chopper_time()),
+    ]);
+
+    section(
+        "Fig faults — deterministic fault injection and lineage recovery",
+        "Wordcount and the SQL join run under plans/fig_faults.plan: 5% \
+         seeded task failures, node B lost at t=60 (mid scan stage, while \
+         its map outputs are live), and a 2x straggler on node D. Shape \
+         criterion: every job completes, retries and lineage recomputation \
+         are non-zero, and the faulted byte tables are identical to the \
+         fault-free ones — recovery costs time, never answers. After the \
+         loss, re-tuning on the shrunk cluster with the failure rate \
+         charged into the cost model re-chooses the partition count.",
+        format!("{}\n{}", t.render(), o.render()),
     )
 }
 

@@ -8,9 +8,13 @@
 pub mod dataplane;
 pub mod report;
 
-use chopper::{Autotuner, TestRunPlan};
-use engine::{Context, EngineOptions, StageMetrics};
+use chopper::{Autotuner, TestRunPlan, Workload};
+use engine::{
+    Context, EngineOptions, FaultPlan, FlatMapFn, GenFn, Key, Record, ReduceFn, StageMetrics,
+    Value, WorkloadConf,
+};
 use simcluster::paper_cluster;
+use std::sync::Arc;
 use workloads::{KMeans, KMeansConfig, Pca, PcaConfig, Sql, SqlConfig};
 
 /// The factor by which the paper's multi-gigabyte inputs are scaled down
@@ -78,6 +82,78 @@ pub fn sql_paper() -> Sql {
     Sql::new(SqlConfig::paper())
 }
 
+/// Words emitted per synthetic text line.
+const WORDS_PER_LINE: usize = 8;
+/// Distinct words in the synthetic vocabulary.
+const VOCABULARY: u64 = 100;
+/// Virtual serialized bytes per text line (Table-I style accounting).
+const LINE_BYTES: u64 = 64;
+/// Units per scanned line (same scale as the SQL workload's scan).
+const LINE_COST: f64 = 0.12;
+/// Units per emitted or merged word record.
+const WORD_COST: f64 = 0.01;
+
+/// A wordcount built from the raw engine primitives: a synthetic text
+/// source, a flat-map that splits each line into words, and a
+/// reduce-by-key that counts them. The fault-recovery figure pairs it
+/// with the SQL join because its single wide shuffle over string keys is
+/// the simplest lineage to recompute after a node loss.
+pub struct WordCount {
+    /// Text lines at full scale.
+    pub lines: usize,
+}
+
+impl Workload for WordCount {
+    fn name(&self) -> &str {
+        "wordcount"
+    }
+
+    fn full_input_bytes(&self) -> u64 {
+        self.lines as u64 * LINE_BYTES
+    }
+
+    fn run(&self, opts: &EngineOptions, conf: &WorkloadConf, scale: f64) -> Context {
+        let mut ctx = Context::new(opts.clone());
+        ctx.set_conf(conf.clone());
+        let n = ((self.lines as f64 * scale) as usize).max(1);
+        let gen: GenFn = Arc::new(move |i, parts| {
+            let start = i * n / parts;
+            let end = (i + 1) * n / parts;
+            (start..end)
+                .map(|j| Record::new(Key::Int(j as i64), Value::Int(1)))
+                .collect()
+        });
+        let bytes = ((self.full_input_bytes() as f64 * scale) as u64).max(1);
+        let lines = ctx.text_file("wordcount-in", bytes, gen, LINE_COST, "read-lines");
+        let split: FlatMapFn = Arc::new(|r: &Record| {
+            let line = match &r.key {
+                Key::Int(i) => *i as u64,
+                other => panic!("malformed line key {other:?}"),
+            };
+            (0..WORDS_PER_LINE as u64)
+                .map(|w| {
+                    // Deterministic word draw per (line, position).
+                    let h = line.wrapping_mul(2654435761).wrapping_add(w * 97);
+                    let word = format!("word-{:03}", h % VOCABULARY);
+                    Record::new(Key::str(&word), Value::Int(1))
+                })
+                .collect()
+        });
+        let words = ctx.flat_map(lines, split, WORD_COST, "split-words");
+        let sum: ReduceFn = Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int()));
+        let counts = ctx.reduce_by_key(words, sum, None, WORD_COST, "count-words");
+        ctx.count(counts, "wordcount");
+        ctx
+    }
+}
+
+/// The wordcount workload at the fault-figure scale: its scan stage runs
+/// long enough on the evaluation cluster that the shipped fault plan's
+/// node loss lands mid-stage, while the map outputs are still live.
+pub fn wordcount_paper() -> WordCount {
+    WordCount { lines: 250_000 }
+}
+
 /// The paper-protocol auto-tuner over the evaluation cluster.
 pub fn paper_autotuner() -> Autotuner {
     paper_autotuner_mem(300, None)
@@ -91,6 +167,32 @@ pub fn paper_autotuner() -> Autotuner {
 pub fn paper_autotuner_mem(default_parallelism: usize, executor_mem: Option<u64>) -> Autotuner {
     let mut base = paper_engine(default_parallelism, false);
     base.executor_mem = executor_mem;
+    paper_tuner(base)
+}
+
+/// The paper-protocol auto-tuner over a *degraded* evaluation cluster:
+/// node `lost_node` is removed from the topology and a fault plan with
+/// the given per-task failure probability is active during every run —
+/// vanilla, test grid, and tuned — so the trained models observe
+/// recovery-inflated stage times and the optimizer charges expected
+/// retries into each candidate partition count. This is the re-tune
+/// CHOPPER performs after a node loss shrinks the cluster.
+pub fn paper_autotuner_degraded(
+    default_parallelism: usize,
+    lost_node: usize,
+    task_fail_prob: f64,
+) -> Autotuner {
+    let mut base = paper_engine(default_parallelism, false);
+    base.cluster.nodes.remove(lost_node);
+    base.faults = Some(FaultPlan {
+        task_fail_prob,
+        ..FaultPlan::default()
+    });
+    paper_tuner(base)
+}
+
+/// Shared tuner setup behind the `paper_autotuner_*` entry points.
+fn paper_tuner(base: EngineOptions) -> Autotuner {
     let mut t = Autotuner::new(base);
     t.test_plan = TestRunPlan::default();
     // Grid cells are independent sandboxed runs and their recorded metrics

@@ -288,6 +288,50 @@ impl BlockStore {
         Some(blocks)
     }
 
+    /// Deterministic serving-replica choice for one block under a set of
+    /// down nodes: the primary when it survives, otherwise the
+    /// *lowest-id* surviving replica. Scanning the replica list in
+    /// node-id order (never map iteration order) keeps the choice
+    /// identical across runs, which the engine's fault-recovery
+    /// equivalence tests depend on. Returns `None` when the file/block
+    /// is missing or every replica is down.
+    pub fn select_replica(&self, name: &str, block: usize, down: &[bool]) -> Option<NodeId> {
+        let inner = self.inner.lock();
+        let meta = inner.files.get(name)?.get(block)?;
+        Self::pick_from(&meta.replicas, down)
+    }
+
+    /// Like [`BlockStore::select_replica`], but also charges one read
+    /// transaction for the block — the accounting a recovery-time replica
+    /// read produces.
+    pub fn read_replica(&self, name: &str, block: usize, down: &[bool]) -> Option<NodeId> {
+        let mut inner = self.inner.lock();
+        let meta = inner.files.get(name)?.get(block)?.clone();
+        let node = Self::pick_from(&meta.replicas, down)?;
+        inner.counters.reads += 1;
+        inner.counters.bytes_read += meta.size;
+        Some(node)
+    }
+
+    /// The least-loaded surviving node, ties broken by node id — the same
+    /// deterministic ordering [`place`](BlockStore::try_create_file) uses.
+    /// The engine re-homes data whose holder was lost onto this node.
+    /// Returns `None` when every node is down.
+    pub fn pick_survivor(&self, down: &[bool]) -> Option<NodeId> {
+        let inner = self.inner.lock();
+        (0..self.num_nodes)
+            .filter(|&n| !down.get(n).copied().unwrap_or(false))
+            .min_by_key(|&n| (inner.used_bytes[n], n))
+    }
+
+    fn pick_from(replicas: &[NodeId], down: &[bool]) -> Option<NodeId> {
+        let alive = |&&n: &&NodeId| !down.get(n).copied().unwrap_or(false);
+        match replicas.first() {
+            Some(&primary) if alive(&&primary) => Some(primary),
+            _ => replicas.iter().filter(alive).min().copied(),
+        }
+    }
+
     /// Deletes a file, releasing its space. Returns whether it existed.
     pub fn delete_file(&self, name: &str) -> bool {
         let mut inner = self.inner.lock();
@@ -480,6 +524,67 @@ mod tests {
         let c = s.counters();
         assert_eq!(c.writes, 3);
         assert_eq!(c.bytes_written, 250);
+    }
+
+    #[test]
+    fn replica_selection_prefers_surviving_primary_then_lowest_id() {
+        // Load nodes unevenly so the replica list is NOT in node-id order:
+        // pre-load nodes 0 and 1, leaving 4, 3, 2 the least-loaded (in
+        // (used, id) order) for the next placement.
+        let s = BlockStore::with_config(5, 100, 3);
+        s.create_file_on("ballast0", 300, 0);
+        s.create_file_on("ballast1", 200, 1);
+        s.create_file_on("ballast2", 100, 2);
+        s.create_file("f", 100);
+        let replicas = s.file_blocks("f").unwrap()[0].replicas.clone();
+        assert_eq!(replicas, vec![3, 4, 2], "placement order is (used, id)");
+
+        let up = vec![false; 5];
+        assert_eq!(s.select_replica("f", 0, &up), Some(3), "primary when alive");
+
+        // Primary down: the *lowest-id* surviving replica serves — node 2,
+        // not node 4, even though 4 precedes 2 in the placement list.
+        let mut down = vec![false; 5];
+        down[3] = true;
+        assert_eq!(s.select_replica("f", 0, &down), Some(2));
+
+        down[2] = true;
+        assert_eq!(s.select_replica("f", 0, &down), Some(4));
+
+        down[4] = true;
+        assert_eq!(s.select_replica("f", 0, &down), None, "all replicas lost");
+
+        assert_eq!(s.select_replica("f", 9, &up), None, "missing block");
+        assert_eq!(s.select_replica("nope", 0, &up), None, "missing file");
+    }
+
+    #[test]
+    fn read_replica_charges_one_read() {
+        let s = BlockStore::with_config(4, 100, 2);
+        s.create_file("f", 100);
+        let before = s.counters();
+        let mut down = vec![false; 4];
+        let primary = s.file_blocks("f").unwrap()[0].replicas[0];
+        down[primary] = true;
+        let served = s.read_replica("f", 0, &down).unwrap();
+        assert_ne!(served, primary);
+        let after = s.counters();
+        assert_eq!(after.reads, before.reads + 1);
+        assert_eq!(after.bytes_read, before.bytes_read + 100);
+    }
+
+    #[test]
+    fn pick_survivor_is_deterministic_and_load_aware() {
+        let s = BlockStore::with_config(4, 100, 1);
+        s.create_file_on("x", 300, 0);
+        s.create_file_on("y", 100, 1);
+        let none = vec![false; 4];
+        assert_eq!(s.pick_survivor(&none), Some(2), "least loaded, lowest id");
+        let mut down = vec![false; 4];
+        down[2] = true;
+        down[3] = true;
+        assert_eq!(s.pick_survivor(&down), Some(1));
+        assert_eq!(s.pick_survivor(&[true; 4]), None);
     }
 
     #[test]

@@ -14,6 +14,7 @@ commands:
   run      --workload kmeans|pca|sql|logreg [--scale F] [--partitions N]
            [--copartition] [--gantt] [--conf FILE] [--pipeline on|off]
            [--cluster paper|uniform:N,C,GHz] [--executor-mem SIZE]
+           [--fault-plan FILE] [--fault-seed N]
   tune     --workload W --db FILE [--out-conf FILE]
            [--scales 0.1,0.3,0.6] [--partitions 60,150,300,600,1200]
            [--test-parallelism N]
@@ -22,7 +23,7 @@ commands:
   trace    <workload> | --workload W [--scale F] [--partitions N]
            [--out FILE] [--summary-out FILE] [--clock all|virtual|wall]
            [--conf FILE] [--cluster paper|uniform:N,C,GHz]
-           [--executor-mem SIZE]
+           [--executor-mem SIZE] [--fault-plan FILE] [--fault-seed N]
   inspect  --db FILE
   conf     --file FILE
   help
@@ -30,6 +31,13 @@ commands:
 --executor-mem bounds each simulated executor's unified memory (cache +
 task working sets); accepts k/m/g suffixes, e.g. 512m. Omitting it keeps
 the cache unbounded (no eviction or spill).
+
+--fault-plan installs a deterministic, seeded fault plan (task failures,
+node losses at virtual times, slow nodes, shuffle-chunk corruption) and
+enables recovery: retries, lineage recomputation, replica re-homing, and
+blacklisting. Results are bit-identical to the fault-free run; only
+simulated timings change. --fault-seed overrides the plan file's seed.
+Mutually exclusive with --executor-mem.
 ";
 
 type CmdResult = Result<(), String>;
@@ -84,6 +92,24 @@ fn parse_mem_size(s: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("memory size '{s}' overflows"))
 }
 
+/// Loads `--fault-plan` (with an optional `--fault-seed` override).
+fn fault_plan(args: &Args) -> Result<Option<engine::FaultPlan>, String> {
+    let Some(path) = args.get("fault-plan") else {
+        if args.get("fault-seed").is_some() {
+            return Err("--fault-seed requires --fault-plan".into());
+        }
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut plan = engine::FaultPlan::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(seed) = args.get("fault-seed") {
+        plan.seed = seed
+            .parse()
+            .map_err(|_| format!("bad --fault-seed '{seed}' (expected an integer)"))?;
+    }
+    Ok(Some(plan))
+}
+
 fn engine_opts(args: &Args) -> Result<EngineOptions, String> {
     let executor_mem = match args.get("executor-mem") {
         None => None,
@@ -94,14 +120,50 @@ fn engine_opts(args: &Args) -> Result<EngineOptions, String> {
         Some("off") => false,
         Some(other) => return Err(format!("bad --pipeline '{other}' (expected on|off)")),
     };
-    Ok(EngineOptions {
+    // An explicit `--pipeline on` cannot be honored under governed
+    // memory (the engine would silently fall back to the barrier path);
+    // reject the combination instead of surprising the user.
+    if args.get("pipeline") == Some("on") && executor_mem.is_some() {
+        return Err(
+            "--pipeline on cannot be combined with --executor-mem: the governed \
+             memory engine interleaves evictions with stage execution and always \
+             runs the barrier path — drop one of the two flags"
+                .into(),
+        );
+    }
+    let opts = EngineOptions {
         cluster: cluster(args)?,
         default_parallelism: args.num("partitions", 300).map_err(|e| e.to_string())?,
         copartition_scheduling: args.has("copartition"),
         executor_mem,
         pipeline,
+        faults: fault_plan(args)?,
         ..EngineOptions::default()
-    })
+    };
+    // Surface invalid combinations (e.g. --fault-plan with
+    // --executor-mem) as a parse-time error instead of an engine panic.
+    opts.validate()?;
+    Ok(opts)
+}
+
+/// Prints the fault-recovery counter line when a plan was installed.
+fn print_fault_counters(ctx: &Context, opts: &EngineOptions) {
+    if opts.faults.is_none() {
+        return;
+    }
+    let fc = ctx.fault_counters();
+    println!(
+        "faults: {} injected failures over {} tasks, {} recomputed map tasks, \
+         {} re-homed partitions ({} B), {} nodes lost, {} stragglers, {} corrupt chunks",
+        fc.injected_failures,
+        fc.retried_tasks,
+        fc.recomputed_map_tasks,
+        fc.replica_rehomed_partitions,
+        fc.replica_read_bytes,
+        fc.nodes_lost,
+        fc.stragglers_applied,
+        fc.corrupt_chunks
+    );
 }
 
 fn load_conf(args: &Args) -> Result<WorkloadConf, String> {
@@ -169,6 +231,7 @@ pub fn run(args: &Args) -> CmdResult {
     }
     let ctx = w.run(&opts, &conf, scale);
     print_stages(&ctx);
+    print_fault_counters(&ctx, &opts);
     if args.has("gantt") {
         for s in ctx.all_stages() {
             let timing = simcluster::StageTiming {
@@ -224,6 +287,7 @@ pub fn trace(args: &Args) -> CmdResult {
         mc.recomputes,
         mc.released
     );
+    print_fault_counters(&ctx, &opts);
     if let Some(path) = args.get("summary-out") {
         std::fs::write(path, summary.to_json()).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote summary JSON to {path}");
@@ -477,6 +541,91 @@ mod tests {
             Ok(_) => panic!("bad size must be rejected"),
         };
         assert!(err.contains("memory size"));
+    }
+
+    fn opts_err(tokens: &[&str]) -> String {
+        match engine_opts(&args(tokens)) {
+            Err(e) => e,
+            Ok(_) => panic!("expected engine_opts to fail for {tokens:?}"),
+        }
+    }
+
+    fn write_plan(name: &str, body: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("chopper-cli-faults-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    #[test]
+    fn fault_plan_flag_loads_and_seed_overrides() {
+        let path = write_plan("smoke.plan", "seed 7\ntask-fail-prob 0.1\nlose-node 1 30\n");
+        let o = engine_opts(&args(&["run", "--fault-plan", path.to_str().unwrap()])).unwrap();
+        let plan = o.faults.expect("plan installed");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.task_fail_prob, 0.1);
+        assert_eq!(plan.node_loss.len(), 1);
+
+        let o = engine_opts(&args(&[
+            "run",
+            "--fault-plan",
+            path.to_str().unwrap(),
+            "--fault-seed",
+            "99",
+        ]))
+        .unwrap();
+        assert_eq!(o.faults.unwrap().seed, 99, "--fault-seed wins");
+    }
+
+    #[test]
+    fn fault_seed_without_plan_is_rejected() {
+        let err = opts_err(&["run", "--fault-seed", "3"]);
+        assert!(err.contains("--fault-plan"), "got: {err}");
+    }
+
+    #[test]
+    fn malformed_fault_plan_reports_the_file_and_line() {
+        let path = write_plan("bad.plan", "lose-node onlyonearg\n");
+        let err = opts_err(&["run", "--fault-plan", path.to_str().unwrap()]);
+        assert!(err.contains("bad.plan"), "got: {err}");
+        assert!(err.contains("line 1"), "got: {err}");
+    }
+
+    #[test]
+    fn fault_plan_conflicts_with_executor_mem_at_parse_time() {
+        let path = write_plan("ok.plan", "task-fail-prob 0.1\n");
+        let err = opts_err(&[
+            "run",
+            "--fault-plan",
+            path.to_str().unwrap(),
+            "--executor-mem",
+            "256m",
+        ]);
+        assert!(err.contains("--executor-mem"), "got: {err}");
+    }
+
+    #[test]
+    fn fault_plan_node_out_of_range_is_rejected() {
+        let path = write_plan("range.plan", "lose-node 7 10\n");
+        let err = opts_err(&[
+            "run",
+            "--fault-plan",
+            path.to_str().unwrap(),
+            "--cluster",
+            "uniform:3,4,2.0",
+        ]);
+        assert!(err.contains("node"), "got: {err}");
+    }
+
+    #[test]
+    fn explicit_pipeline_on_conflicts_with_executor_mem() {
+        let err = opts_err(&["run", "--pipeline", "on", "--executor-mem", "256m"]);
+        assert!(err.contains("--pipeline on"), "got: {err}");
+        // Without the explicit flag the combination is allowed: the
+        // engine runs the barrier path under governed memory.
+        let o = engine_opts(&args(&["run", "--executor-mem", "256m"])).unwrap();
+        assert!(o.pipeline && o.executor_mem.is_some());
     }
 
     #[test]

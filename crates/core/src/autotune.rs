@@ -40,6 +40,14 @@ impl Autotuner {
             // Under a bounded executor memory, feed the per-task share to
             // the cost model so the partition search stays feasible.
             task_mem_budget: base.per_task_mem_budget().map(|b| b as f64),
+            // Under a fault plan, charge expected retries into every
+            // candidate's cost so re-tuning after a topology change
+            // accounts for recovery work.
+            fault_prob: base
+                .faults
+                .as_ref()
+                .map(|f| f.task_fail_prob)
+                .unwrap_or(0.0),
             ..OptimizerOptions::default()
         };
         Autotuner {

@@ -71,6 +71,13 @@ pub struct OptimizerOptions {
     /// Multiplicative weight of the spill-cost penalty: cost scales by
     /// `1 + spill_penalty × overflow/budget` for infeasible candidates.
     pub spill_penalty: f64,
+    /// Expected per-task failure probability (derived from the engine's
+    /// fault plan). When positive, every candidate's cost is scaled by a
+    /// recovery factor that charges the expected re-runs plus their
+    /// per-task launch overhead — penalizing high partition counts whose
+    /// retries are overhead-dominated. Zero (the default) leaves every
+    /// cost untouched, so fault-free plans are bit-identical.
+    pub fault_prob: f64,
 }
 
 impl Default for OptimizerOptions {
@@ -90,6 +97,7 @@ impl Default for OptimizerOptions {
             trace: TraceSink::disabled(),
             task_mem_budget: None,
             spill_penalty: 2.0,
+            fault_prob: 0.0,
         }
     }
 }
@@ -118,6 +126,21 @@ fn spill_factor(input: InputResponse, p: f64, opts: &OptimizerOptions) -> f64 {
     }
     let overflow = (task_working_set(input, p) - budget).max(0.0);
     1.0 + opts.spill_penalty * overflow / budget
+}
+
+/// Recovery-cost multiplier for evaluating a candidate `p` under an
+/// expected per-task failure rate: each expected failure re-runs one task
+/// and pays a fresh launch overhead, so the penalty grows with the
+/// partition count relative to the stage's predicted time — after a node
+/// loss shrinks the topology, re-tuning with this factor steers `P` away
+/// from retry-overhead-dominated choices. Exactly 1 when `fault_prob` is
+/// zero (the default), leaving fault-free plans bit-identical.
+fn recovery_factor(p: f64, pred_time: f64, opts: &OptimizerOptions) -> f64 {
+    if opts.fault_prob <= 0.0 || p <= 0.0 {
+        return 1.0;
+    }
+    let relaunch = p * opts.task_overhead / pred_time.max(1e-9);
+    1.0 + opts.fault_prob * (1.0 + relaunch)
 }
 
 /// Algorithm 1's result for one stage.
@@ -259,9 +282,11 @@ fn get_min_par(
         .iter()
         .map(|&p| {
             let d = input.d_at(p as f64);
+            let pred = model.predict_time(d, p as f64);
             (
                 p,
                 spill_factor(input, p as f64, opts)
+                    * recovery_factor(p as f64, pred, opts)
                     * cost_with_baseline(
                         model,
                         opts.weights,
@@ -451,17 +476,12 @@ fn group_cost(
                 continue;
             };
             let weight = stage.multiplicity as f64 * t0.max(1e-6);
+            let p = scheme.partitions as f64;
+            let pred = model.predict_time(input.d_at(p), p);
             total += weight
-                * spill_factor(input, scheme.partitions as f64, opts)
-                * cost_with_baseline(
-                    &model,
-                    opts.weights,
-                    input.d_at(scheme.partitions as f64),
-                    scheme.partitions as f64,
-                    t0,
-                    s0,
-                    significance,
-                );
+                * spill_factor(input, p, opts)
+                * recovery_factor(p, pred, opts)
+                * cost_with_baseline(&model, opts.weights, input.d_at(p), p, t0, s0, significance);
             any = true;
         }
     }
@@ -828,6 +848,41 @@ mod tests {
         let rec2 = synth_record(&[1], vec![dag_stage(1, "s")], 0.005, 0.05);
         let par2 = get_stage_par(&rec2, 1, 4e8, &OptimizerOptions::default()).unwrap();
         assert_eq!(par2.kind, PartitionerKind::Hash);
+    }
+
+    #[test]
+    fn zero_fault_prob_leaves_the_plan_bit_identical() {
+        let rec = synth_record(&[1], vec![dag_stage(1, "s")], 0.02, 0.01);
+        let base = get_stage_par(&rec, 1, 4e8, &OptimizerOptions::default()).unwrap();
+        let opts = OptimizerOptions {
+            fault_prob: 0.0,
+            ..OptimizerOptions::default()
+        };
+        let same = get_stage_par(&rec, 1, 4e8, &opts).unwrap();
+        assert_eq!(base, same, "fault_prob = 0 must not perturb any cost");
+    }
+
+    #[test]
+    fn fault_prob_charges_recovery_and_penalizes_high_partition_counts() {
+        let rec = synth_record(&[1], vec![dag_stage(1, "s")], 0.02, 0.01);
+        let base = get_stage_par(&rec, 1, 4e8, &OptimizerOptions::default()).unwrap();
+        let opts = OptimizerOptions {
+            fault_prob: 0.5,
+            ..OptimizerOptions::default()
+        };
+        let faulted = get_stage_par(&rec, 1, 4e8, &opts).unwrap();
+        assert!(
+            faulted.cost > base.cost,
+            "expected retries must cost something: {} !> {}",
+            faulted.cost,
+            base.cost
+        );
+        assert!(
+            faulted.partitions <= base.partitions,
+            "relaunch overhead grows with P, so the optimum must not move up: {} !<= {}",
+            faulted.partitions,
+            base.partitions
+        );
     }
 
     #[test]

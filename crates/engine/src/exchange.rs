@@ -23,6 +23,15 @@
 //! recorded [`StageData`], performing the identical fetch accounting,
 //! simulated timing, cache persistence, metrics, and virtual-clock trace
 //! emission as the barrier engine.
+//!
+//! **Faults.** Fault injection and recovery live entirely in that replay
+//! (`exec_stage` applies due plan events at each stage boundary and
+//! perturbs only the simulated task specs), so a pipelined run survives
+//! the same fault plan as a barrier run with the same virtual-clock
+//! outcome. In simulated terms the pipeline's consumers are parked while
+//! a lost producer's map outputs are recomputed: the replay charges the
+//! recompute before any consumer fetch accounting for that shuffle, even
+//! though the host-side data plane already ran to completion up front.
 
 use crate::exec::{
     capture_arc, compute_task, run_chain_and_finish, Materialized, MergeKind, RootInput,

@@ -18,6 +18,7 @@ use crate::shuffle::{
 };
 use crate::stage::{plan_job, MaterializedInfo, Plan, PlanStage, SideDep, StageOutput, StageRoot};
 use blockstore::BlockStore;
+use faults::{FaultCounters, FaultPlan, NodeLoss, Straggler};
 use memman::{Disposition, EvictionPolicy, InsertOutcome, MemCounters, MemoryManager};
 use numeric::Reservoir;
 use simcluster::{ClusterSpec, NodeId, Simulation, TaskSpec};
@@ -82,6 +83,18 @@ pub struct EngineOptions {
     /// barrier engine, because eviction decisions are interleaved with
     /// stage execution.
     pub pipeline: bool,
+    /// Deterministic fault-injection plan. `None` (the default) runs
+    /// fault-free — the recovery hooks cost nothing. `Some(plan)` injects
+    /// the plan's task failures, node losses, stragglers, and
+    /// shuffle-chunk corruption, and enables the recovery machinery:
+    /// bounded task retry with exponential backoff, lineage recomputation
+    /// of lost shuffle map outputs, replica re-homing of cached
+    /// partitions, and scheduler blacklisting of lost nodes. Faults
+    /// perturb only the *simulated* side (timings, placements, the
+    /// virtual clock); results and metrics byte tables stay bit-identical
+    /// to the fault-free run. Mutually exclusive with `executor_mem` —
+    /// see [`EngineOptions::validate`].
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineOptions {
@@ -102,6 +115,7 @@ impl Default for EngineOptions {
             executor_mem: None,
             eviction_policy: EvictionPolicy::default(),
             pipeline: true,
+            faults: None,
         }
     }
 }
@@ -121,6 +135,38 @@ impl EngineOptions {
             .unwrap_or(1)
             .max(1);
         Some(mem / max_cores as u64)
+    }
+
+    /// Checks for malformed values and mutually exclusive combinations.
+    /// [`Context::new`] panics on an invalid set; the CLI calls this at
+    /// parse time so the user gets the message instead of a silent
+    /// fallback.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(m) = self.speculation {
+            if m.is_nan() || m <= 1.0 {
+                return Err(format!("speculation multiplier must be > 1, got {m}"));
+            }
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate(self.cluster.num_nodes())?;
+            if self.executor_mem.is_some() {
+                return Err(
+                    "--fault-plan cannot be combined with --executor-mem: fault \
+                     recovery re-homes data through the ungoverned store, while \
+                     governed runs interleave evictions with stage execution — \
+                     drop one of the two"
+                        .to_string(),
+                );
+            }
+            if plan.speculation.is_some() && self.speculation.is_some() {
+                return Err(
+                    "speculation is configured twice: both the fault plan and the \
+                     engine speculation option set a multiplier — remove one"
+                        .to_string(),
+                );
+            }
+        }
+        Ok(())
     }
 }
 
@@ -142,6 +188,55 @@ pub(crate) struct ShuffleData {
     pub(crate) bytes: Vec<Vec<u64>>,
     pub(crate) nodes: Vec<NodeId>,
     pub(crate) producer_gid: usize,
+    /// The producer stage's task specs, retained only while a fault plan
+    /// is active so that map outputs lost to a node failure can be
+    /// recomputed through lineage (empty otherwise).
+    pub(crate) specs: Vec<TaskSpec>,
+}
+
+/// Live state of a fault plan over a run: the not-yet-applied timed
+/// events, which nodes have been lost, and what the recovery machinery
+/// has done so far.
+struct FaultState {
+    plan: FaultPlan,
+    /// Node-loss events sorted by `(at, node)`; `next_loss` indexes the
+    /// first event still pending. Sorting makes application order
+    /// independent of the order events were written in the plan file.
+    losses: Vec<NodeLoss>,
+    next_loss: usize,
+    /// Slow-node events sorted by `(at, node)`.
+    stragglers: Vec<Straggler>,
+    next_straggler: usize,
+    /// Per-node lost flag; drives replica selection for source reads and
+    /// re-homing targets.
+    lost: Vec<bool>,
+    counters: FaultCounters,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, num_nodes: usize) -> Self {
+        let mut losses = plan.node_loss.clone();
+        losses.sort_by(|a, b| {
+            (a.at, a.node)
+                .partial_cmp(&(b.at, b.node))
+                .expect("finite event times")
+        });
+        let mut stragglers = plan.stragglers.clone();
+        stragglers.sort_by(|a, b| {
+            (a.at, a.node)
+                .partial_cmp(&(b.at, b.node))
+                .expect("finite event times")
+        });
+        FaultState {
+            plan,
+            losses,
+            next_loss: 0,
+            stragglers,
+            next_straggler: 0,
+            lost: vec![false; num_nodes],
+            counters: FaultCounters::default(),
+        }
+    }
 }
 
 /// The engine context: owns the lineage graph, the simulated cluster, the
@@ -168,13 +263,22 @@ pub struct Context {
     /// Cached reads already served per RDD, subtracted from the lineage
     /// child count to get *remaining* references for LRC.
     reads_done: HashMap<Rdd, usize>,
+    /// Fault-injection state (plan, pending events, recovery counters);
+    /// `None` when running fault-free.
+    faults: Option<FaultState>,
 }
 
 impl Context {
     /// Creates a context over the given options.
     pub fn new(options: EngineOptions) -> Self {
+        if let Err(msg) = options.validate() {
+            panic!("invalid engine options: {msg}");
+        }
         let mut sim = Simulation::with_trace_bucket(options.cluster.clone(), options.trace_bucket);
         if let Some(multiplier) = options.speculation {
+            sim.enable_speculation(multiplier);
+        }
+        if let Some(multiplier) = options.faults.as_ref().and_then(|p| p.speculation) {
             sim.enable_speculation(multiplier);
         }
         let store = Arc::new(BlockStore::with_config(
@@ -199,6 +303,10 @@ impl Context {
             options.executor_mem,
             options.eviction_policy,
         );
+        let faults = options
+            .faults
+            .clone()
+            .map(|plan| FaultState::new(plan, options.cluster.num_nodes()));
         Context {
             graph: RddGraph::new(),
             sim,
@@ -213,7 +321,18 @@ impl Context {
             mem,
             evicted_once: std::collections::BTreeSet::new(),
             reads_done: HashMap::new(),
+            faults,
         }
+    }
+
+    /// Snapshot of the fault-recovery counters (injected failures,
+    /// retries, recomputed map tasks, re-homed partitions). All zero when
+    /// no fault plan is installed.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map(|f| f.counters.clone())
+            .unwrap_or_default()
     }
 
     /// The persistent compute pool backing this context.
@@ -810,6 +929,17 @@ impl Context {
         pre: Option<crate::exchange::StageData>,
     ) -> (StageMetrics, Option<Vec<Record>>) {
         let num_tasks = self.stage_partitions(plan, stage).max(1);
+        // Fault plan: apply node-loss and slow-node events whose virtual
+        // time has passed before this stage reads any placement state, so
+        // preps see re-homed data and the scheduler sees the shrunk
+        // topology. Recovery (lineage recompute + replica re-homing) runs
+        // inside. Both engines share this path — the pipelined executor
+        // replays its virtual accounting through `exec_stage`, so its
+        // consumers are effectively parked while a lost producer's map
+        // outputs are recomputed here.
+        if self.faults.is_some() {
+            self.apply_due_faults(shuffles);
+        }
         let wide_cost = |wide: Rdd| self.graph.node(wide).cost_per_record;
         // Replay mode: the pipelined executor already did this stage's
         // data-plane work (compute + bucketize). This pass only replays the
@@ -851,11 +981,25 @@ impl Context {
                         } else {
                             0
                         };
+                        // Once a node is lost, prefer the deterministic
+                        // serving replica the block store selects over the
+                        // raw replica list (whose primary may be dead).
+                        let down: Option<Vec<bool>> = self
+                            .faults
+                            .as_ref()
+                            .filter(|f| f.counters.nodes_lost > 0)
+                            .map(|f| f.lost.clone());
                         for i in 0..num_tasks {
+                            let bi = i * blocks.len().max(1) / num_tasks;
                             let preferred = if blocks.is_empty() {
                                 Vec::new()
+                            } else if let Some(down) = &down {
+                                match self.store.select_replica(file, bi, down) {
+                                    Some(n) => vec![n],
+                                    None => Vec::new(),
+                                }
                             } else {
-                                blocks[i * blocks.len() / num_tasks].replicas.clone()
+                                blocks[bi].replicas.clone()
                             };
                             preps.push(TaskPrep {
                                 input: RootInput::Gen(Arc::clone(gen), i, num_tasks),
@@ -1227,8 +1371,21 @@ impl Context {
                 pinned_node: pinned,
             });
         }
+        let stage_faults = self.inject_task_faults(&mut specs, gid);
         let timing = self.sim.run_stage(&specs);
         let nodes: Vec<NodeId> = timing.tasks.iter().map(|t| t.node).collect();
+        if let Some((retried, failures, corrupt)) = stage_faults {
+            self.emit_fault_event(
+                &format!("j{job_id}.s{gid} retries"),
+                "retry",
+                vec![
+                    ("stage", (gid as u64).into()),
+                    ("retried_tasks", retried.into()),
+                    ("injected_failures", failures.into()),
+                    ("corrupt_chunks", corrupt.into()),
+                ],
+            );
+        }
 
         // Anchor co-partitioned indices for subsequent same-scheme stages.
         if self.options.copartition_scheduling {
@@ -1319,6 +1476,11 @@ impl Context {
                     bytes,
                     nodes: nodes.clone(),
                     producer_gid: gid,
+                    specs: if self.faults.is_some() {
+                        specs.clone()
+                    } else {
+                        Vec::new()
+                    },
                 });
             }
             StageOutput::Result => {
@@ -1665,6 +1827,304 @@ impl Context {
             cat,
             self.sim.clock(),
             vec![("bytes", bytes.into()), ("refs", ev.refs.into())],
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & recovery
+    // ------------------------------------------------------------------
+
+    /// Applies every fault-plan event whose virtual time has passed:
+    /// slow-node multipliers and node losses. A lost node is blacklisted
+    /// in the simulation — subsequent stages schedule around it — and its
+    /// data is recovered via [`Context::recover_lost_node`].
+    fn apply_due_faults(&mut self, shuffles: &mut [Option<ShuffleData>]) {
+        let now = self.sim.clock();
+        let (due_slow, due_lost) = {
+            let Some(fs) = self.faults.as_mut() else {
+                return;
+            };
+            let mut slow = Vec::new();
+            while fs.next_straggler < fs.stragglers.len()
+                && fs.stragglers[fs.next_straggler].at <= now
+            {
+                let s = fs.stragglers[fs.next_straggler];
+                fs.next_straggler += 1;
+                if !fs.lost[s.node] {
+                    fs.counters.stragglers_applied += 1;
+                    slow.push(s);
+                }
+            }
+            let mut lost = Vec::new();
+            while fs.next_loss < fs.losses.len() && fs.losses[fs.next_loss].at <= now {
+                let l = fs.losses[fs.next_loss];
+                fs.next_loss += 1;
+                if !fs.lost[l.node] {
+                    fs.lost[l.node] = true;
+                    fs.counters.nodes_lost += 1;
+                    lost.push(l.node);
+                }
+            }
+            (slow, lost)
+        };
+        for s in due_slow {
+            self.sim.set_slowdown(s.node, s.factor);
+            self.emit_fault_event(
+                &format!("slow node {}", s.node),
+                "straggler",
+                vec![("node", s.node.into()), ("factor", s.factor.into())],
+            );
+        }
+        for node in due_lost {
+            self.sim.fail_node(node);
+            self.emit_fault_event(
+                &format!("node {node} lost"),
+                "node-loss",
+                vec![("node", node.into())],
+            );
+            self.recover_lost_node(node, shuffles);
+        }
+    }
+
+    /// Recovers the data that died with `node`, replicas first, recompute
+    /// second: cached partitions re-home to surviving nodes at
+    /// replica-read disk cost (their host-side `Arc`s never left driver
+    /// memory, so results are untouched), while lost shuffle map outputs
+    /// — which have no replicas — are recomputed through lineage by
+    /// re-running their retained task specs on the surviving topology.
+    /// Only placements and the virtual clock change.
+    fn recover_lost_node(&mut self, node: NodeId, shuffles: &mut [Option<ShuffleData>]) {
+        let down: Vec<bool> = self
+            .faults
+            .as_ref()
+            .expect("fault state present during recovery")
+            .lost
+            .clone();
+        let num_nodes = self.options.cluster.num_nodes();
+        // Survivors ordered by node id: re-home targets round-robin over
+        // this list so recovery is deterministic regardless of map
+        // iteration order and balanced across the shrunk cluster.
+        let survivors: Vec<NodeId> = (0..num_nodes).filter(|&n| !down[n]).collect();
+        assert!(
+            !survivors.is_empty(),
+            "fault plan validated to keep a survivor"
+        );
+
+        // Cached partitions, in RDD-id order for determinism.
+        let mut moves: Vec<(Rdd, usize, u64)> = Vec::new();
+        let mut rdds: Vec<Rdd> = self.materialized.keys().copied().collect();
+        rdds.sort_by_key(|r| r.0);
+        for rdd in rdds {
+            let mat = &self.materialized[&rdd];
+            for i in 0..mat.homes.len() {
+                if mat.homes[i] == node {
+                    moves.push((rdd, i, batch_size(&mat.parts[i])));
+                }
+            }
+        }
+        if !moves.is_empty() {
+            let mut replica_read = vec![0u64; num_nodes];
+            let mut moved_bytes = 0u64;
+            for (k, &(rdd, i, bytes)) in moves.iter().enumerate() {
+                let new_home = survivors[k % survivors.len()];
+                let spilled = {
+                    let mat = self.materialized.get_mut(&rdd).expect("key just listed");
+                    mat.homes[i] = new_home;
+                    mat.spilled
+                };
+                if !spilled {
+                    self.sim.release_resident(node, bytes);
+                    self.sim.add_resident(new_home, bytes);
+                }
+                replica_read[new_home] += bytes;
+                moved_bytes += bytes;
+            }
+            self.sim.charge_disk_io(&replica_read, false);
+            let fs = self.faults.as_mut().expect("fault state present");
+            fs.counters.replica_rehomed_partitions += moves.len() as u64;
+            fs.counters.replica_read_bytes += moved_bytes;
+            self.emit_fault_event(
+                &format!("re-home {} cached partitions", moves.len()),
+                "rehome",
+                vec![
+                    ("node", node.into()),
+                    ("partitions", moves.len().into()),
+                    ("bytes", moved_bytes.into()),
+                ],
+            );
+        }
+
+        // Lost shuffle map outputs: recompute only the missing partitions.
+        let mut total_recomputed = 0u64;
+        for sdata in shuffles.iter_mut() {
+            let Some(data) = sdata else { continue };
+            if data.specs.is_empty() {
+                continue;
+            }
+            let lost_idx: Vec<usize> = data
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n == node)
+                .map(|(m, _)| m)
+                .collect();
+            if lost_idx.is_empty() {
+                continue;
+            }
+            let respecs: Vec<TaskSpec> = lost_idx
+                .iter()
+                .map(|&m| {
+                    let mut sp = data.specs[m].clone();
+                    if sp.pinned_node == Some(node) {
+                        sp.pinned_node = None;
+                    }
+                    sp
+                })
+                .collect();
+            let timing = self.sim.run_stage(&respecs);
+            for (j, &m) in lost_idx.iter().enumerate() {
+                data.nodes[m] = timing.tasks[j].node;
+            }
+            total_recomputed += lost_idx.len() as u64;
+            let producer = data.producer_gid;
+            self.emit_fault_span(
+                &format!("recompute s{producer}"),
+                "recompute",
+                timing.start,
+                timing.end,
+                vec![
+                    ("stage", producer.into()),
+                    ("map_tasks", lost_idx.len().into()),
+                ],
+            );
+        }
+        if total_recomputed > 0 {
+            let fs = self.faults.as_mut().expect("fault state present");
+            fs.counters.recomputed_map_tasks += total_recomputed;
+        }
+    }
+
+    /// Applies per-task fault draws to the freshly built task specs:
+    /// failed attempts re-charge the task's full compute cost plus an
+    /// exponential backoff, and corrupt shuffle chunks are fetched twice.
+    /// Only the *simulated* specs change — the host data plane and every
+    /// metrics byte table are built from `preps`, which is what keeps
+    /// faulted runs bit-identical in results to fault-free ones. Returns
+    /// `(retried_tasks, injected_failures, corrupt_chunks)` for this
+    /// stage when anything was injected.
+    fn inject_task_faults(
+        &mut self,
+        specs: &mut [TaskSpec],
+        gid: usize,
+    ) -> Option<(u64, u64, u64)> {
+        // Backoff is virtual wall-time, but compute cost is divided by
+        // node speed at placement; convert at the fastest node's speed so
+        // the charged wait is at least the configured backoff anywhere.
+        let ref_speed = self
+            .options
+            .cluster
+            .nodes
+            .iter()
+            .map(|n| n.speed)
+            .fold(1.0f64, f64::max);
+        let fs = self.faults.as_mut()?;
+        let FaultState { plan, counters, .. } = fs;
+        if plan.task_fail_prob <= 0.0 && plan.corrupt_prob <= 0.0 {
+            return None;
+        }
+        let mut retried = 0u64;
+        let mut failures_total = 0u64;
+        let mut corrupt = 0u64;
+        for (i, spec) in specs.iter_mut().enumerate() {
+            let attempts = plan.attempts(gid as u64, i as u64);
+            let failures = attempts - 1;
+            if failures > 0 {
+                let backoff = plan.backoff(failures);
+                spec.compute_cost = spec.compute_cost * attempts as f64 + backoff * ref_speed;
+                counters.injected_failures += failures as u64;
+                counters.retried_tasks += 1;
+                counters.backoff_s += backoff;
+                if failures == plan.max_task_retries {
+                    counters.exhausted_retries += 1;
+                }
+                retried += 1;
+                failures_total += failures as u64;
+            }
+            if plan.corrupt_prob > 0.0 {
+                // Draw per original fetch entry; a corrupt chunk is
+                // detected on arrival and fetched again from its source.
+                let original = spec.fetches.len();
+                for ci in 0..original {
+                    let (src, bytes) = spec.fetches[ci];
+                    if bytes > 0 && plan.corrupt_chunk(gid as u64, i as u64, ci as u64) {
+                        spec.fetches.push((src, bytes));
+                        spec.fetch_chunks += 1;
+                        counters.corrupt_chunks += 1;
+                        counters.refetched_bytes += bytes;
+                        corrupt += 1;
+                    }
+                }
+            }
+        }
+        if retried + corrupt > 0 {
+            Some((retried, failures_total, corrupt))
+        } else {
+            None
+        }
+    }
+
+    /// Emits an instant on the fault-recovery trace lane.
+    fn emit_fault_event(
+        &self,
+        name: &str,
+        cat: &'static str,
+        args: Vec<(&'static str, trace::ArgValue)>,
+    ) {
+        let sink = &self.options.trace;
+        if !sink.is_enabled() {
+            return;
+        }
+        use trace::{pids, Clock, Track};
+        let track = Track::new(pids::DRIVER, 3);
+        if !sink.has_thread_name(track) {
+            sink.name_thread(track, "fault recovery");
+        }
+        sink.instant(
+            Clock::Virtual,
+            track,
+            name.to_string(),
+            cat,
+            self.sim.clock(),
+            args,
+        );
+    }
+
+    /// Emits a span on the fault-recovery trace lane.
+    fn emit_fault_span(
+        &self,
+        name: &str,
+        cat: &'static str,
+        start_s: f64,
+        end_s: f64,
+        args: Vec<(&'static str, trace::ArgValue)>,
+    ) {
+        let sink = &self.options.trace;
+        if !sink.is_enabled() {
+            return;
+        }
+        use trace::{pids, Clock, Track};
+        let track = Track::new(pids::DRIVER, 3);
+        if !sink.has_thread_name(track) {
+            sink.name_thread(track, "fault recovery");
+        }
+        sink.span(
+            Clock::Virtual,
+            track,
+            name.to_string(),
+            cat,
+            start_s,
+            end_s,
+            args,
         );
     }
 }
@@ -2644,5 +3104,164 @@ mod tests {
         let out = ctx.collect(src, "reuse");
         assert_eq!(out.len(), 200);
         assert_eq!(ctx.mem_counters().released, 0, "manager is inert");
+    }
+
+    /// Runs cache + shuffle jobs under the given options and returns the
+    /// collected results plus the full job-metrics debug rendering.
+    fn fault_probe(opts: EngineOptions) -> (Vec<Record>, Vec<Record>, String, Context) {
+        let mut ctx = Context::new(opts);
+        let data: Vec<Record> = (0..20_000)
+            .map(|i| Record::new(Key::Int(i % 10), Value::Int(1)))
+            .collect();
+        let src = ctx.parallelize(data, 12, "src");
+        let slow = ctx.map(src, Arc::new(|r: &Record| r.clone()), 2e-4, "slow");
+        ctx.cache(slow);
+        ctx.count(slow, "materialize");
+        let counts = ctx.reduce_by_key(slow, sum(), None, 1e-6, "count");
+        let first = sorted(ctx.collect(counts, "first"));
+        // Reuse the cache after any injected loss to exercise re-homing.
+        let counts2 = ctx.reduce_by_key(slow, sum(), None, 1e-6, "again");
+        let second = sorted(ctx.collect(counts2, "second"));
+        let jobs = format!("{:?}", ctx.jobs());
+        (first, second, jobs, ctx)
+    }
+
+    #[test]
+    fn inert_fault_plan_is_bit_identical_to_no_plan() {
+        let (base_a, base_b, base_jobs, base_ctx) = fault_probe(test_options());
+        let mut opts = test_options();
+        opts.faults = Some(FaultPlan::default());
+        let (a, b, jobs, ctx) = fault_probe(opts);
+        assert_eq!(base_a, a);
+        assert_eq!(base_b, b);
+        assert_eq!(base_jobs, jobs, "an all-zero plan must not perturb metrics");
+        assert_eq!(ctx.fault_counters(), FaultCounters::default());
+        assert_eq!(base_ctx.fault_counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn task_retries_slow_the_job_but_preserve_results() {
+        let (base_a, base_b, _, base_ctx) = fault_probe(test_options());
+        let mut opts = test_options();
+        opts.faults = Some(FaultPlan {
+            task_fail_prob: 0.3,
+            ..FaultPlan::default()
+        });
+        let (a, b, _, ctx) = fault_probe(opts);
+        assert_eq!(base_a, a, "retries must not change results");
+        assert_eq!(base_b, b);
+        let counters = ctx.fault_counters();
+        assert!(counters.retried_tasks > 0, "30% failure rate must retry");
+        assert!(counters.injected_failures >= counters.retried_tasks);
+        let base_t: f64 = base_ctx.jobs().iter().map(|j| j.duration()).sum();
+        let t: f64 = ctx.jobs().iter().map(|j| j.duration()).sum();
+        assert!(
+            t > base_t,
+            "re-run attempts cost virtual time: {t} !> {base_t}"
+        );
+    }
+
+    #[test]
+    fn shuffle_corruption_is_refetched_not_propagated() {
+        let (base_a, base_b, _, _) = fault_probe(test_options());
+        let mut opts = test_options();
+        opts.faults = Some(FaultPlan {
+            corrupt_prob: 0.4,
+            ..FaultPlan::default()
+        });
+        let (a, b, _, ctx) = fault_probe(opts);
+        assert_eq!(base_a, a);
+        assert_eq!(base_b, b);
+        let counters = ctx.fault_counters();
+        assert!(counters.corrupt_chunks > 0, "40% corruption must trigger");
+        assert!(counters.refetched_bytes > 0);
+    }
+
+    #[test]
+    fn node_loss_recovers_cached_and_shuffle_data() {
+        // Time the loss into the middle of the first shuffle job's map
+        // stage (fault-free timings are deterministic): it is then applied
+        // at the reduce-stage boundary, after map outputs and the cached
+        // RDD landed on the doomed node.
+        let (base_a, base_b, _, base_ctx) = fault_probe(test_options());
+        let map_stage = &base_ctx.jobs()[1].stages[0];
+        let at = 0.5 * (map_stage.start + map_stage.end);
+        let mut opts = test_options();
+        opts.faults = Some(FaultPlan {
+            node_loss: vec![NodeLoss { node: 0, at }],
+            ..FaultPlan::default()
+        });
+        let (a, b, _, ctx) = fault_probe(opts);
+        assert_eq!(base_a, a, "recovery must reproduce the shuffle results");
+        assert_eq!(base_b, b, "re-homed cache must serve identical data");
+        let counters = ctx.fault_counters();
+        assert_eq!(counters.nodes_lost, 1);
+        assert!(
+            counters.recomputed_map_tasks > 0,
+            "some map outputs lived on node 0 and must be recomputed: {counters:?}"
+        );
+        assert!(
+            counters.replica_rehomed_partitions > 0,
+            "some cached partitions lived on node 0 and must re-home: {counters:?}"
+        );
+        let base_t = base_ctx.jobs()[1].duration();
+        let t = ctx.jobs()[1].duration();
+        assert!(
+            t > base_t,
+            "recompute plus a shrunk cluster costs time: {t} !> {base_t}"
+        );
+    }
+
+    #[test]
+    fn stragglers_and_plan_speculation_preserve_results() {
+        let (base_a, base_b, _, _) = fault_probe(test_options());
+        let mut opts = test_options();
+        opts.faults = Some(FaultPlan {
+            stragglers: vec![Straggler {
+                node: 1,
+                factor: 4.0,
+                at: 0.0,
+            }],
+            speculation: Some(1.5),
+            ..FaultPlan::default()
+        });
+        let (a, b, _, ctx) = fault_probe(opts);
+        assert_eq!(base_a, a);
+        assert_eq!(base_b, b);
+        assert_eq!(ctx.fault_counters().stragglers_applied, 1);
+    }
+
+    #[test]
+    fn fault_options_conflicts_are_rejected() {
+        let mut opts = test_options();
+        opts.faults = Some(FaultPlan::default());
+        opts.executor_mem = Some(1 << 30);
+        let err = opts.validate().unwrap_err();
+        assert!(err.contains("--executor-mem"), "got: {err}");
+
+        let mut opts = test_options();
+        opts.faults = Some(FaultPlan {
+            speculation: Some(1.5),
+            ..FaultPlan::default()
+        });
+        opts.speculation = Some(2.0);
+        let err = opts.validate().unwrap_err();
+        assert!(err.contains("twice"), "got: {err}");
+
+        let mut opts = test_options();
+        opts.faults = Some(FaultPlan {
+            node_loss: vec![NodeLoss { node: 9, at: 1.0 }],
+            ..FaultPlan::default()
+        });
+        assert!(opts.validate().is_err(), "out-of-range node must fail");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid engine options")]
+    fn context_refuses_invalid_fault_options() {
+        let mut opts = test_options();
+        opts.faults = Some(FaultPlan::default());
+        opts.executor_mem = Some(1 << 30);
+        Context::new(opts);
     }
 }

@@ -58,6 +58,7 @@ pub mod stage;
 
 pub use config::WorkloadConf;
 pub use exec::{Context, EngineOptions};
+pub use faults::{FaultCounters, FaultPlan, NodeLoss, Straggler};
 pub use memman::{EvictionPolicy, MemCounters};
 pub use metrics::{JobMetrics, StageKind, StageMetrics};
 pub use ops::{FilterFn, FlatMapFn, GenFn, MapFn, OpKind, ReduceFn};

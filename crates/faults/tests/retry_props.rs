@@ -1,0 +1,69 @@
+//! Property tests for the retry bookkeeping: however the seed, failure
+//! probability, and retry budget are chosen, a task never makes more than
+//! `max_task_retries + 1` attempts, and the draws are pure functions of
+//! their coordinates.
+
+use faults::FaultPlan;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn attempts_never_exceed_budget(
+        seed in any::<u64>(),
+        prob in 0.0f64..1.0,
+        max_retries in 0u32..8,
+        stage in 0u64..64,
+        task in 0u64..512,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            task_fail_prob: prob,
+            max_task_retries: max_retries,
+            ..FaultPlan::default()
+        };
+        let attempts = plan.attempts(stage, task);
+        prop_assert!(attempts >= 1);
+        prop_assert!(
+            attempts <= max_retries + 1,
+            "attempts {} exceeded budget {} + 1",
+            attempts,
+            max_retries
+        );
+    }
+
+    #[test]
+    fn attempts_are_replayable(
+        seed in any::<u64>(),
+        prob in 0.0f64..1.0,
+        stage in 0u64..64,
+        task in 0u64..512,
+    ) {
+        let plan = FaultPlan { seed, task_fail_prob: prob, ..FaultPlan::default() };
+        prop_assert_eq!(plan.attempts(stage, task), plan.attempts(stage, task));
+    }
+
+    #[test]
+    fn zero_probability_means_one_attempt(
+        seed in any::<u64>(),
+        stage in 0u64..64,
+        task in 0u64..512,
+    ) {
+        let plan = FaultPlan { seed, task_fail_prob: 0.0, ..FaultPlan::default() };
+        prop_assert_eq!(plan.attempts(stage, task), 1);
+        prop_assert!(!plan.corrupt_chunk(stage, task, 0));
+    }
+
+    #[test]
+    fn backoff_is_monotone(
+        backoff in 0.0f64..10.0,
+        failures in 0u32..10,
+    ) {
+        let plan = FaultPlan { retry_backoff_s: backoff, ..FaultPlan::default() };
+        prop_assert!(plan.backoff(failures) <= plan.backoff(failures + 1));
+        if failures > 0 && backoff > 0.0 {
+            prop_assert!(plan.backoff(failures) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Fault injection must never change what a workload computes. For every
+//! paper workload and every shipped fault plan, a faulted run must
+//! produce the same results and the same placement-independent byte
+//! tables as the fault-free run — only simulated timings, placements,
+//! and the recovery trace may differ. On top of that, faulted execution
+//! itself must stay deterministic: the same plan and seed must replay
+//! the same injected faults and the same virtual-clock trace across
+//! pipeline on/off and any host worker count.
+
+use chopper::Workload;
+use engine::{ClockFilter, Context, EngineOptions, FaultPlan, NodeLoss, TraceSink, WorkloadConf};
+use simcluster::uniform_cluster;
+use std::fmt::Write as _;
+use workloads::{KMeans, KMeansConfig, LogReg, LogRegConfig, Pca, PcaConfig, Sql, SqlConfig};
+
+const SMOKE: &str = include_str!("../../../plans/plan_smoke.plan");
+const LOSSY: &str = include_str!("../../../plans/plan_lossy.plan");
+
+fn plan(text: &str) -> FaultPlan {
+    FaultPlan::from_text(text).expect("shipped plan parses")
+}
+
+fn small_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(KMeans::new(KMeansConfig::small())),
+        Box::new(Pca::new(PcaConfig::small())),
+        Box::new(Sql::new(SqlConfig::small())),
+        Box::new(LogReg::new(LogRegConfig::small())),
+    ]
+}
+
+fn options(pipeline: bool, workers: usize, faults: Option<FaultPlan>) -> EngineOptions {
+    EngineOptions {
+        cluster: uniform_cluster(3, 4, 2.0),
+        default_parallelism: 8,
+        workers,
+        trace: TraceSink::enabled(),
+        pipeline,
+        faults,
+        ..EngineOptions::default()
+    }
+}
+
+fn run(w: &dyn Workload, pipeline: bool, workers: usize, faults: Option<FaultPlan>) -> Context {
+    w.run(
+        &options(pipeline, workers, faults),
+        &WorkloadConf::new(),
+        1.0,
+    )
+}
+
+/// The placement- and timing-independent view of a finished run: job and
+/// stage structure plus every byte/record table. This is exactly the set
+/// of quantities a fault plan must not move — durations, placements, and
+/// remote-read splits legitimately change under faults.
+fn byte_table(ctx: &Context) -> String {
+    let mut s = String::new();
+    for j in ctx.jobs() {
+        writeln!(s, "job {} ({} stages)", j.name, j.stages.len()).unwrap();
+        for m in &j.stages {
+            writeln!(
+                s,
+                "  {} kind={:?} tasks={} in={}r/{}B out={}r/{}B shuffle_r={}B shuffle_w={}B",
+                m.name,
+                m.kind,
+                m.num_tasks,
+                m.input_records,
+                m.input_bytes,
+                m.output_records,
+                m.output_bytes,
+                m.shuffle_read_bytes,
+                m.shuffle_write_bytes
+            )
+            .unwrap();
+        }
+    }
+    s
+}
+
+/// Everything virtual-clock observable, for faulted-vs-faulted bit
+/// comparisons (same plan, different engine mode / worker count).
+fn virtual_view(ctx: &Context) -> (String, String) {
+    (
+        format!("{:?}", ctx.all_stages()),
+        ctx.trace_sink()
+            .chrome_json_filtered(ClockFilter::VirtualOnly),
+    )
+}
+
+/// Shared matrix check for one shipped plan: every faulted configuration
+/// must (a) match the fault-free run's byte tables and (b) be bit-equal
+/// to the faulted reference on every virtual-clock observable.
+fn assert_plan_equivalent(text: &str) {
+    let p = plan(text);
+    for w in small_workloads() {
+        let clean = byte_table(&run(w.as_ref(), false, 1, None));
+        let reference = run(w.as_ref(), false, 1, Some(p.clone()));
+        assert_eq!(
+            clean,
+            byte_table(&reference),
+            "{}: faults changed a byte table",
+            w.name()
+        );
+        let (ref_stages, ref_trace) = virtual_view(&reference);
+        assert!(!ref_trace.is_empty(), "{}: no trace events", w.name());
+        for workers in [1, 8] {
+            for pipeline in [false, true] {
+                if !pipeline && workers == 1 {
+                    continue; // that's the reference itself
+                }
+                let what = format!("{}: pipeline {pipeline}, workers {workers}", w.name());
+                let got = run(w.as_ref(), pipeline, workers, Some(p.clone()));
+                assert_eq!(clean, byte_table(&got), "{what}: byte table diverged");
+                let (stages, trace) = virtual_view(&got);
+                assert_eq!(ref_stages, stages, "{what}: stage metrics diverged");
+                assert_eq!(ref_trace, trace, "{what}: virtual trace diverged");
+                assert_eq!(
+                    reference.fault_counters(),
+                    got.fault_counters(),
+                    "{what}: injected faults diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_smoke_preserves_results_across_modes_and_workers() {
+    assert_plan_equivalent(SMOKE);
+}
+
+#[test]
+fn plan_smoke_injects_retries_and_corruption() {
+    let p = plan(SMOKE);
+    let ctx = run(&Sql::new(SqlConfig::small()), true, 8, Some(p));
+    let fc = ctx.fault_counters();
+    assert!(fc.retried_tasks > 0, "8% failure rate must retry: {fc:?}");
+    assert!(fc.corrupt_chunks > 0, "3% corruption must trigger: {fc:?}");
+    assert_eq!(fc.stragglers_applied, 1);
+    assert_eq!(fc.nodes_lost, 0);
+}
+
+#[test]
+fn plan_lossy_preserves_results_across_modes_and_workers() {
+    assert_plan_equivalent(LOSSY);
+}
+
+#[test]
+fn plan_lossy_blacklists_the_node_on_every_workload() {
+    let p = plan(LOSSY);
+    for w in small_workloads() {
+        let ctx = run(w.as_ref(), false, 1, Some(p.clone()));
+        let fc = ctx.fault_counters();
+        assert_eq!(fc.nodes_lost, 1, "{}: {fc:?}", w.name());
+        assert!(fc.retried_tasks > 0, "{}: {fc:?}", w.name());
+    }
+}
+
+#[test]
+fn plan_lossy_mid_shuffle_recomputes_lost_map_outputs() {
+    // Derive a loss time inside the last shuffle-producing stage from the
+    // fault-free timeline, so the loss is applied at the consumer's stage
+    // boundary while the producer's map outputs are still live — forcing
+    // lineage recomputation rather than mere rescheduling.
+    for w in small_workloads() {
+        let clean = run(w.as_ref(), false, 1, None);
+        let clean_table = byte_table(&clean);
+        let target = clean
+            .jobs()
+            .iter()
+            .flat_map(|j| j.stages.iter())
+            .rfind(|s| s.shuffle_write_bytes > 0)
+            .unwrap_or_else(|| panic!("{}: no shuffle-writing stage", w.name()));
+        let at = 0.5 * (target.start + target.end);
+        // Lose node 0: with 8 tasks on a 3×4-core cluster the scheduler
+        // packs nodes 0 and 1, so node 0 always holds map outputs.
+        let p = FaultPlan {
+            node_loss: vec![NodeLoss { node: 0, at }],
+            ..FaultPlan::default()
+        };
+        let ctx = run(w.as_ref(), false, 1, Some(p));
+        let fc = ctx.fault_counters();
+        assert_eq!(fc.nodes_lost, 1, "{}: {fc:?}", w.name());
+        assert!(
+            fc.recomputed_map_tasks > 0,
+            "{}: map outputs on node 0 at t={at:.2} must be recomputed: {fc:?}",
+            w.name()
+        );
+        assert_eq!(
+            clean_table,
+            byte_table(&ctx),
+            "{}: recovery changed a byte table",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn invariants_inert_plan_is_bit_identical_to_no_plan() {
+    let inert = FaultPlan::default();
+    assert!(inert.is_inert());
+    for w in small_workloads() {
+        let clean = run(w.as_ref(), true, 2, None);
+        let faulted = run(w.as_ref(), true, 2, Some(inert.clone()));
+        let (clean_stages, clean_trace) = virtual_view(&clean);
+        let (stages, trace) = virtual_view(&faulted);
+        assert_eq!(
+            clean_stages,
+            stages,
+            "{}: inert plan moved metrics",
+            w.name()
+        );
+        assert_eq!(
+            clean_trace,
+            trace,
+            "{}: inert plan moved the trace",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn invariants_speculation_never_double_counts_shuffle_bytes() {
+    // A straggler plus speculative re-execution must not inflate any
+    // shuffle byte table: speculative copies race, but only the winner's
+    // output is committed.
+    let straggler_only = FaultPlan::from_text("seed 9\nslow-node 1 6 1\n").unwrap();
+    let with_speculation =
+        FaultPlan::from_text("seed 9\nslow-node 1 6 1\nspeculation 1.5\n").unwrap();
+    for w in small_workloads() {
+        let base = run(w.as_ref(), false, 2, Some(straggler_only.clone()));
+        let spec = run(w.as_ref(), false, 2, Some(with_speculation.clone()));
+        assert_eq!(
+            byte_table(&base),
+            byte_table(&spec),
+            "{}: speculation changed a byte table",
+            w.name()
+        );
+    }
+}
