@@ -90,7 +90,10 @@ pub fn seed_bucketize(
     let bytes = buckets.iter().map(|b| batch_size(b)).collect();
     (
         TaskBuckets {
-            buckets: buckets.into_iter().map(Arc::new).collect(),
+            buckets: buckets
+                .into_iter()
+                .map(|b| engine::shuffle::Bucket::Rows(Arc::new(b)))
+                .collect(),
             bytes,
         },
         combine_ops,
@@ -367,6 +370,47 @@ mod tests {
                 assert_eq!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn columnar_kernels_match_row_kernels() {
+        use engine::shuffle::{bucketize_columnar, bucketize_in, Bucket, TaskArena};
+        use engine::{concat_int_batches, run_int_chain, ColumnBatch, IntOp};
+
+        let input = data(2000);
+        // Vectorized fused chain vs the row streaming pass.
+        let batch = ColumnBatch::from_records(&input);
+        let int_ops = vec![
+            IntOp::Filter(Box::new(|v: i64| v % 3 != 0)),
+            IntOp::Map(Box::new(|v: i64| v * 2)),
+        ];
+        let row_ops = chain();
+        assert_eq!(
+            run_int_chain(&batch, &int_ops).unwrap().to_records(),
+            fused_chain(&input, &row_ops)
+        );
+
+        // Per-batch bucketize vs the row loop, buckets and byte tables.
+        let part = engine::HashPartitioner::new(16);
+        let mut arena_row = TaskArena::default();
+        let mut arena_col = TaskArena::default();
+        let (rb, row_ops_count) = bucketize_in(&input, &part, None, &mut arena_row);
+        let (cb, col_ops_count) = bucketize_columnar(&input, &part, &mut arena_col).unwrap();
+        assert_eq!(row_ops_count, col_ops_count);
+        assert_eq!(rb.bytes, cb.bytes);
+        assert_eq!(rb.buckets, cb.buckets);
+
+        // Slice-shipping concat vs cloning records out of row buckets.
+        let col_parts: Vec<ColumnBatch> = cb
+            .buckets
+            .iter()
+            .map(|b| match b {
+                Bucket::Cols(c) => c.clone(),
+                Bucket::Rows(_) => unreachable!("columnar bucketize emits batches"),
+            })
+            .collect();
+        let cloned: Vec<Record> = rb.buckets.iter().flat_map(|b| b.to_vec()).collect();
+        assert_eq!(concat_int_batches(&col_parts).unwrap().to_records(), cloned);
     }
 
     #[test]

@@ -12,7 +12,7 @@ chopper-cli — CHOPPER auto-partitioning (CLUSTER 2016 reproduction)
 
 commands:
   run      --workload kmeans|pca|sql|logreg [--scale F] [--partitions N]
-           [--copartition] [--gantt] [--conf FILE] [--pipeline on|off]
+           [--copartition] [--gantt] [--conf FILE] [--pipeline on|off] [--batch on|off]
            [--cluster paper|uniform:N,C,GHz] [--executor-mem SIZE]
            [--fault-plan FILE] [--fault-seed N]
   tune     --workload W --db FILE [--out-conf FILE]
@@ -120,6 +120,11 @@ fn engine_opts(args: &Args) -> Result<EngineOptions, String> {
         Some("off") => false,
         Some(other) => return Err(format!("bad --pipeline '{other}' (expected on|off)")),
     };
+    let batch = match args.get("batch") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("bad --batch '{other}' (expected on|off)")),
+    };
     // An explicit `--pipeline on` cannot be honored under governed
     // memory (the engine would silently fall back to the barrier path);
     // reject the combination instead of surprising the user.
@@ -137,6 +142,7 @@ fn engine_opts(args: &Args) -> Result<EngineOptions, String> {
         copartition_scheduling: args.has("copartition"),
         executor_mem,
         pipeline,
+        batch,
         faults: fault_plan(args)?,
         ..EngineOptions::default()
     };
@@ -517,6 +523,18 @@ mod tests {
             Ok(_) => panic!("bad --pipeline value must be rejected"),
         };
         assert!(err.contains("--pipeline"));
+    }
+
+    #[test]
+    fn batch_flag_parses_on_off() {
+        assert!(engine_opts(&args(&["run"])).unwrap().batch);
+        assert!(engine_opts(&args(&["run", "--batch", "on"])).unwrap().batch);
+        assert!(!engine_opts(&args(&["run", "--batch", "off"])).unwrap().batch);
+        let err = match engine_opts(&args(&["run", "--batch", "maybe"])) {
+            Err(e) => e,
+            Ok(_) => panic!("bad --batch value must be rejected"),
+        };
+        assert!(err.contains("--batch"));
     }
 
     #[test]

@@ -43,8 +43,8 @@ use crate::pool::WorkerPool;
 use crate::rdd::{Rdd, RddGraph};
 use crate::record::{batch_size, Key, Record};
 use crate::shuffle::{
-    bucketize_in, bucketize_owned_in, CogroupMerge, ConcatMerge, GroupMerge, JoinMerge,
-    ReduceMerge, TaskArena, TaskBuckets,
+    bucketize_columnar, bucketize_in, bucketize_owned_in, Bucket, CogroupMerge, ConcatMerge,
+    GroupMerge, JoinMerge, ReduceMerge, TaskArena, TaskBuckets,
 };
 use crate::stage::{Plan, SideDep, StageOutput, StageRoot};
 use std::any::Any;
@@ -92,6 +92,9 @@ pub(crate) struct PipelineInput<'a> {
     pub(crate) pool: &'a WorkerPool,
     pub(crate) job_id: usize,
     pub(crate) trace: &'a TraceSink,
+    /// Columnar data plane enabled (`EngineOptions::batch`): combine-free
+    /// shuffle writes publish batch slices instead of cloned row vectors.
+    pub(crate) batch: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -112,8 +115,9 @@ struct Exchange {
 }
 
 struct ExInner {
-    /// `rows[map_task][reduce_partition]`, `None` until published.
-    rows: Vec<Option<Vec<Arc<Vec<Record>>>>>,
+    /// `rows[map_task][reduce_partition]`, `None` until published. Buckets
+    /// are row vectors or columnar batch slices, per the producer's layout.
+    rows: Vec<Option<Vec<Bucket>>>,
     /// Serialized bytes per published bucket, same shape.
     bytes: Vec<Option<Vec<u64>>>,
     /// Length of the contiguous published prefix: buckets of map tasks
@@ -139,18 +143,22 @@ impl Exchange {
     }
 }
 
-/// A consumed bucket: owned when this exchange has a single consuming stage
-/// (the merge can move the records), shared otherwise.
-enum Bucket {
+/// A consumed bucket: row records owned outright when this exchange has a
+/// single consuming stage (the merge can move them), shared otherwise;
+/// columnar slices are always taken by `Arc`-bump clone (consuming one
+/// never copies data regardless of the consumer count).
+enum Taken {
     Owned(Vec<Record>),
     Shared(Arc<Vec<Record>>),
+    Cols(crate::batch::ColumnBatch),
 }
 
-impl Bucket {
+impl Taken {
     fn len(&self) -> usize {
         match self {
-            Bucket::Owned(v) => v.len(),
-            Bucket::Shared(a) => a.len(),
+            Taken::Owned(v) => v.len(),
+            Taken::Shared(a) => a.len(),
+            Taken::Cols(b) => b.len(),
         }
     }
 }
@@ -159,7 +167,7 @@ impl Bucket {
 /// on the exchange if `m` is past the published prefix. Returns the bucket
 /// plus its serialized byte count (as published by the producer, which is
 /// bit-identical to recomputing `batch_size` on the bucket).
-fn take_or_park(ex: &Exchange, m: usize, col: usize, uid: usize) -> Option<(Bucket, u64)> {
+fn take_or_park(ex: &Exchange, m: usize, col: usize, uid: usize) -> Option<(Taken, u64)> {
     let mut inner = lock(&ex.inner);
     if m >= inner.avail {
         inner.waiters.push(uid);
@@ -167,15 +175,20 @@ fn take_or_park(ex: &Exchange, m: usize, col: usize, uid: usize) -> Option<(Buck
     }
     let bytes = inner.bytes[m].as_ref().expect("published")[col];
     let row = inner.rows[m].as_mut().expect("published");
-    let bucket = if ex.consumers > 1 {
-        Bucket::Shared(Arc::clone(&row[col]))
-    } else {
-        // Sole consumer: take the column and try to own it outright so the
-        // merge can move records instead of cloning them.
-        let arc = mem::replace(&mut row[col], Arc::clone(&ex.empty));
-        match Arc::try_unwrap(arc) {
-            Ok(v) => Bucket::Owned(v),
-            Err(shared) => Bucket::Shared(shared),
+    let bucket = match &mut row[col] {
+        Bucket::Cols(b) => Taken::Cols(b.clone()),
+        Bucket::Rows(arc) => {
+            if ex.consumers > 1 {
+                Taken::Shared(Arc::clone(arc))
+            } else {
+                // Sole consumer: take the column and try to own it outright
+                // so the merge can move records instead of cloning them.
+                let arc = mem::replace(arc, Arc::clone(&ex.empty));
+                match Arc::try_unwrap(arc) {
+                    Ok(v) => Taken::Owned(v),
+                    Err(shared) => Taken::Shared(shared),
+                }
+            }
         }
     };
     Some((bucket, bytes))
@@ -357,6 +370,7 @@ struct Runtime<'a> {
     sched: &'a Sched,
     pool: &'a WorkerPool,
     sink: &'a TraceSink,
+    batch: bool,
 }
 
 /// Runs the whole job's data plane with push-based pipelining and returns
@@ -370,6 +384,7 @@ pub(crate) fn run_pipelined(input: PipelineInput<'_>) -> Vec<StageData> {
         pool,
         job_id,
         trace: sink,
+        batch,
     } = input;
 
     // How many stages consume each shuffle (a self-join counts its one
@@ -558,6 +573,7 @@ pub(crate) fn run_pipelined(input: PipelineInput<'_>) -> Vec<StageData> {
         sched: &sched,
         pool,
         sink,
+        batch,
     };
     let rt_ref = &rt;
     pool.map_with(pool.workers(), |_, participant| {
@@ -753,12 +769,15 @@ fn run_unit(rt: &Runtime<'_>, uid: usize, participant: usize) -> Progress {
                     sp.fetched += bucket.len() as u64;
                     sp.bytes += b;
                     match (&mut sp.acc, bucket) {
-                        (MergeAcc::Reduce(m, _), Bucket::Owned(v)) => m.push_owned(v),
-                        (MergeAcc::Reduce(m, _), Bucket::Shared(a)) => m.push_slice(&a),
-                        (MergeAcc::Group(m, _), Bucket::Owned(v)) => m.push_owned(v),
-                        (MergeAcc::Group(m, _), Bucket::Shared(a)) => m.push_slice(&a),
-                        (MergeAcc::Concat(m), Bucket::Owned(v)) => m.push_owned(v),
-                        (MergeAcc::Concat(m), Bucket::Shared(a)) => m.push_slice(&a),
+                        (MergeAcc::Reduce(m, _), Taken::Owned(v)) => m.push_owned(v),
+                        (MergeAcc::Reduce(m, _), Taken::Shared(a)) => m.push_slice(&a),
+                        (MergeAcc::Reduce(m, _), Taken::Cols(b)) => m.push_batch(&b),
+                        (MergeAcc::Group(m, _), Taken::Owned(v)) => m.push_owned(v),
+                        (MergeAcc::Group(m, _), Taken::Shared(a)) => m.push_slice(&a),
+                        (MergeAcc::Group(m, _), Taken::Cols(b)) => m.push_batch(&b),
+                        (MergeAcc::Concat(m), Taken::Owned(v)) => m.push_owned(v),
+                        (MergeAcc::Concat(m), Taken::Shared(a)) => m.push_slice(&a),
+                        (MergeAcc::Concat(m), Taken::Cols(b)) => m.push_batch(&b),
                     }
                     sp.next += 1;
                 }
@@ -890,14 +909,18 @@ fn consume_side(
                 jp.fetched += bucket.len() as u64;
                 jp.bytes += b;
                 match (&mut jp.acc, bucket) {
-                    (JoinAcc::Join(m), Bucket::Owned(v)) if is_left => m.push_left_owned(v),
-                    (JoinAcc::Join(m), Bucket::Owned(v)) => m.push_right_owned(v),
-                    (JoinAcc::Join(m), Bucket::Shared(a)) if is_left => m.push_left_slice(&a),
-                    (JoinAcc::Join(m), Bucket::Shared(a)) => m.push_right_slice(&a),
-                    (JoinAcc::Cogroup(m), Bucket::Owned(v)) if is_left => m.push_left_owned(v),
-                    (JoinAcc::Cogroup(m), Bucket::Owned(v)) => m.push_right_owned(v),
-                    (JoinAcc::Cogroup(m), Bucket::Shared(a)) if is_left => m.push_left_slice(&a),
-                    (JoinAcc::Cogroup(m), Bucket::Shared(a)) => m.push_right_slice(&a),
+                    (JoinAcc::Join(m), Taken::Owned(v)) if is_left => m.push_left_owned(v),
+                    (JoinAcc::Join(m), Taken::Owned(v)) => m.push_right_owned(v),
+                    (JoinAcc::Join(m), Taken::Shared(a)) if is_left => m.push_left_slice(&a),
+                    (JoinAcc::Join(m), Taken::Shared(a)) => m.push_right_slice(&a),
+                    (JoinAcc::Join(m), Taken::Cols(b)) if is_left => m.push_left_batch(&b),
+                    (JoinAcc::Join(m), Taken::Cols(b)) => m.push_right_batch(&b),
+                    (JoinAcc::Cogroup(m), Taken::Owned(v)) if is_left => m.push_left_owned(v),
+                    (JoinAcc::Cogroup(m), Taken::Owned(v)) => m.push_right_owned(v),
+                    (JoinAcc::Cogroup(m), Taken::Shared(a)) if is_left => m.push_left_slice(&a),
+                    (JoinAcc::Cogroup(m), Taken::Shared(a)) => m.push_right_slice(&a),
+                    (JoinAcc::Cogroup(m), Taken::Cols(b)) if is_left => m.push_left_batch(&b),
+                    (JoinAcc::Cogroup(m), Taken::Cols(b)) => m.push_right_batch(&b),
                 }
                 *next += 1;
             }
@@ -945,7 +968,8 @@ fn finish_unit(
                 let records = mem::replace(&mut out.records, TaskRecords::Owned(Vec::new()));
                 let n = records.len() as f64;
                 let mut arena = rt.pool.arena(participant);
-                let (tb, combine_ops) = bucketize_task(records, &**p, combine.as_ref(), &mut arena);
+                let (tb, combine_ops) =
+                    bucketize_task(records, &**p, combine.as_ref(), rt.batch, &mut arena);
                 (tb, n * PARTITION_COST + combine_ops as f64 * combine_cost)
             };
             let mut slot = lock(&rt.slots[s][task]);
@@ -1029,7 +1053,8 @@ fn bucketize_from_slot(rt: &Runtime<'_>, unit: &mut Unit, participant: usize) ->
     let (tb, extra) = {
         let n = records.len() as f64;
         let mut arena = rt.pool.arena(participant);
-        let (tb, combine_ops) = bucketize_task(records, &**p, combine.as_ref(), &mut arena);
+        let (tb, combine_ops) =
+            bucketize_task(records, &**p, combine.as_ref(), rt.batch, &mut arena);
         (
             tb,
             n * PARTITION_COST + combine_ops as f64 * combine_cost + n * SAMPLE_COST,
@@ -1049,8 +1074,14 @@ fn bucketize_task(
     records: TaskRecords,
     partitioner: &dyn Partitioner,
     combine: Option<&ReduceFn>,
+    batch: bool,
     arena: &mut TaskArena,
 ) -> (TaskBuckets, u64) {
+    if batch && combine.is_none() {
+        if let Some(out) = bucketize_columnar(records.as_slice(), partitioner, arena) {
+            return out;
+        }
+    }
     match records {
         TaskRecords::Owned(v) => bucketize_owned_in(v, partitioner, combine, arena),
         shared => bucketize_in(shared.as_slice(), partitioner, combine, arena),

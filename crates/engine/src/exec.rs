@@ -14,7 +14,7 @@ use crate::pool::WorkerPool;
 use crate::rdd::{Rdd, RddGraph};
 use crate::record::{batch_size, Key, Record};
 use crate::shuffle::{
-    merge_cogroup, merge_concat, merge_group, merge_join, merge_reduce, TaskBuckets,
+    Bucket, CogroupMerge, ConcatMerge, GroupMerge, JoinMerge, ReduceMerge, TaskBuckets,
 };
 use crate::stage::{plan_job, MaterializedInfo, Plan, PlanStage, SideDep, StageOutput, StageRoot};
 use blockstore::BlockStore;
@@ -95,6 +95,15 @@ pub struct EngineOptions {
     /// to the fault-free run. Mutually exclusive with `executor_mem` —
     /// see [`EngineOptions::validate`].
     pub faults: Option<FaultPlan>,
+    /// Columnar data plane (the default): combine-free shuffle writes
+    /// convert each task's output to a typed [`crate::batch::ColumnBatch`],
+    /// compute partition assignment with one pass over the key column,
+    /// and ship zero-copy batch slices through the shuffle instead of
+    /// cloned record vectors. Results, byte tables, and virtual-clock
+    /// timings are bit-identical either way — tasks whose keys don't fit
+    /// a typed column layout (and all map-side-combine shuffles) fall
+    /// back to the row path per task. `false` forces rows everywhere.
+    pub batch: bool,
 }
 
 impl Default for EngineOptions {
@@ -116,6 +125,7 @@ impl Default for EngineOptions {
             eviction_policy: EvictionPolicy::default(),
             pipeline: true,
             faults: None,
+            batch: true,
         }
     }
 }
@@ -183,8 +193,9 @@ pub(crate) struct Materialized {
 }
 
 pub(crate) struct ShuffleData {
-    /// `buckets[map_task][reduce_partition]`.
-    pub(crate) buckets: Vec<Vec<Arc<Vec<Record>>>>,
+    /// `buckets[map_task][reduce_partition]` — row vectors or columnar
+    /// batch slices, per the producing task's layout.
+    pub(crate) buckets: Vec<Vec<Bucket>>,
     pub(crate) bytes: Vec<Vec<u64>>,
     pub(crate) nodes: Vec<NodeId>,
     pub(crate) producer_gid: usize,
@@ -808,6 +819,7 @@ impl Context {
                 pool: &self.pool,
                 job_id,
                 trace: &self.options.trace,
+                batch: self.options.batch,
             })
             .into();
         }
@@ -1066,7 +1078,7 @@ impl Context {
                             parts: data
                                 .buckets
                                 .iter()
-                                .map(|task_buckets| Arc::clone(&task_buckets[i]))
+                                .map(|task_buckets| task_buckets[i].clone())
                                 .collect(),
                             merge: merge.clone(),
                         }
@@ -1087,7 +1099,7 @@ impl Context {
                 let is_join = matches!(self.graph.node(*wide).op, OpKind::Join { .. });
                 let cost = wide_cost(*wide);
                 type SideParts = (
-                    Vec<Vec<Arc<Vec<Record>>>>,
+                    Vec<Vec<Bucket>>,
                     Vec<Vec<(NodeId, u64)>>,
                     Vec<u64>,
                     Vec<usize>,
@@ -1110,7 +1122,7 @@ impl Context {
                                     parts.push(
                                         data.buckets
                                             .iter()
-                                            .map(|tb| Arc::clone(&tb[i]))
+                                            .map(|tb| tb[i].clone())
                                             .collect::<Vec<_>>(),
                                     );
                                 }
@@ -1135,7 +1147,7 @@ impl Context {
                             let mut chunks = Vec::with_capacity(num_tasks);
                             for i in 0..num_tasks {
                                 let bytes = batch_size(&mat.parts[i]);
-                                parts.push(vec![Arc::clone(&mat.parts[i])]);
+                                parts.push(vec![Bucket::Rows(Arc::clone(&mat.parts[i]))]);
                                 chunks.push(usize::from(!mat.parts[i].is_empty()));
                                 if mat.spilled {
                                     // Spilled side: local disk reread.
@@ -1294,12 +1306,20 @@ impl Context {
             let combine_ref = combine_fn.as_ref();
             let outs_ref = &outs;
             let pool = &*self.pool;
+            // Columnar fast path: combine-free writes bucketize through a
+            // typed batch (vectorized assignment + stable gather + slice
+            // buckets). Per-task row fallback for non-columnar keys.
+            let use_batch = self.options.batch && combine_ref.is_none();
             let wall_bucketize_start = sink.wall_now();
             let results: Vec<(TaskBuckets, f64)> = pool.map_with(num_tasks, |i, p| {
                 let mut arena = pool.arena(p);
                 let records = outs_ref[i].records.as_slice();
-                let (tb, combine_ops) =
-                    crate::shuffle::bucketize_in(records, partitioner_ref, combine_ref, &mut arena);
+                let (tb, combine_ops) = use_batch
+                    .then(|| crate::shuffle::bucketize_columnar(records, partitioner_ref, &mut arena))
+                    .flatten()
+                    .unwrap_or_else(|| {
+                        crate::shuffle::bucketize_in(records, partitioner_ref, combine_ref, &mut arena)
+                    });
                 let n = records.len() as f64;
                 let mut cost = n * PARTITION_COST + combine_ops as f64 * combine_cost;
                 if is_range {
@@ -2162,12 +2182,12 @@ pub(crate) enum RootInput {
     Gen(GenFn, usize, usize),
     Cached(Arc<Vec<Record>>),
     Shuffle {
-        parts: Vec<Arc<Vec<Record>>>,
+        parts: Vec<Bucket>,
         merge: MergeKind,
     },
     Join {
-        left: Vec<Arc<Vec<Record>>>,
-        right: Vec<Arc<Vec<Record>>>,
+        left: Vec<Bucket>,
+        right: Vec<Bucket>,
         is_join: bool,
         cost: f64,
     },
@@ -2356,21 +2376,38 @@ pub(crate) fn compute_task(
             (TaskRecords::Shared(Arc::clone(data), 0, data.len()), n, b)
         }
         RootInput::Shuffle { parts, merge } => {
+            // Buckets arrive as row vectors or columnar slices; byte
+            // accounting and merge results are identical either way
+            // (`encoded_bytes` equals `batch_size` of the materialized
+            // records by construction).
             let fetched: u64 = parts.iter().map(|p| p.len() as u64).sum();
-            let bytes: u64 = parts.iter().map(|p| batch_size(p)).sum();
+            let bytes: u64 = parts.iter().map(|p| p.encoded_bytes()).sum();
             cost += fetched as f64 * MERGE_BASE_COST;
-            let slices: Vec<&[Record]> = parts.iter().map(|p| p.as_slice()).collect();
             let records = match merge {
                 MergeKind::Reduce(f, c) => {
-                    let (out, ops) = merge_reduce(slices.iter().copied(), f);
+                    let mut m = ReduceMerge::new(Arc::clone(f));
+                    for p in parts {
+                        m.push_bucket(p);
+                    }
+                    let (out, ops) = m.finish();
                     cost += ops as f64 * c;
                     out
                 }
                 MergeKind::Group(c) => {
                     cost += fetched as f64 * c;
-                    merge_group(slices.iter().copied())
+                    let mut m = GroupMerge::new();
+                    for p in parts {
+                        m.push_bucket(p);
+                    }
+                    m.finish()
                 }
-                MergeKind::Concat => merge_concat(slices.iter().copied()),
+                MergeKind::Concat => {
+                    let mut m = ConcatMerge::new();
+                    for p in parts {
+                        m.push_bucket(p);
+                    }
+                    m.finish()
+                }
             };
             (TaskRecords::Owned(records), fetched, bytes)
         }
@@ -2380,17 +2417,31 @@ pub(crate) fn compute_task(
             is_join,
             cost: c,
         } => {
-            let l: Vec<Record> = left.iter().flat_map(|p| p.iter().cloned()).collect();
-            let r: Vec<Record> = right.iter().flat_map(|p| p.iter().cloned()).collect();
+            let mut l: Vec<Record> = Vec::new();
+            for p in left {
+                p.extend_into(&mut l);
+            }
+            let mut r: Vec<Record> = Vec::new();
+            for p in right {
+                p.extend_into(&mut r);
+            }
             let fetched = (l.len() + r.len()) as u64;
             let bytes = batch_size(&l) + batch_size(&r);
             cost += fetched as f64 * (MERGE_BASE_COST + c);
             let records = if *is_join {
-                let (out, probes) = merge_join(&l, &r);
+                let mut m = JoinMerge::new();
+                m.push_left_owned(l);
+                m.seal_left();
+                m.push_right_owned(r);
+                let (out, probes) = m.finish();
                 cost += probes as f64 * MERGE_BASE_COST;
                 out
             } else {
-                merge_cogroup(&l, &r)
+                let mut m = CogroupMerge::new();
+                m.push_left_owned(l);
+                m.seal_left();
+                m.push_right_owned(r);
+                m.finish()
             };
             (TaskRecords::Owned(records), fetched, bytes)
         }

@@ -44,6 +44,7 @@
 //! assert_eq!(out.len(), 5);
 //! ```
 
+pub mod batch;
 pub mod config;
 mod exchange;
 pub mod exec;
@@ -56,6 +57,7 @@ pub mod record;
 pub mod shuffle;
 pub mod stage;
 
+pub use batch::{concat_int_batches, run_int_chain, ColumnBatch, IntOp, KeyColumn, ValueColumn};
 pub use config::WorkloadConf;
 pub use exec::{Context, EngineOptions};
 pub use faults::{FaultCounters, FaultPlan, NodeLoss, Straggler};

@@ -35,7 +35,10 @@ impl Key {
         h.finish()
     }
 
-    fn feed(&self, h: &mut Fnv) {
+    /// Streams this key's byte encoding into a caller-owned [`Fnv`], so
+    /// composite hashes (signatures, batch kernels) share one hasher
+    /// instead of re-implementing the encoding.
+    pub fn feed(&self, h: &mut Fnv) {
         match self {
             Key::None => h.write_u8(0),
             Key::Int(i) => {
@@ -91,14 +94,24 @@ pub enum Value {
 
 impl Value {
     /// Approximate serialized size in bytes (for shuffle accounting).
+    ///
+    /// Encoding convention (shared with [`Key::encoded_size`]): every
+    /// variant spends 1 tag byte and each nested element re-counts its own
+    /// tag, exactly as `Pair` counts its two children. Fixed-arity
+    /// containers (`Pair`) carry no length word; variable-length ones do
+    /// (`Str` a u32, `Vector`/`List` a u64). The columnar batch layer
+    /// recomputes these sizes from buffer lengths, so any change here must
+    /// be mirrored there — the pinned regression test below is the oracle.
     pub fn encoded_size(&self) -> u64 {
         match self {
             Value::Null => 1,
-            Value::Int(_) | Value::Float(_) => 9,
-            Value::Str(s) => 5 + s.len() as u64,
-            Value::Vector(v) => 9 + 8 * v.len() as u64,
+            Value::Int(_) | Value::Float(_) => 1 + 8,
+            Value::Str(s) => 1 + 4 + s.len() as u64,
+            Value::Vector(v) => 1 + 8 + 8 * v.len() as u64,
             Value::Pair(a, b) => 1 + a.encoded_size() + b.encoded_size(),
-            Value::List(vs) => 9 + vs.iter().map(Value::encoded_size).sum::<u64>(),
+            // Tag + u64 count, then each element with its own tag — the
+            // same per-element accounting as `Pair`'s children.
+            Value::List(vs) => 1 + 8 + vs.iter().map(Value::encoded_size).sum::<u64>(),
         }
     }
 
@@ -173,24 +186,39 @@ pub fn batch_size(records: &[Record]) -> u64 {
     records.iter().map(Record::encoded_size).sum()
 }
 
-/// Minimal FNV-1a hasher (deterministic across processes).
-struct Fnv(u64);
+/// Minimal FNV-1a hasher (deterministic across processes). This is *the*
+/// engine hasher: key hashing ([`Key::stable_hash`]), stage signatures
+/// ([`fnv1a`] + [`hash_combine`]), and the columnar key-hash kernels
+/// ([`int_key_hash`]) all run through it, so partition assignment is
+/// bit-identical no matter which layer computed the hash.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
-    fn write_u8(&mut self, b: u8) {
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, b: u8) {
         self.0 ^= b as u64;
         self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
     }
-    fn write(&mut self, bytes: &[u8]) {
+    /// Feeds a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.write_u8(b);
         }
     }
-    fn finish(&self) -> u64 {
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
         self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
     }
 }
 
@@ -198,6 +226,28 @@ impl Fnv {
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = Fnv::new();
     h.write(bytes);
+    h.finish()
+}
+
+/// [`Key::stable_hash`] of `Key::Int(v)` computed straight from the
+/// integer — the columnar kernels hash a contiguous `i64` buffer without
+/// materializing a `Key` per row. Bit-identical to the enum path.
+#[inline]
+pub fn int_key_hash(v: i64) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u8(1);
+    h.write(&v.to_le_bytes());
+    h.finish()
+}
+
+/// [`Key::stable_hash`] of `Key::Str(s)` computed straight from the text —
+/// the dictionary-encoded key column hashes each dictionary entry once.
+/// Bit-identical to the enum path.
+#[inline]
+pub fn str_key_hash(s: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u8(2);
+    h.write(s.as_bytes());
     h.finish()
 }
 
@@ -254,6 +304,56 @@ mod tests {
         assert_eq!(Value::vector(vec![0.0; 10]).encoded_size(), 89);
         let r = Record::new(Key::Int(1), Value::Float(2.0));
         assert_eq!(r.encoded_size(), 2 + 9 + 9);
+    }
+
+    /// Pins `encoded_size` for every variant: the columnar batch layer
+    /// recomputes these from buffer lengths, and shuffle byte tables (and
+    /// the committed figures derived from them) depend on the exact
+    /// numbers. Any change here is a data-format change, not a refactor.
+    #[test]
+    fn encoded_size_pinned_per_variant() {
+        // Keys: tag byte + payload.
+        assert_eq!(Key::None.encoded_size(), 1);
+        assert_eq!(Key::Int(0).encoded_size(), 9);
+        assert_eq!(Key::str("").encoded_size(), 5);
+        assert_eq!(Key::str("abc").encoded_size(), 8);
+        let kpair = Key::Pair(Box::new(Key::Int(1)), Box::new(Key::str("xy")));
+        assert_eq!(kpair.encoded_size(), 1 + 9 + 7);
+        let knest = Key::Pair(Box::new(kpair.clone()), Box::new(Key::None));
+        assert_eq!(knest.encoded_size(), 1 + 17 + 1);
+
+        // Values: tag byte + payload; variable-length containers add a
+        // length word; every nested element re-counts its own tag.
+        assert_eq!(Value::Null.encoded_size(), 1);
+        assert_eq!(Value::Int(7).encoded_size(), 9);
+        assert_eq!(Value::Float(1.5).encoded_size(), 9);
+        assert_eq!(Value::str("").encoded_size(), 5);
+        assert_eq!(Value::str("hello").encoded_size(), 10);
+        assert_eq!(Value::vector(vec![]).encoded_size(), 9);
+        assert_eq!(Value::vector(vec![0.0; 3]).encoded_size(), 9 + 24);
+        let vpair = Value::Pair(Box::new(Value::Int(1)), Box::new(Value::Null));
+        assert_eq!(vpair.encoded_size(), 1 + 9 + 1);
+        // List counts per-element tags consistently with Pair: tag + u64
+        // count header, then each element's own tagged size.
+        assert_eq!(Value::List(Arc::new(vec![])).encoded_size(), 9);
+        let list = Value::List(Arc::new(vec![Value::Int(1), Value::Null, Value::str("ab")]));
+        assert_eq!(list.encoded_size(), 9 + 9 + 1 + 7);
+        let nested = Value::List(Arc::new(vec![list.clone(), vpair]));
+        assert_eq!(nested.encoded_size(), 9 + 26 + 11);
+
+        // Record: 2-byte header + tagged key + tagged value.
+        let r = Record::new(Key::Int(1), list);
+        assert_eq!(r.encoded_size(), 2 + 9 + 26);
+    }
+
+    #[test]
+    fn int_and_str_key_hash_kernels_match_enum_path() {
+        for v in [0i64, 1, -1, 42, i64::MIN, i64::MAX] {
+            assert_eq!(int_key_hash(v), Key::Int(v).stable_hash());
+        }
+        for s in ["", "a", "warehouse-17", "ünïcode"] {
+            assert_eq!(str_key_hash(s), Key::str(s).stable_hash());
+        }
     }
 
     #[test]

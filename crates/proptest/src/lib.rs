@@ -117,6 +117,18 @@ pub mod strategy {
         }
     }
 
+    /// Strategy that always yields a clone of one value, as in the real
+    /// crate's `Just`.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
     // -- integer / float ranges (exclusive upper bound) --------------------
 
     macro_rules! impl_int_range {
@@ -403,7 +415,7 @@ pub mod option {
 }
 
 pub mod prelude {
-    pub use super::strategy::{Arbitrary, Strategy};
+    pub use super::strategy::{Arbitrary, Just, Strategy};
     pub use super::test_runner::ProptestConfig;
     pub use super::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 
