@@ -4,8 +4,10 @@
 //! cargo run --release -p bench --bin perfgate
 //! cargo run --release -p bench --bin perfgate -- --baseline results/BENCH_dataplane.json \
 //!     --shuffle-baseline results/BENCH_shuffle_pipeline.json \
+//!     --jobserver-baseline results/BENCH_jobserver.json \
 //!     --tolerance 0.15 [--fresh-out results/BENCH_dataplane.fresh.json] \
-//!     [--shuffle-fresh-out results/BENCH_shuffle_pipeline.fresh.json]
+//!     [--shuffle-fresh-out results/BENCH_shuffle_pipeline.fresh.json] \
+//!     [--jobserver-fresh-out results/BENCH_jobserver.fresh.json]
 //! ```
 //!
 //! Re-measures the before/after kernels on this host and compares each
@@ -16,7 +18,14 @@
 //! fresh ratio falls more than the tolerance (default 15%) below the
 //! baseline's, or if the pipelined shuffle's end-to-end speedup drops
 //! below its hard 1.3x floor.
+//!
+//! The job-server gate re-serves the multi-tenant contention sweep and
+//! compares its *virtual-clock* p99 latency and throughput against
+//! `results/BENCH_jobserver.json` at the same tolerance, with two
+//! absolute floors: 16-tenant throughput at least 2x the serial server,
+//! and fair-share beating FIFO on interactive p99 under contention.
 
+use bench::jobserver::{jobserver_gate_checks, measure_jobserver, JobserverReport};
 use bench::report::{
     best_fresh, gate_checks, measure_dataplane, measure_shuffle_pipeline, DataplaneReport,
 };
@@ -217,9 +226,11 @@ const COLUMNAR_FLOOR_KERNELS: [&str; 2] = ["columnar_fused_chain", "columnar_buc
 fn main() {
     let mut baseline_path = "results/BENCH_dataplane.json".to_string();
     let mut shuffle_baseline_path = "results/BENCH_shuffle_pipeline.json".to_string();
+    let mut jobserver_baseline_path = "results/BENCH_jobserver.json".to_string();
     let mut tolerance = 0.15f64;
     let mut fresh_out: Option<String> = None;
     let mut shuffle_fresh_out: Option<String> = None;
+    let mut jobserver_fresh_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -231,6 +242,7 @@ fn main() {
         match arg.as_str() {
             "--baseline" => baseline_path = value("--baseline"),
             "--shuffle-baseline" => shuffle_baseline_path = value("--shuffle-baseline"),
+            "--jobserver-baseline" => jobserver_baseline_path = value("--jobserver-baseline"),
             "--tolerance" => {
                 let raw = value("--tolerance");
                 tolerance = raw.parse().unwrap_or_else(|_| {
@@ -240,11 +252,13 @@ fn main() {
             }
             "--fresh-out" => fresh_out = Some(value("--fresh-out")),
             "--shuffle-fresh-out" => shuffle_fresh_out = Some(value("--shuffle-fresh-out")),
+            "--jobserver-fresh-out" => jobserver_fresh_out = Some(value("--jobserver-fresh-out")),
             other => {
                 eprintln!("error: unknown argument '{other}'");
                 eprintln!(
                     "usage: perfgate [--baseline FILE] [--shuffle-baseline FILE] \
-                     [--tolerance F] [--fresh-out FILE] [--shuffle-fresh-out FILE]"
+                     [--jobserver-baseline FILE] [--tolerance F] [--fresh-out FILE] \
+                     [--shuffle-fresh-out FILE] [--jobserver-fresh-out FILE]"
                 );
                 std::process::exit(2);
             }
@@ -267,6 +281,16 @@ fn main() {
     };
     let baseline = load(&baseline_path);
     let shuffle_baseline = load(&shuffle_baseline_path);
+    let jobserver_baseline = {
+        let text = std::fs::read_to_string(&jobserver_baseline_path).unwrap_or_else(|e| {
+            eprintln!("error: read baseline {jobserver_baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        JobserverReport::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: {jobserver_baseline_path}: {e}");
+            std::process::exit(2);
+        })
+    };
 
     eprintln!("[perfgate] measuring data-plane kernels (interleaved best-of-7, best of 2 runs)...");
     let fresh = best_fresh((0..2).map(|_| measure_dataplane()).collect());
@@ -342,6 +366,19 @@ fn main() {
         );
         failed |= !ok;
     }
+    eprintln!("[perfgate] serving the multi-tenant contention sweep (virtual clock)...");
+    // One run suffices: every figure is virtual-clock deterministic.
+    let jobserver_fresh = measure_jobserver();
+    if let Some(path) = &jobserver_fresh_out {
+        std::fs::write(path, jobserver_fresh.to_json()).unwrap_or_else(|e| {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    for (name, ok) in jobserver_gate_checks(&jobserver_baseline, &jobserver_fresh, tolerance) {
+        println!("{:<80} {}", name, if ok { "ok" } else { "REGRESSED" });
+        failed |= !ok;
+    }
     eprintln!("[perfgate] checking memory-governance invariants...");
     for (name, ok) in mem_gate() {
         println!("{:<80} {}", name, if ok { "ok" } else { "VIOLATED" });
@@ -354,8 +391,9 @@ fn main() {
     }
     if failed {
         eprintln!(
-            "perfgate: FAIL — a kernel regressed more than {:.0}% vs {baseline_path} / \
-             {shuffle_baseline_path}, or an absolute pipeline/columnar floor was missed",
+            "perfgate: FAIL — a kernel or job-server figure regressed more than {:.0}% vs \
+             {baseline_path} / {shuffle_baseline_path} / {jobserver_baseline_path}, or an \
+             absolute pipeline/columnar/job-server floor was missed",
             tolerance * 100.0
         );
         std::process::exit(1);

@@ -6,6 +6,7 @@
 //! experiments so `cargo bench` stays tractable.
 
 pub mod dataplane;
+pub mod jobserver;
 pub mod report;
 
 use chopper::{Autotuner, TestRunPlan, Workload};

@@ -303,7 +303,10 @@ pub fn measure_dataplane() -> DataplaneReport {
     let row_ops = vec![
         ChainOp::Filter(Box::new(|r: &Record| r.value.as_int() % 5 != 0)),
         ChainOp::Map(Box::new(|r: &Record| {
-            Record::new(r.key.clone(), Value::Int(r.value.as_int().wrapping_mul(3) + 1))
+            Record::new(
+                r.key.clone(),
+                Value::Int(r.value.as_int().wrapping_mul(3) + 1),
+            )
         })),
         ChainOp::Filter(Box::new(|r: &Record| r.value.as_int() % 2 == 0)),
     ];

@@ -26,7 +26,7 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["copartition", "vanilla", "help", "gantt"];
+const BOOLEAN_FLAGS: &[&str] = &["copartition", "vanilla", "help", "gantt", "serial"];
 
 impl Args {
     /// Parses raw arguments (without the binary name).

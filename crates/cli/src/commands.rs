@@ -26,6 +26,12 @@ commands:
            [--executor-mem SIZE] [--fault-plan FILE] [--fault-seed N]
   inspect  --db FILE
   conf     --file FILE
+  serve    --trace FILE [--policy fair|fifo] [--slots N] [--queue-cap N]
+           [--mem-shared SIZE] [--mem-tenant SIZE] [--workers N]
+           [--partitions N] [--pipeline on|off] [--batch on|off] [--serial]
+           [--cluster paper|uniform:N,C,GHz] [--results-out FILE]
+           [--tables-out FILE] [--trace-out FILE]
+  loadgen  --out FILE [--tenants N] [--jobs N] [--seed N]
   help
 
 --executor-mem bounds each simulated executor's unified memory (cache +
@@ -38,6 +44,13 @@ enables recovery: retries, lineage recomputation, replica re-homing, and
 blacklisting. Results are bit-identical to the fault-free run; only
 simulated timings change. --fault-seed overrides the plan file's seed.
 Mutually exclusive with --executor-mem.
+
+serve runs a multi-tenant job trace (see loadgen, or write one by hand:
+`tenant NAME weight W [mem SIZE]` + `job TENANT at SECS KIND scale F
+seed N` lines) through the long-lived job server. --fault-plan and
+--executor-mem are rejected for serve: faults attach per tenant inside
+the server, and tenant memory is governed by the admission ledger
+(--mem-shared / --mem-tenant) instead of executor caches.
 ";
 
 type CmdResult = Result<(), String>;
@@ -453,6 +466,136 @@ pub fn conf(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Builds the job server's engine options from `serve` flags.
+///
+/// `serve` exposes a narrower engine surface than `run`, and the two
+/// flags it drops are rejected at parse time (mirroring the
+/// `--pipeline on` × `--executor-mem` conflict in [`engine_opts`])
+/// rather than silently ignored: a global `--fault-plan` would perturb
+/// every tenant's virtual clock (the server attaches plans per tenant),
+/// and `--executor-mem` governs cache eviction, which the job server
+/// replaces with the admission ledger's per-tenant budgets.
+fn serve_engine_opts(args: &Args) -> Result<EngineOptions, String> {
+    if args.get("fault-plan").is_some() || args.get("fault-seed").is_some() {
+        return Err(
+            "--fault-plan cannot be combined with serve: the job server installs \
+             fault plans per tenant, so a global plan would perturb every \
+             tenant's virtual clock — use `run --fault-plan` for single-job \
+             fault studies, or the per-tenant plans in the fault-equivalence \
+             tests as a template"
+                .into(),
+        );
+    }
+    if args.get("executor-mem").is_some() {
+        return Err(
+            "--executor-mem cannot be combined with serve: tenant memory is \
+             governed by the admission ledger — size it with --mem-shared and \
+             --mem-tenant instead"
+                .into(),
+        );
+    }
+    let pipeline = match args.get("pipeline") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("bad --pipeline '{other}' (expected on|off)")),
+    };
+    let batch = match args.get("batch") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("bad --batch '{other}' (expected on|off)")),
+    };
+    let defaults = jobserver::server_engine_defaults();
+    let opts = EngineOptions {
+        cluster: cluster(args)?,
+        default_parallelism: args
+            .num("partitions", defaults.default_parallelism)
+            .map_err(|e| e.to_string())?,
+        workers: args
+            .num("workers", defaults.workers)
+            .map_err(|e| e.to_string())?,
+        pipeline,
+        batch,
+        ..defaults
+    };
+    opts.validate()?;
+    Ok(opts)
+}
+
+/// `serve`: run a multi-tenant job trace through the job server and
+/// print per-tenant latency/throughput figures.
+pub fn serve(args: &Args) -> CmdResult {
+    let path = args.require("trace").map_err(|e| e.to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let trace = jobserver::JobTrace::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut cfg = jobserver::ServerConfig {
+        policy: jobserver::Policy::parse(args.get("policy").unwrap_or("fair"))?,
+        engine: serve_engine_opts(args)?,
+        ..jobserver::ServerConfig::default()
+    };
+    cfg.slots = args.num("slots", cfg.slots).map_err(|e| e.to_string())?;
+    cfg.queue_cap = args
+        .num("queue-cap", cfg.queue_cap)
+        .map_err(|e| e.to_string())?;
+    if let Some(s) = args.get("mem-shared") {
+        cfg.mem_shared = parse_mem_size(s)?;
+    }
+    if let Some(s) = args.get("mem-tenant") {
+        cfg.mem_guarantee = parse_mem_size(s)?;
+    }
+    if args.has("serial") {
+        cfg.interleave = jobserver::Interleave::Serial;
+    }
+    if args.get("trace-out").is_some() {
+        // One sink catches both server-level events (queue depth, job
+        // spans) and the engines' own stage/task spans.
+        let sink = engine::TraceSink::enabled();
+        cfg.trace = sink.clone();
+        cfg.engine.trace = sink;
+    }
+    let report = jobserver::serve(&trace, &cfg)?;
+    print!("{}", report.render());
+    if let Some(p) = args.get("results-out") {
+        std::fs::write(p, report.to_json()).map_err(|e| format!("write {p}: {e}"))?;
+        println!("wrote report JSON to {p}");
+    }
+    if let Some(p) = args.get("tables-out") {
+        std::fs::write(p, report.tables_text()).map_err(|e| format!("write {p}: {e}"))?;
+        println!("wrote per-job result tables to {p}");
+    }
+    if let Some(p) = args.get("trace-out") {
+        let json = cfg
+            .trace
+            .chrome_json_filtered(engine::ClockFilter::VirtualOnly);
+        std::fs::write(p, &json).map_err(|e| format!("write {p}: {e}"))?;
+        println!(
+            "wrote {} trace events to {p} (open at https://ui.perfetto.dev)",
+            cfg.trace.events().len()
+        );
+    }
+    Ok(())
+}
+
+/// `loadgen`: generate a deterministic multi-tenant job trace for
+/// `serve` (tenant 0 is a weight-1 batch tenant with periodic heavy
+/// jobs; the rest are weight-2 interactive tenants).
+pub fn loadgen(args: &Args) -> CmdResult {
+    let tenants: usize = args.num("tenants", 4).map_err(|e| e.to_string())?;
+    let jobs: usize = args.num("jobs", 56).map_err(|e| e.to_string())?;
+    let seed: u64 = args.num("seed", 11).map_err(|e| e.to_string())?;
+    if tenants == 0 || jobs == 0 {
+        return Err("--tenants and --jobs must be positive".into());
+    }
+    let out = args.require("out").map_err(|e| e.to_string())?;
+    let trace = jobserver::generate(tenants, jobs, seed);
+    std::fs::write(out, trace.to_text()).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {} jobs over {} tenants (seed {seed}) to {out}",
+        trace.jobs.len(),
+        trace.tenants.len()
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,7 +672,11 @@ mod tests {
     fn batch_flag_parses_on_off() {
         assert!(engine_opts(&args(&["run"])).unwrap().batch);
         assert!(engine_opts(&args(&["run", "--batch", "on"])).unwrap().batch);
-        assert!(!engine_opts(&args(&["run", "--batch", "off"])).unwrap().batch);
+        assert!(
+            !engine_opts(&args(&["run", "--batch", "off"]))
+                .unwrap()
+                .batch
+        );
         let err = match engine_opts(&args(&["run", "--batch", "maybe"])) {
             Err(e) => e,
             Ok(_) => panic!("bad --batch value must be rejected"),
@@ -716,5 +863,126 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("--clock"));
+    }
+
+    /// `EngineOptions` has no `Debug`, so unwrap the error by hand.
+    fn serve_opts_err(tokens: &[&str]) -> String {
+        match serve_engine_opts(&args(tokens)) {
+            Err(e) => e,
+            Ok(_) => panic!("expected serve_engine_opts to reject {tokens:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_fault_plan_at_parse_time() {
+        let err = serve_opts_err(&["serve", "--fault-plan", "plans/p.plan"]);
+        assert!(err.contains("--fault-plan"), "{err}");
+        assert!(err.contains("serve"), "{err}");
+        let err = serve_opts_err(&["serve", "--fault-seed", "7"]);
+        assert!(err.contains("serve"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_executor_mem_at_parse_time() {
+        let err = serve_opts_err(&["serve", "--executor-mem", "512m"]);
+        assert!(err.contains("--executor-mem"), "{err}");
+        assert!(err.contains("--mem-shared"), "{err}");
+    }
+
+    #[test]
+    fn serve_engine_flags_follow_defaults_and_overrides() {
+        let d = serve_engine_opts(&args(&["serve"])).unwrap();
+        let defaults = jobserver::server_engine_defaults();
+        assert_eq!(d.default_parallelism, defaults.default_parallelism);
+        assert!(d.pipeline && d.batch);
+        let o = serve_engine_opts(&args(&[
+            "serve",
+            "--workers",
+            "2",
+            "--partitions",
+            "8",
+            "--pipeline",
+            "off",
+            "--batch",
+            "off",
+        ]))
+        .unwrap();
+        assert_eq!(o.workers, 2);
+        assert_eq!(o.default_parallelism, 8);
+        assert!(!o.pipeline && !o.batch);
+    }
+
+    #[test]
+    fn loadgen_then_serve_round_trip() {
+        let dir = std::env::temp_dir().join("chopper_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("jobs.trace");
+        let results = dir.join("report.json");
+        let tables = dir.join("tables.txt");
+        loadgen(&args(&[
+            "loadgen",
+            "--tenants",
+            "2",
+            "--jobs",
+            "8",
+            "--seed",
+            "3",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        serve(&args(&[
+            "serve",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--slots",
+            "2",
+            "--workers",
+            "2",
+            "--partitions",
+            "8",
+            "--cluster",
+            "uniform:4,4,2.0",
+            "--serial",
+            "--results-out",
+            results.to_str().unwrap(),
+            "--tables-out",
+            tables.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report =
+            jobserver::ServeReport::parse(&std::fs::read_to_string(&results).unwrap()).unwrap();
+        assert_eq!(report.completed, 8);
+        let tables_text = std::fs::read_to_string(&tables).unwrap();
+        assert_eq!(tables_text, report.tables_text());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loadgen_requires_positive_counts() {
+        let err = loadgen(&args(&["loadgen", "--tenants", "0", "--out", "x"])).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_policy() {
+        let dir = std::env::temp_dir().join("chopper_cli_serve_policy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("jobs.trace");
+        std::fs::write(
+            &trace_path,
+            "tenant a weight 1\njob a at 0 wordcount scale 0.05 seed 1\n",
+        )
+        .unwrap();
+        let err = serve(&args(&[
+            "serve",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--policy",
+            "lottery",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("lottery"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -10,6 +10,9 @@
 //! chopper-cli trace   kmeans [--out trace_kmeans.json] [--clock all|virtual|wall]
 //! chopper-cli inspect --db db.json
 //! chopper-cli conf    --file conf.txt
+//! chopper-cli serve   --trace jobs.trace [--policy fair|fifo] [--slots 8]
+//!                     [--queue-cap N] [--mem-shared 1g] [--mem-tenant 256m]
+//! chopper-cli loadgen --out jobs.trace [--tenants 4] [--jobs 56] [--seed 11]
 //! chopper-cli help
 //! ```
 
@@ -47,6 +50,8 @@ fn main() {
         "trace" => commands::trace(&parsed),
         "inspect" => commands::inspect(&parsed),
         "conf" => commands::conf(&parsed),
+        "serve" => commands::serve(&parsed),
+        "loadgen" => commands::loadgen(&parsed),
         "help" => {
             println!("{}", commands::USAGE);
             Ok(())

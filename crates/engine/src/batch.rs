@@ -271,11 +271,7 @@ fn build_dict<'a>(
         sizes,
         key_hashes,
     });
-    (
-        dict,
-        Arc::new(codes),
-        any_none.then(|| Arc::new(validity)),
-    )
+    (dict, Arc::new(codes), any_none.then(|| Arc::new(validity)))
 }
 
 fn build_keys(records: &[Record], shape: KeyShape) -> KeyColumn {
@@ -313,7 +309,9 @@ fn build_keys(records: &[Record], shape: KeyShape) -> KeyColumn {
                 validity,
             }
         }
-        KeyShape::Rows => KeyColumn::Rows(Arc::new(records.iter().map(|r| r.key.clone()).collect())),
+        KeyShape::Rows => {
+            KeyColumn::Rows(Arc::new(records.iter().map(|r| r.key.clone()).collect()))
+        }
     }
 }
 
@@ -474,7 +472,6 @@ impl ColumnBatch {
         !matches!(self.keys, KeyColumn::Rows(_))
     }
 
-
     /// Reconstructs the key of window row `i`.
     pub fn key_at(&self, i: usize) -> Key {
         let j = self.offset + i;
@@ -573,7 +570,10 @@ impl ColumnBatch {
                 codes,
                 validity,
             } => match validity {
-                None => codes[start..end].iter().map(|&c| dict.sizes[c as usize]).sum(),
+                None => codes[start..end]
+                    .iter()
+                    .map(|&c| dict.sizes[c as usize])
+                    .sum(),
                 Some(v) => (start..end)
                     .map(|j| {
                         if v.get(j) {
@@ -606,7 +606,10 @@ impl ColumnBatch {
                 codes,
                 validity,
             } => match validity {
-                None => codes[start..end].iter().map(|&c| dict.sizes[c as usize]).sum(),
+                None => codes[start..end]
+                    .iter()
+                    .map(|&c| dict.sizes[c as usize])
+                    .sum(),
                 Some(v) => (start..end)
                     .map(|j| {
                         if v.get(j) {
@@ -653,9 +656,11 @@ impl ColumnBatch {
             KeyColumn::Int { data, validity } => {
                 let from = out.len();
                 if !partitioner.partition_int_keys(&data[start..end], out) {
-                    out.extend(data[start..end].iter().map(|&k| {
-                        partitioner.partition(&Key::Int(k)) as u32
-                    }));
+                    out.extend(
+                        data[start..end]
+                            .iter()
+                            .map(|&k| partitioner.partition(&Key::Int(k)) as u32),
+                    );
                 }
                 if let Some(v) = validity {
                     let none_id = partitioner.partition(&Key::None) as u32;
@@ -676,9 +681,7 @@ impl ColumnBatch {
                     .strings
                     .iter()
                     .zip(&dict.key_hashes)
-                    .map(|(s, &h)| {
-                        partitioner.partition_hashed(&Key::Str(Arc::clone(s)), h) as u32
-                    })
+                    .map(|(s, &h)| partitioner.partition_hashed(&Key::Str(Arc::clone(s)), h) as u32)
                     .collect();
                 match validity {
                     None => out.extend(codes[start..end].iter().map(|&c| table[c as usize])),
@@ -695,7 +698,11 @@ impl ColumnBatch {
                 }
             }
             KeyColumn::Rows(rows) => {
-                out.extend(rows[start..end].iter().map(|k| partitioner.partition(k) as u32));
+                out.extend(
+                    rows[start..end]
+                        .iter()
+                        .map(|k| partitioner.partition(k) as u32),
+                );
             }
         }
     }
@@ -827,8 +834,7 @@ impl ColumnBatch {
                 let mut out = vec![0f64; self.len * s];
                 for (i, &d) in dst.iter().enumerate() {
                     let src = (self.offset + i) * s;
-                    out[d as usize * s..(d as usize + 1) * s]
-                        .copy_from_slice(&data[src..src + s]);
+                    out[d as usize * s..(d as usize + 1) * s].copy_from_slice(&data[src..src + s]);
                 }
                 ValueColumn::FixedVector {
                     stride: s,
@@ -945,7 +951,9 @@ pub fn run_int_chain(batch: &ColumnBatch, ops: &[IntOp]) -> Option<ColumnBatch> 
             }
         }
         KeyColumn::Rows(rows) => KeyColumn::Rows(Arc::new(
-            keep.iter().map(|&i| rows[start + i as usize].clone()).collect(),
+            keep.iter()
+                .map(|&i| rows[start + i as usize].clone())
+                .collect(),
         )),
     };
 
@@ -1136,7 +1144,9 @@ mod tests {
         b.partition_assignment(&part, &mut assign);
         let (g, offsets) = b.gather(&assign, 5);
         for p in 0..5 {
-            let bucket = g.slice(offsets[p], offsets[p + 1] - offsets[p]).to_records();
+            let bucket = g
+                .slice(offsets[p], offsets[p + 1] - offsets[p])
+                .to_records();
             let want: Vec<Record> = rows
                 .iter()
                 .filter(|r| part.partition(&r.key) == p)

@@ -95,6 +95,10 @@ pub(crate) struct PipelineInput<'a> {
     /// Columnar data plane enabled (`EngineOptions::batch`): combine-free
     /// shuffle writes publish batch slices instead of cloned row vectors.
     pub(crate) batch: bool,
+    /// Pool lanes this job's scheduler loop may occupy (the context's
+    /// slot cap clamped to the pool width). Host-side concurrency only —
+    /// the unit queue and virtual accounting are identical at any width.
+    pub(crate) lanes: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -385,6 +389,7 @@ pub(crate) fn run_pipelined(input: PipelineInput<'_>) -> Vec<StageData> {
         job_id,
         trace: sink,
         batch,
+        lanes,
     } = input;
 
     // How many stages consume each shuffle (a self-join counts its one
@@ -576,7 +581,8 @@ pub(crate) fn run_pipelined(input: PipelineInput<'_>) -> Vec<StageData> {
         batch,
     };
     let rt_ref = &rt;
-    pool.map_with(pool.workers(), |_, participant| {
+    let lanes = lanes.clamp(1, pool.workers());
+    pool.map_capped(lanes, lanes, |_, participant| {
         scheduler_loop(rt_ref, participant)
     });
 

@@ -23,6 +23,7 @@ use memman::{Disposition, EvictionPolicy, InsertOutcome, MemCounters, MemoryMana
 use numeric::Reservoir;
 use simcluster::{ClusterSpec, NodeId, Simulation, TaskSpec};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use trace::TraceSink;
 
@@ -104,6 +105,14 @@ pub struct EngineOptions {
     /// a typed column layout (and all map-side-combine shuffles) fall
     /// back to the row path per task. `false` forces rows everywhere.
     pub batch: bool,
+    /// Host compute pool to share with other contexts. `None` (the
+    /// default) builds a private pool of `workers` lanes. The job server
+    /// sets this so every tenant's data plane runs on one pool: dispatches
+    /// serialize at epoch granularity inside [`WorkerPool`], and each
+    /// context's [`Context::slot_cap_handle`] bounds how many lanes its
+    /// epochs may occupy. Purely a host-side concern — virtual timings and
+    /// results are bit-identical shared or not.
+    pub shared_pool: Option<Arc<WorkerPool>>,
 }
 
 impl Default for EngineOptions {
@@ -126,6 +135,7 @@ impl Default for EngineOptions {
             pipeline: true,
             faults: None,
             batch: true,
+            shared_pool: None,
         }
     }
 }
@@ -259,8 +269,14 @@ pub struct Context {
     conf: WorkloadConf,
     options: EngineOptions,
     /// Persistent compute pool; every stage's data computation and shuffle
-    /// bucketing fans out over these threads.
+    /// bucketing fans out over these threads. Possibly shared with other
+    /// contexts (see [`EngineOptions::shared_pool`]).
     pool: Arc<WorkerPool>,
+    /// Upper bound on pool lanes this context's dispatches may occupy
+    /// (`usize::MAX` = unbounded). The job server retunes it between jobs
+    /// to hand each tenant its weighted share of a shared pool. Affects
+    /// only host-side parallelism, never virtual timing or results.
+    slot_cap: Arc<AtomicUsize>,
     materialized: HashMap<Rdd, Materialized>,
     anchors: HashMap<(crate::partitioner::PartitionerKind, usize, usize), NodeId>,
     jobs: Vec<JobMetrics>,
@@ -297,10 +313,13 @@ impl Context {
             options.block_size,
             3,
         ));
-        let pool = Arc::new(WorkerPool::with_trace(
-            options.workers,
-            options.trace.clone(),
-        ));
+        let pool = match &options.shared_pool {
+            Some(shared) => Arc::clone(shared),
+            None => Arc::new(WorkerPool::with_trace(
+                options.workers,
+                options.trace.clone(),
+            )),
+        };
         if options.trace.is_enabled() {
             options
                 .trace
@@ -325,6 +344,7 @@ impl Context {
             conf: WorkloadConf::new(),
             options,
             pool,
+            slot_cap: Arc::new(AtomicUsize::new(usize::MAX)),
             materialized: HashMap::new(),
             anchors: HashMap::new(),
             jobs: Vec::new(),
@@ -349,6 +369,19 @@ impl Context {
     /// The persistent compute pool backing this context.
     pub fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
+    }
+
+    /// Shared handle to this context's pool-lane cap. The job server holds
+    /// one per tenant and retunes it (weighted fair share of a shared
+    /// pool) between jobs; `usize::MAX` means unbounded. Caps change host
+    /// parallelism only — virtual timings and results are unaffected.
+    pub fn slot_cap_handle(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.slot_cap)
+    }
+
+    /// Current pool-lane cap for this context's dispatches.
+    fn lane_cap(&self) -> usize {
+        self.slot_cap.load(Ordering::Relaxed).max(1)
     }
 
     /// The execution-trace sink this context records into (disabled unless
@@ -820,6 +853,7 @@ impl Context {
                 job_id,
                 trace: &self.options.trace,
                 batch: self.options.batch,
+                lanes: self.lane_cap().min(self.pool.workers()),
             })
             .into();
         }
@@ -1251,7 +1285,7 @@ impl Context {
                 pre_extra = Some(sd.extra_cost);
                 sd.outs
             }
-            None => self.pool.map(preps.len(), |i| {
+            None => self.pool.map_capped(preps.len(), self.lane_cap(), |i, _| {
                 compute_task(
                     graph,
                     &preps[i].input,
@@ -1310,15 +1344,23 @@ impl Context {
             // typed batch (vectorized assignment + stable gather + slice
             // buckets). Per-task row fallback for non-columnar keys.
             let use_batch = self.options.batch && combine_ref.is_none();
+            let lane_cap = self.lane_cap();
             let wall_bucketize_start = sink.wall_now();
-            let results: Vec<(TaskBuckets, f64)> = pool.map_with(num_tasks, |i, p| {
+            let results: Vec<(TaskBuckets, f64)> = pool.map_capped(num_tasks, lane_cap, |i, p| {
                 let mut arena = pool.arena(p);
                 let records = outs_ref[i].records.as_slice();
                 let (tb, combine_ops) = use_batch
-                    .then(|| crate::shuffle::bucketize_columnar(records, partitioner_ref, &mut arena))
+                    .then(|| {
+                        crate::shuffle::bucketize_columnar(records, partitioner_ref, &mut arena)
+                    })
                     .flatten()
                     .unwrap_or_else(|| {
-                        crate::shuffle::bucketize_in(records, partitioner_ref, combine_ref, &mut arena)
+                        crate::shuffle::bucketize_in(
+                            records,
+                            partitioner_ref,
+                            combine_ref,
+                            &mut arena,
+                        )
                     });
                 let n = records.len() as f64;
                 let mut cost = n * PARTITION_COST + combine_ops as f64 * combine_cost;

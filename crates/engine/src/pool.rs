@@ -27,6 +27,12 @@
 //! - **Panic propagation.** A panicking task poisons the job: other
 //!   participants stop claiming chunks, and the first payload is re-thrown
 //!   on the caller after the epoch drains.
+//! - **Multi-context sharing.** One pool may back several [`Context`]s at
+//!   once (the job server runs every tenant's data plane on a single
+//!   pool). Dispatches from different calling threads serialize on an
+//!   internal mutex at epoch granularity, and [`WorkerPool::map_capped`]
+//!   bounds how many participants one epoch may occupy, so a tenant's
+//!   weighted share of the pool can be enforced without splitting threads.
 
 use crate::shuffle::TaskArena;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -42,6 +48,10 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
     /// Background threads (not counting the caller).
     threads: usize,
+    /// Serializes epoch dispatch across calling threads: only one `map`
+    /// owns the background participants at a time, so several contexts
+    /// can safely share one pool.
+    dispatch: Mutex<()>,
     /// Wall-clock diagnostic sink ([`pids::POOL`] counters).
     sink: TraceSink,
     /// One reusable [`TaskArena`] per participant: scratch allocations for
@@ -122,6 +132,7 @@ impl WorkerPool {
             shared,
             handles,
             threads,
+            dispatch: Mutex::new(()),
             sink,
             arenas: (0..threads + 1).map(|_| Mutex::default()).collect(),
         }
@@ -206,19 +217,37 @@ impl WorkerPool {
         U: Send,
         F: Fn(usize, usize) -> U + Sync,
     {
+        self.map_capped(n, usize::MAX, f)
+    }
+
+    /// Like [`WorkerPool::map_with`], but at most `cap` participants work
+    /// on this epoch; the rest of the pool stays available to other
+    /// dispatching threads only in the sense that they finish immediately
+    /// (the epoch still serializes on the dispatch lock). `cap` is how the
+    /// job server enforces a tenant's weighted share of the pool: a capped
+    /// dispatch occupies `min(cap, workers())` lanes, leaving timing —
+    /// which is simulated — untouched, so results are bit-identical for
+    /// every cap value.
+    pub fn map_capped<U, F>(&self, n: usize, cap: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, usize) -> U + Sync,
+    {
         if n == 0 {
             return Vec::new();
         }
         self.shared.jobs.fetch_add(1, Ordering::Relaxed);
         self.shared.items.fetch_add(n as u64, Ordering::Relaxed);
-        if self.threads == 0 || n == 1 {
+        let participants = self.workers().min(cap.max(1)).min(n);
+        if self.threads == 0 || participants == 1 {
             // Inline: the caller owns the whole range, nothing is stolen.
             let out = (0..n).map(|i| f(i, 0)).collect();
             self.sample_counters();
             return out;
         }
 
-        let participants = self.workers();
+        // One epoch at a time: contexts sharing this pool queue here.
+        let _dispatch = lock(&self.dispatch);
         let ctx = JobCtx::new(f, n, participants);
         // Sound only because JobCtx<U, F> is Sync (checked here) and `map`
         // blocks until the epoch drains, keeping `ctx` alive for all users
@@ -227,6 +256,11 @@ impl WorkerPool {
         assert_sync(&ctx);
         let addr = &ctx as *const JobCtx<U, F> as usize;
         let trampoline: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(move |participant| {
+            // Threads beyond the cap sit this epoch out (participant ids
+            // are fixed per thread; the job context is sized to the cap).
+            if participant >= participants {
+                return;
+            }
             let ctx = unsafe { &*(addr as *const JobCtx<U, F>) };
             ctx.run(participant);
         });
@@ -558,6 +592,45 @@ mod tests {
             assert_eq!(*idx, i);
             assert_eq!(*bytes, expected.bytes);
         }
+    }
+
+    #[test]
+    fn map_capped_limits_participants_and_preserves_results() {
+        let pool = WorkerPool::new(8);
+        let expected: Vec<usize> = (0..300).map(|i| i * 3).collect();
+        for cap in [1, 2, 4, usize::MAX] {
+            let out = pool.map_capped(300, cap, |i, participant| {
+                assert!(
+                    participant < cap.min(pool.workers()),
+                    "participant {participant} exceeds cap {cap}"
+                );
+                i * 3
+            });
+            assert_eq!(out, expected, "cap = {cap}");
+        }
+        // cap 0 is clamped to 1 (inline) rather than deadlocking.
+        assert_eq!(pool.map_capped(5, 0, |i, _| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn concurrent_dispatch_from_many_threads_is_safe() {
+        // Several contexts sharing one pool dispatch epochs concurrently;
+        // the dispatch lock serializes them and every map stays correct.
+        let pool = std::sync::Arc::new(WorkerPool::new(4));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let pool = std::sync::Arc::clone(&pool);
+                s.spawn(move || {
+                    for round in 0..25usize {
+                        let out = pool.map(97, |i| i + t * 1000 + round);
+                        let expect: Vec<usize> = (0..97).map(|i| i + t * 1000 + round).collect();
+                        assert_eq!(out, expect);
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.items, 4 * 25 * 97);
     }
 
     #[test]

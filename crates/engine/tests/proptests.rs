@@ -31,10 +31,8 @@ fn arb_any_key() -> impl Strategy<Value = Key> {
         Just(Key::None),
         any::<i64>().prop_map(Key::Int),
         "[a-z]{0,6}".prop_map(|s| Key::str(&s)),
-        (any::<i64>(), "[a-z]{0,4}").prop_map(|(a, b)| Key::Pair(
-            Box::new(Key::Int(a)),
-            Box::new(Key::Str(b.into()))
-        )),
+        (any::<i64>(), "[a-z]{0,4}")
+            .prop_map(|(a, b)| Key::Pair(Box::new(Key::Int(a)), Box::new(Key::Str(b.into())))),
     ]
 }
 
@@ -45,12 +43,9 @@ fn arb_any_value() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Int),
         any::<f64>().prop_map(Value::Float),
         "[a-z]{0,8}".prop_map(|s| Value::Str(s.into())),
-        proptest::collection::vec(any::<f64>(), 0..6)
-            .prop_map(|v| Value::Vector(Arc::new(v))),
-        (any::<i64>(), any::<f64>()).prop_map(|(a, b)| Value::Pair(
-            Box::new(Value::Int(a)),
-            Box::new(Value::Float(b))
-        )),
+        proptest::collection::vec(any::<f64>(), 0..6).prop_map(|v| Value::Vector(Arc::new(v))),
+        (any::<i64>(), any::<f64>())
+            .prop_map(|(a, b)| Value::Pair(Box::new(Value::Int(a)), Box::new(Value::Float(b)))),
         proptest::collection::vec(any::<i64>().prop_map(Value::Int), 0..4)
             .prop_map(|v| Value::List(Arc::new(v))),
     ]

@@ -1,0 +1,493 @@
+//! Per-tenant job execution: four workload builders over a long-lived
+//! engine [`Context`], with cross-job reuse of cached source RDDs.
+//!
+//! Each tenant owns one ungoverned `Context` for the server's lifetime.
+//! Ungoverned contexts never evict (`memman` only governs when
+//! `executor_mem` is set), so a dataset cached by one job is still
+//! materialized when a later job of the same tenant asks for the same
+//! `(kind, scale, seed)` — the cross-job cache reuse the job server
+//! advertises. Every generator is a pure function of `(seed, global
+//! record index)`, so results are independent of partition count, worker
+//! count, and physical interleaving.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use engine::record::Fnv;
+use engine::{Context, EngineOptions, GenFn, Key, Rdd, Record, Value};
+
+use crate::trace_file::{JobKind, JobRequest};
+
+/// Nominal record counts at `scale = 1.0`.
+const WC_RECORDS: f64 = 30_000.0;
+const SQL_ORDERS: f64 = 20_000.0;
+const SQL_CUSTOMERS: f64 = 2_000.0;
+const ML_POINTS: f64 = 6_000.0;
+/// Feature dimension for the ML kinds.
+const DIM: usize = 4;
+/// K-means cluster count.
+const KM_K: usize = 8;
+
+/// Per-record virtual compute costs (seconds per record before node
+/// speed). Sized so a light (scale ~0.1) job takes a couple of virtual
+/// seconds and a heavy (scale ~0.65) one tens of seconds — enough for a
+/// loadgen trace's arrivals to actually contend. Purely virtual: host
+/// execution time is unaffected.
+const GEN_COST: f64 = 4800e-6;
+const MAP_COST: f64 = 3600e-6;
+const REDUCE_COST: f64 = 2400e-6;
+const JOIN_COST: f64 = 4800e-6;
+
+/// SplitMix64 finalizer: a pure, index-addressable random stream.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(i.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` draw at stream position `i`.
+fn unit(seed: u64, i: u64) -> f64 {
+    (mix(seed, i) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Global index range of partition `part` of `parts` over `n` records.
+fn span(n: u64, part: usize, parts: usize) -> (u64, u64) {
+    let parts = parts.max(1) as u64;
+    let part = part as u64;
+    (part * n / parts, (part + 1) * n / parts)
+}
+
+/// Scaled record count, at least `floor`.
+fn scaled(nominal: f64, scale: f64, floor: u64) -> u64 {
+    ((nominal * scale).ceil() as u64).max(floor)
+}
+
+/// Deterministic pre-execution estimate of a job's peak memory demand in
+/// bytes — what admission control charges against the tenant's budget.
+/// A pure function of the request (kind + scale), so admission decisions
+/// never depend on execution timing.
+pub fn mem_demand(kind: JobKind, scale: f64) -> u64 {
+    let input = match kind {
+        JobKind::WordCount => scaled(WC_RECORDS, scale, 64) * 24,
+        JobKind::Sql => scaled(SQL_ORDERS, scale, 64) * 18 + scaled(SQL_CUSTOMERS, scale, 16) * 18,
+        JobKind::KMeans | JobKind::LogReg => scaled(ML_POINTS, scale, 64) * (16 + 8 * DIM as u64),
+    };
+    // Cached input + shuffle working set + fixed overhead.
+    input * 3 + (1 << 20)
+}
+
+/// What one finished job reports back to the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Rows in the collected result table.
+    pub rows: usize,
+    /// FNV-1a hash over the result rows' `Debug` renderings, in order —
+    /// the bit-determinism fingerprint CI compares across configs.
+    pub hash: u64,
+    /// Uncontended service time in virtual seconds (the job's span on the
+    /// tenant context's clock).
+    pub t_solo: f64,
+    /// Mean core demand while running (total task-seconds / span).
+    pub cores: f64,
+    /// Whether the tenant's dataset cache already held this job's sources.
+    pub cache_hit: bool,
+}
+
+/// A tenant's long-lived execution state.
+pub struct TenantRuntime {
+    /// The tenant's private engine context (shared host pool, own virtual
+    /// cluster clock).
+    pub ctx: Context,
+    /// Source RDDs built so far, keyed by `(kind, scale-millis, seed)`.
+    datasets: HashMap<(JobKind, u32, u64), Vec<Rdd>>,
+    /// Dataset-cache hits across jobs.
+    pub cache_hits: u64,
+    /// Dataset-cache misses (first builds).
+    pub cache_misses: u64,
+}
+
+impl TenantRuntime {
+    /// Builds the runtime. `options` should carry the server's shared
+    /// worker pool and (for fault-injection tenants) a fault plan.
+    pub fn new(options: EngineOptions) -> TenantRuntime {
+        TenantRuntime {
+            ctx: Context::new(options),
+            datasets: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Runs one job to completion on the tenant's context and reports the
+    /// outcome. Execution is real (host threads); timing is virtual.
+    pub fn run(&mut self, req: &JobRequest) -> JobOutcome {
+        let key = (req.kind, (req.scale * 1000.0).round() as u32, req.seed);
+        let cache_hit = self.datasets.contains_key(&key);
+        if cache_hit {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+            let sources = build_sources(&mut self.ctx, req);
+            for &rdd in &sources {
+                self.ctx.cache(rdd);
+            }
+            self.datasets.insert(key, sources);
+        }
+        let sources = self.datasets[&key].clone();
+        let out = run_query(&mut self.ctx, req, &sources);
+
+        let mut h = Fnv::new();
+        for rec in &out {
+            h.write(format!("{rec:?}").as_bytes());
+            h.write_u8(b'\n');
+        }
+        let job = self.ctx.jobs().last().expect("collect records job metrics");
+        let t_solo = (job.end - job.start).max(1e-9);
+        let task_secs: f64 = job
+            .stages
+            .iter()
+            .map(|s| s.task_durations.iter().sum::<f64>())
+            .sum();
+        JobOutcome {
+            rows: out.len(),
+            hash: h.finish(),
+            t_solo,
+            cores: (task_secs / t_solo).max(0.05),
+            cache_hit,
+        }
+    }
+}
+
+/// Builds (without materializing) the source RDDs for a request.
+fn build_sources(ctx: &mut Context, req: &JobRequest) -> Vec<Rdd> {
+    let scale = req.scale;
+    let seed = req.seed;
+    let milli = (scale * 1000.0).round() as u32;
+    match req.kind {
+        JobKind::WordCount => {
+            let n = scaled(WC_RECORDS, scale, 64);
+            let vocab = 100 + (300.0 * scale) as u64;
+            let s = mix(seed, 0);
+            let gen: GenFn = Arc::new(move |part, parts| {
+                let (lo, hi) = span(n, part, parts);
+                (lo..hi)
+                    .map(|i| {
+                        let u = unit(s, i);
+                        let w = ((u * u) * vocab as f64) as u64;
+                        Record::new(Key::str(&format!("w{w:05}")), Value::Int(1))
+                    })
+                    .collect()
+            });
+            let file = format!("jobs/wc-{milli}-{seed}");
+            vec![ctx.text_file(&file, n * 24, gen, GEN_COST, "wc_src")]
+        }
+        JobKind::Sql => {
+            let keys = scaled(1_500.0, scale, 16);
+            let n_orders = scaled(SQL_ORDERS, scale, 64);
+            let s_ord = mix(seed, 1);
+            let gen_orders: GenFn = Arc::new(move |part, parts| {
+                let (lo, hi) = span(n_orders, part, parts);
+                (lo..hi)
+                    .map(|i| {
+                        // Quadratic key skew: popular customers order more.
+                        let u = unit(s_ord, i);
+                        let k = ((u * u) * keys as f64) as i64;
+                        let amount = 1 + (mix(s_ord, i ^ 0x5a5a) % 100) as i64;
+                        Record::new(Key::Int(k), Value::Int(amount))
+                    })
+                    .collect()
+            });
+            let n_cust = scaled(SQL_CUSTOMERS, scale, 16).min(keys);
+            let s_cust = mix(seed, 2);
+            let gen_cust: GenFn = Arc::new(move |part, parts| {
+                let (lo, hi) = span(n_cust, part, parts);
+                (lo..hi)
+                    .map(|i| {
+                        let region = (mix(s_cust, i) % 10) as i64;
+                        Record::new(Key::Int(i as i64), Value::Int(region))
+                    })
+                    .collect()
+            });
+            let orders = ctx.text_file(
+                &format!("jobs/orders-{milli}-{seed}"),
+                n_orders * 18,
+                gen_orders,
+                GEN_COST,
+                "sql_orders",
+            );
+            let customers = ctx.text_file(
+                &format!("jobs/customers-{milli}-{seed}"),
+                n_cust * 18,
+                gen_cust,
+                GEN_COST,
+                "sql_customers",
+            );
+            vec![orders, customers]
+        }
+        JobKind::KMeans | JobKind::LogReg => {
+            let n = scaled(ML_POINTS, scale, 64);
+            let s = mix(seed, 3);
+            let labelled = req.kind == JobKind::LogReg;
+            let gen: GenFn = Arc::new(move |part, parts| {
+                let (lo, hi) = span(n, part, parts);
+                (lo..hi)
+                    .map(|i| {
+                        let x: Vec<f64> = (0..DIM)
+                            .map(|d| 4.0 * unit(s, i * DIM as u64 + d as u64) - 2.0)
+                            .collect();
+                        let value = if labelled {
+                            // Linearly separable-ish labels from a fixed plane.
+                            let y = if x.iter().sum::<f64>() > 0.0 { 1 } else { 0 };
+                            Value::Pair(Box::new(Value::vector(x)), Box::new(Value::Int(y)))
+                        } else {
+                            Value::vector(x)
+                        };
+                        Record::new(Key::None, value)
+                    })
+                    .collect()
+            });
+            let tag = if labelled { "lr_points" } else { "km_points" };
+            let file = format!("jobs/{}-{milli}-{seed}", if labelled { "lr" } else { "km" });
+            vec![ctx.text_file(&file, n * (16 + 8 * DIM as u64), gen, GEN_COST, tag)]
+        }
+    }
+}
+
+/// Appends the request's query over pre-built sources and collects it.
+fn run_query(ctx: &mut Context, req: &JobRequest, sources: &[Rdd]) -> Vec<Record> {
+    match req.kind {
+        JobKind::WordCount => {
+            let counts = ctx.count_by_key(sources[0], None, "wc_count");
+            ctx.collect(counts, "wordcount")
+        }
+        JobKind::Sql => {
+            let revenue = ctx.reduce_by_key(
+                sources[0],
+                Arc::new(|a: &Value, b: &Value| Value::Int(a.as_int() + b.as_int())),
+                None,
+                REDUCE_COST,
+                "sql_revenue",
+            );
+            let joined = ctx.join(revenue, sources[1], None, JOIN_COST, "sql_join");
+            ctx.collect(joined, "sql")
+        }
+        JobKind::KMeans => {
+            let centers = fixed_centers(req.seed);
+            let assigned = ctx.map(
+                sources[0],
+                Arc::new(move |r: &Record| {
+                    let x = r.value.as_vector();
+                    let mut best = 0usize;
+                    let mut best_d = f64::INFINITY;
+                    for (c, center) in centers.iter().enumerate() {
+                        let d: f64 = x
+                            .iter()
+                            .zip(center.iter())
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum();
+                        if d < best_d {
+                            best_d = d;
+                            best = c;
+                        }
+                    }
+                    Record::new(
+                        Key::Int(best as i64),
+                        Value::Pair(
+                            Box::new(Value::Vector(Arc::new(x.to_vec()))),
+                            Box::new(Value::Int(1)),
+                        ),
+                    )
+                }),
+                MAP_COST,
+                "km_assign",
+            );
+            let summed = ctx.reduce_by_key(
+                assigned,
+                Arc::new(|a: &Value, b: &Value| pair_vec_add(a, b)),
+                None,
+                REDUCE_COST,
+                "km_sum",
+            );
+            let centroids = ctx.map_values(
+                summed,
+                Arc::new(|r: &Record| {
+                    let (sum, count) = match &r.value {
+                        Value::Pair(s, c) => (s.as_vector(), c.as_int() as f64),
+                        other => panic!("expected (sum, count) pair, got {other:?}"),
+                    };
+                    let mean: Vec<f64> = sum.iter().map(|v| v / count).collect();
+                    Record::new(r.key.clone(), Value::vector(mean))
+                }),
+                MAP_COST,
+                "km_centroid",
+            );
+            ctx.collect(centroids, "kmeans")
+        }
+        JobKind::LogReg => {
+            let w = fixed_weights(req.seed);
+            let grads = ctx.map(
+                sources[0],
+                Arc::new(move |r: &Record| {
+                    let (x, y) = match &r.value {
+                        Value::Pair(x, y) => (x.as_vector(), y.as_int() as f64),
+                        other => panic!("expected (x, y) pair, got {other:?}"),
+                    };
+                    let dot: f64 = w.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+                    let sigma = 1.0 / (1.0 + (-dot).exp());
+                    let g: Vec<f64> = x.iter().map(|xi| xi * (sigma - y)).collect();
+                    Record::new(Key::Int(0), Value::vector(g))
+                }),
+                MAP_COST,
+                "lr_grad",
+            );
+            let total = ctx.reduce_by_key(
+                grads,
+                Arc::new(|a: &Value, b: &Value| {
+                    let (va, vb) = (a.as_vector(), b.as_vector());
+                    Value::vector(va.iter().zip(vb.iter()).map(|(x, y)| x + y).collect())
+                }),
+                None,
+                REDUCE_COST,
+                "lr_sum",
+            );
+            ctx.collect(total, "logreg")
+        }
+    }
+}
+
+/// Adds two `(sum-vector, count)` accumulators.
+fn pair_vec_add(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Pair(sa, ca), Value::Pair(sb, cb)) => {
+            let (va, vb) = (sa.as_vector(), sb.as_vector());
+            Value::Pair(
+                Box::new(Value::vector(
+                    va.iter().zip(vb.iter()).map(|(x, y)| x + y).collect(),
+                )),
+                Box::new(Value::Int(ca.as_int() + cb.as_int())),
+            )
+        }
+        other => panic!("expected accumulator pairs, got {other:?}"),
+    }
+}
+
+/// K fixed k-means centers derived from the job seed.
+fn fixed_centers(seed: u64) -> Arc<Vec<Vec<f64>>> {
+    let s = mix(seed, 4);
+    Arc::new(
+        (0..KM_K)
+            .map(|c| {
+                (0..DIM)
+                    .map(|d| 4.0 * unit(s, (c * DIM + d) as u64) - 2.0)
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+/// Fixed logistic-regression weight vector derived from the job seed.
+fn fixed_weights(seed: u64) -> Arc<Vec<f64>> {
+    let s = mix(seed, 5);
+    Arc::new((0..DIM).map(|d| unit(s, d as u64) - 0.5).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_file::JobKind;
+
+    fn small_opts() -> EngineOptions {
+        EngineOptions {
+            cluster: simcluster::uniform_cluster(2, 4, 2.0),
+            default_parallelism: 6,
+            block_size: 64 * 1024,
+            workers: 2,
+            ..EngineOptions::default()
+        }
+    }
+
+    fn req(kind: JobKind, scale: f64, seed: u64) -> JobRequest {
+        JobRequest {
+            id: 0,
+            tenant: 0,
+            at: 0.0,
+            kind,
+            scale,
+            seed,
+        }
+    }
+
+    #[test]
+    fn every_kind_runs_and_is_deterministic() {
+        for kind in [
+            JobKind::WordCount,
+            JobKind::Sql,
+            JobKind::KMeans,
+            JobKind::LogReg,
+        ] {
+            let mut a = TenantRuntime::new(small_opts());
+            let mut b = TenantRuntime::new(small_opts());
+            let r = req(kind, 0.2, 7);
+            let oa = a.run(&r);
+            let ob = b.run(&r);
+            assert!(oa.rows > 0, "{kind:?} returned no rows");
+            assert!(oa.t_solo > 0.0);
+            assert_eq!(oa, ob, "{kind:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn repeat_jobs_hit_the_dataset_cache_and_match() {
+        let mut rt = TenantRuntime::new(small_opts());
+        let r = req(JobKind::Sql, 0.3, 9);
+        let first = rt.run(&r);
+        let second = rt.run(&r);
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(rt.cache_hits, 1);
+        assert_eq!(first.hash, second.hash);
+        assert_eq!(first.rows, second.rows);
+        // Cached sources skip the generate stage, so the repeat is faster.
+        assert!(second.t_solo <= first.t_solo);
+    }
+
+    #[test]
+    fn results_are_independent_of_workers_and_data_plane() {
+        let r = req(JobKind::KMeans, 0.25, 3);
+        let base = TenantRuntime::new(EngineOptions {
+            workers: 1,
+            pipeline: false,
+            batch: false,
+            ..small_opts()
+        })
+        .run(&r);
+        for (workers, pipeline, batch) in [(4, true, true), (2, true, false), (4, false, true)] {
+            let got = TenantRuntime::new(EngineOptions {
+                workers,
+                pipeline,
+                batch,
+                ..small_opts()
+            })
+            .run(&r);
+            assert_eq!(got.rows, base.rows);
+            assert_eq!(got.hash, base.hash);
+            assert_eq!(got.t_solo.to_bits(), base.t_solo.to_bits());
+        }
+    }
+
+    #[test]
+    fn mem_demand_is_monotone_in_scale() {
+        for kind in [
+            JobKind::WordCount,
+            JobKind::Sql,
+            JobKind::KMeans,
+            JobKind::LogReg,
+        ] {
+            assert!(mem_demand(kind, 0.1) <= mem_demand(kind, 0.9));
+            assert!(mem_demand(kind, 1.0) > 1 << 20);
+        }
+    }
+}

@@ -386,6 +386,97 @@ impl MemoryManager {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tenant-scoped admission ledger (job server)
+// ---------------------------------------------------------------------------
+
+/// Monotonic counters for a [`TenantLedger`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerCounters {
+    /// Admissions granted.
+    pub admitted: u64,
+    /// Admissions denied (would exceed guarantee + shared pool).
+    pub denied: u64,
+}
+
+/// Per-tenant memory admission ledger with a shared overflow pool.
+///
+/// Each tenant holds a *guarantee* — bytes it can always occupy — and may
+/// borrow past it from one *shared pool* that all tenants' overflows
+/// compete for. The job server charges a job's estimated footprint here
+/// before dispatching it and releases the charge at completion, so one
+/// tenant's burst can delay (never starve: the guarantee is reserved) the
+/// others. Purely arithmetic over explicit state — deterministic by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct TenantLedger {
+    /// Shared overflow pool, competed for by every tenant's excess.
+    shared: u64,
+    /// Per-tenant guaranteed bytes.
+    guarantees: Vec<u64>,
+    /// Per-tenant bytes currently charged.
+    used: Vec<u64>,
+    counters: LedgerCounters,
+}
+
+impl TenantLedger {
+    /// Ledger with `shared` overflow bytes and one guarantee per tenant.
+    pub fn new(shared: u64, guarantees: Vec<u64>) -> TenantLedger {
+        let used = vec![0; guarantees.len()];
+        TenantLedger {
+            shared,
+            guarantees,
+            used,
+            counters: LedgerCounters::default(),
+        }
+    }
+
+    pub fn num_tenants(&self) -> usize {
+        self.guarantees.len()
+    }
+
+    pub fn counters(&self) -> LedgerCounters {
+        self.counters
+    }
+
+    /// Bytes tenant `t` currently has charged.
+    pub fn used(&self, t: usize) -> u64 {
+        self.used[t]
+    }
+
+    /// Shared-pool bytes currently consumed by overflows past guarantees.
+    pub fn shared_used(&self) -> u64 {
+        self.used
+            .iter()
+            .zip(&self.guarantees)
+            .map(|(&u, &g)| u.saturating_sub(g))
+            .sum()
+    }
+
+    /// Tries to charge `bytes` to tenant `t`. The portion within the
+    /// tenant's remaining guarantee is always granted; any excess must fit
+    /// in what is left of the shared pool. All-or-nothing.
+    pub fn try_admit(&mut self, t: usize, bytes: u64) -> bool {
+        let after = self.used[t] + bytes;
+        let overflow_after = after.saturating_sub(self.guarantees[t]);
+        let overflow_now = self.used[t].saturating_sub(self.guarantees[t]);
+        let shared_after = self.shared_used() - overflow_now + overflow_after;
+        if shared_after > self.shared {
+            self.counters.denied += 1;
+            return false;
+        }
+        self.used[t] = after;
+        self.counters.admitted += 1;
+        true
+    }
+
+    /// Returns a prior charge. Saturates at zero so a conservative caller
+    /// can never underflow the ledger.
+    pub fn release(&mut self, t: usize, bytes: u64) {
+        self.used[t] = self.used[t].saturating_sub(bytes);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,5 +571,42 @@ mod tests {
         m.insert(1, vec![80], 1);
         m.insert(1, vec![40], 1); // recompute shrank it
         assert_eq!(m.storage_used(), &[40]);
+    }
+
+    #[test]
+    fn ledger_guarantee_is_always_available() {
+        let mut l = TenantLedger::new(0, vec![100, 100]);
+        assert!(l.try_admit(0, 100));
+        assert!(l.try_admit(1, 100), "tenant 1's guarantee is untouchable");
+        assert!(!l.try_admit(0, 1), "no shared pool to borrow from");
+        assert_eq!(
+            l.counters(),
+            LedgerCounters {
+                admitted: 2,
+                denied: 1
+            }
+        );
+    }
+
+    #[test]
+    fn ledger_overflow_competes_for_shared_pool() {
+        let mut l = TenantLedger::new(50, vec![100, 100]);
+        assert!(l.try_admit(0, 140)); // 40 over guarantee, from shared
+        assert_eq!(l.shared_used(), 40);
+        assert!(!l.try_admit(1, 120), "20 over, only 10 shared left");
+        assert!(l.try_admit(1, 110)); // exactly fills the shared pool
+        assert_eq!(l.shared_used(), 50);
+        l.release(0, 140);
+        assert_eq!(l.used(0), 0);
+        assert!(l.try_admit(0, 130), "released shared bytes come back");
+    }
+
+    #[test]
+    fn ledger_release_saturates() {
+        let mut l = TenantLedger::new(10, vec![20]);
+        assert!(l.try_admit(0, 15));
+        l.release(0, 100);
+        assert_eq!(l.used(0), 0);
+        assert_eq!(l.shared_used(), 0);
     }
 }

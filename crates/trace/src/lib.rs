@@ -55,6 +55,12 @@ pub mod pids {
     /// overlap across stages are the pipeline at work), and tid 3 the
     /// per-exchange available-prefix counters.
     pub const POOL: u32 = 4;
+    /// Virtual clock: the multi-tenant job server. Track layout: tid 0
+    /// carries the admission-queue depth counter (sampled at every
+    /// arrival, dispatch, completion, and rejection), and tid `1 + t`
+    /// carries tenant `t`'s per-job spans (dispatch → completion, with
+    /// job id, kind, and latency as args).
+    pub const SERVER: u32 = 5;
 }
 
 /// Which clock an event's timestamp was read from.

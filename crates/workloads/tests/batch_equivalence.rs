@@ -67,7 +67,11 @@ struct Observed {
 }
 
 fn observe(w: &dyn Workload, batch: bool, pipeline: bool, workers: usize) -> Observed {
-    let ctx: Context = w.run(&options(batch, pipeline, workers), &WorkloadConf::new(), 1.0);
+    let ctx: Context = w.run(
+        &options(batch, pipeline, workers),
+        &WorkloadConf::new(),
+        1.0,
+    );
     let summary = ctx.trace_summary();
     Observed {
         jobs: ctx.jobs().to_vec(),
