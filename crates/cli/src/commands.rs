@@ -13,8 +13,8 @@ chopper-cli — CHOPPER auto-partitioning (CLUSTER 2016 reproduction)
 commands:
   run      --workload kmeans|pca|sql|logreg [--scale F] [--partitions N]
            [--copartition] [--gantt] [--conf FILE] [--pipeline on|off] [--batch on|off]
-           [--cluster paper|uniform:N,C,GHz] [--executor-mem SIZE]
-           [--fault-plan FILE] [--fault-seed N]
+           [--cluster paper|uniform:N,C,GHz] [--topology flat|rack:RxH[:oversub]]
+           [--executor-mem SIZE] [--fault-plan FILE] [--fault-seed N]
   tune     --workload W --db FILE [--out-conf FILE]
            [--scales 0.1,0.3,0.6] [--partitions 60,150,300,600,1200]
            [--test-parallelism N]
@@ -33,6 +33,12 @@ commands:
            [--tables-out FILE] [--trace-out FILE]
   loadgen  --out FILE [--tenants N] [--jobs N] [--seed N]
   help
+
+--topology shapes the simulated network: `flat` (default) is the
+historical non-blocking fabric; `rack:<racks>x<hosts>[:oversub]` groups
+hosts into racks behind ToR uplinks carrying hosts×NIC/oversub each way,
+simulated flow-level with max-min fair sharing. The rack grid must have
+room for every cluster node; malformed specs are rejected at parse time.
 
 --executor-mem bounds each simulated executor's unified memory (cache +
 task working sets); accepts k/m/g suffixes, e.g. 512m. Omitting it keeps
@@ -68,8 +74,8 @@ fn workload(args: &Args) -> Result<Box<dyn Workload>, String> {
 }
 
 fn cluster(args: &Args) -> Result<ClusterSpec, String> {
-    match args.get("cluster").unwrap_or("paper") {
-        "paper" => Ok(paper_cluster()),
+    let mut spec = match args.get("cluster").unwrap_or("paper") {
+        "paper" => paper_cluster(),
         spec if spec.starts_with("uniform:") => {
             let parts: Vec<&str> = spec["uniform:".len()..].split(',').collect();
             if parts.len() != 3 {
@@ -78,10 +84,24 @@ fn cluster(args: &Args) -> Result<ClusterSpec, String> {
             let nodes = parts[0].parse().map_err(|_| "bad node count")?;
             let cores = parts[1].parse().map_err(|_| "bad core count")?;
             let ghz = parts[2].parse().map_err(|_| "bad GHz value")?;
-            Ok(uniform_cluster(nodes, cores, ghz))
+            uniform_cluster(nodes, cores, ghz)
         }
-        other => Err(format!("unknown cluster spec '{other}'")),
+        other => return Err(format!("unknown cluster spec '{other}'")),
+    };
+    if let Some(t) = args.get("topology") {
+        let topo: simcluster::Topology = t
+            .parse()
+            .map_err(|e: simcluster::TopologyParseError| e.to_string())?;
+        if !topo.covers(spec.num_nodes()) {
+            return Err(format!(
+                "--topology {topo} has room for fewer hosts than the cluster's \
+                 {} nodes — grow the rack grid or shrink the cluster",
+                spec.num_nodes()
+            ));
+        }
+        spec.topology = topo;
     }
+    Ok(spec)
 }
 
 /// Parses a byte size with an optional k/m/g suffix (e.g. "512m", "2g").
@@ -636,6 +656,59 @@ mod tests {
         assert_eq!(uni.total_cores(), 24);
         assert!(cluster(&args(&["run", "--cluster", "uniform:3,8"])).is_err());
         assert!(cluster(&args(&["run", "--cluster", "mesh"])).is_err());
+    }
+
+    #[test]
+    fn topology_flag_shapes_the_cluster() {
+        let flat = cluster(&args(&["run", "--cluster", "uniform:8,4,2.0"])).unwrap();
+        assert!(flat.topology.is_flat());
+        let racked = cluster(&args(&[
+            "run",
+            "--cluster",
+            "uniform:8,4,2.0",
+            "--topology",
+            "rack:4x2:4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            racked.topology,
+            simcluster::Topology::Rack {
+                racks: 4,
+                hosts: 2,
+                oversub: 4.0
+            }
+        );
+        assert_eq!(racked.rack_of(7), 3);
+        // Explicit flat is accepted and identical to the default.
+        let explicit = cluster(&args(&[
+            "run",
+            "--cluster",
+            "uniform:8,4,2.0",
+            "--topology",
+            "flat",
+        ]))
+        .unwrap();
+        assert_eq!(explicit, flat);
+    }
+
+    #[test]
+    fn malformed_topology_specs_die_at_parse_time() {
+        for bad in ["rack:8", "rack:0x4", "mesh:2x2", "rack:2x2:0.5", "Rack:2x2"] {
+            let err = cluster(&args(&["run", "--topology", bad]))
+                .expect_err(&format!("'{bad}' must be rejected"));
+            assert!(err.contains("topology"), "'{bad}' error: {err}");
+        }
+        // A well-formed grid that is too small for the cluster is also an
+        // argument error, not a later panic.
+        let err = cluster(&args(&[
+            "run",
+            "--cluster",
+            "uniform:8,4,2.0",
+            "--topology",
+            "rack:2x2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("room"), "got: {err}");
     }
 
     #[test]

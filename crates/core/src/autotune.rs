@@ -48,6 +48,10 @@ impl Autotuner {
                 .as_ref()
                 .map(|f| f.task_fail_prob)
                 .unwrap_or(0.0),
+            // Judge shuffle significance against what the cluster can
+            // actually move — slowest NIC, degraded by the topology's
+            // oversubscription — instead of a hard-coded constant.
+            shuffle_bandwidth: Some(base.cluster.effective_shuffle_bandwidth()),
             ..OptimizerOptions::default()
         };
         Autotuner {
@@ -216,6 +220,25 @@ mod tests {
         t.optimizer.default_parallelism = 400;
         t.optimizer.candidates = vec![6, 12, 25, 50, 100, 200, 400, 800];
         t
+    }
+
+    #[test]
+    fn shuffle_bandwidth_derives_from_the_cluster_spec() {
+        let t = tuner();
+        let nic = t.vanilla_opts.cluster.nodes[0].net_bandwidth;
+        assert_eq!(t.optimizer.shuffle_bandwidth, Some(nic));
+
+        // An oversubscribed rack topology degrades the derived value.
+        let base = EngineOptions {
+            cluster: uniform_cluster(4, 4, 2.0).with_topology(simcluster::Topology::Rack {
+                racks: 2,
+                hosts: 2,
+                oversub: 4.0,
+            }),
+            ..EngineOptions::default()
+        };
+        let t2 = Autotuner::new(base);
+        assert_eq!(t2.optimizer.shuffle_bandwidth, Some(nic / 4.0));
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub struct OptimizerOptions {
     pub basis: ModelBasis,
     /// Effective shuffle bandwidth (bytes/s) used to estimate how
     /// significant a stage's shuffle volume is relative to its runtime.
-    /// `None` disables significance weighting (the paper's raw Eq. 3).
+    /// `None` (the default) disables significance weighting — the paper's
+    /// raw Eq. 3. Callers that know the cluster derive the value from its
+    /// spec (`ClusterSpec::effective_shuffle_bandwidth`: the slowest NIC,
+    /// degraded by topology oversubscription for cross-rack traffic), as
+    /// `Autotuner` does, instead of guessing a hard-coded constant.
     pub shuffle_bandwidth: Option<f64>,
     /// Execution-trace sink: when enabled, model fits and per-stage
     /// decisions are recorded as wall-clock instants.
@@ -93,7 +97,7 @@ impl Default for OptimizerOptions {
             task_overhead: 0.015,
             clamp_to_trained_range: true,
             basis: ModelBasis::default(),
-            shuffle_bandwidth: Some(4e8),
+            shuffle_bandwidth: None,
             trace: TraceSink::disabled(),
             task_mem_budget: None,
             spill_penalty: 2.0,

@@ -2001,6 +2001,23 @@ impl Context {
                 replica_read[new_home] += bytes;
                 moved_bytes += bytes;
             }
+            // Under a rack topology the surviving replica must also cross
+            // the network to its new home; charge those transfers as
+            // contended flows. Source selection is deterministic: the
+            // survivor after the new home in id order holds the replica
+            // (with a single survivor the copy is node-local and free).
+            if !self.options.cluster.topology.is_flat() {
+                let transfers: Vec<(NodeId, NodeId, u64)> = moves
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &(_, _, bytes))| {
+                        let new_home = survivors[k % survivors.len()];
+                        let src = survivors[(k + 1) % survivors.len()];
+                        (src, new_home, bytes)
+                    })
+                    .collect();
+                self.sim.charge_replica_transfers(&transfers);
+            }
             self.sim.charge_disk_io(&replica_read, false);
             let fs = self.faults.as_mut().expect("fault state present");
             fs.counters.replica_rehomed_partitions += moves.len() as u64;

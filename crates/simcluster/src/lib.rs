@@ -29,6 +29,7 @@ pub mod task;
 pub mod trace;
 
 pub use gantt::render as render_gantt;
+pub use netsim::{Topology, TopologyParseError};
 pub use perfetto::emit_stage_trace;
 pub use sim::{Simulation, StageTiming, TaskTiming};
 pub use spec::{paper_cluster, uniform_cluster, ClusterSpec, NodeId, NodeSpec};

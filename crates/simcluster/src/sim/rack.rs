@@ -1,0 +1,664 @@
+//! Rack-mode stage execution: flow-level network simulation.
+//!
+//! Under a [`netsim::Topology::Rack`] topology, remote shuffle fetches no
+//! longer resolve to the flat closed form (`bytes / NIC + latency`): a
+//! reduce task's fetches become *flows* through a leaf/spine network —
+//! source-rack uplink → destination-rack downlink → destination NIC — and
+//! share those links max-min fairly with every other in-flight fetch.
+//! Oversubscribed ToR uplinks therefore congest exactly when many tasks
+//! pull cross-rack at once, which is what makes partition placement and
+//! partition *count* interact at scale.
+//!
+//! Because contention makes task durations placement- and time-dependent,
+//! the one-pass greedy schedule of the flat path does not work here; this
+//! module runs a proper event loop (dispatch events, task completions,
+//! and flow completions merged through the netsim event queue) with
+//! topology-aware placement: pins first, then data-local preferences,
+//! then the candidate whose rack holds the most of the task's shuffle
+//! input, then least-loaded with the same salt rotation as the flat path.
+//!
+//! Approximations, chosen deliberately and documented here:
+//!
+//! * Per-task flows are aggregated per source rack (and one same-rack
+//!   aggregate), not per source host, bounding queue traffic at scale;
+//!   past [`MAX_PER_RACK_FLOWS`] distinct source racks they collapse
+//!   further into a single cross-rack flow through the destination's
+//!   downlink. Sender-side NICs are not modeled — the receiver NIC and
+//!   the rack uplinks/downlinks are the contended resources.
+//! * Non-network task costs (launch overhead, compute, disk, chunk and
+//!   fetch-wave latency) are charged as a closed-form tail after the
+//!   task's flows complete; they do not contend.
+//! * Speculative execution reuses the flat-path estimator for backup
+//!   copies: speculation fires in the stage tail when the network is
+//!   draining, so contention-free estimates are close.
+//!
+//! Determinism: every queue is `(time, seq)`-ordered, ties between a
+//! stage event and a flow completion at the same instant resolve to the
+//! stage event, and placement scans nodes in id order with explicit
+//! tie-breaks. Identical inputs replay bit-identically.
+
+use std::collections::VecDeque;
+
+use netsim::{EventQueue, LinkId, Network, Topology};
+
+use super::{Simulation, StageTiming, TaskTiming};
+use crate::spec::NodeId;
+use crate::task::TaskSpec;
+
+/// Above this many distinct source racks, a task's cross-rack fetches
+/// collapse into one aggregate flow through the destination downlink.
+const MAX_PER_RACK_FLOWS: usize = 8;
+
+enum Ev {
+    /// The driver ships task `idx`'s descriptor; it joins the ready queue.
+    Dispatch(usize),
+    /// Task `idx` finishes its closed-form tail and frees its core.
+    TaskEnd(usize),
+}
+
+/// All per-stage state of the rack-mode event loop.
+struct RackStage<'a> {
+    tasks: &'a [TaskSpec],
+    topo: Topology,
+    racks: usize,
+    salt: usize,
+    net: Network,
+    nic: Vec<LinkId>,
+    uplink: Vec<LinkId>,
+    downlink: Vec<LinkId>,
+    q: EventQueue<Ev>,
+    /// Per-node core slots: free-at time, `INFINITY` while occupied.
+    slots: Vec<Vec<f64>>,
+    assigned: Vec<usize>,
+    ready: VecDeque<usize>,
+    timing: Vec<TaskTiming>,
+    slot_of: Vec<(NodeId, usize)>,
+    pending_flows: Vec<usize>,
+    /// Closed-form tail charged after the task's flows finish.
+    rest: Vec<f64>,
+    remote_bytes: Vec<u64>,
+    txn_bytes: Vec<u64>,
+    /// When the task's last flow completed (packet-trace window end).
+    net_end: Vec<f64>,
+    /// Per task, shuffle input bytes by source rack — the placement score.
+    rack_bytes: Vec<Vec<u64>>,
+    /// Flow id → owning task.
+    flow_task: Vec<usize>,
+    ended: usize,
+    stage_end: f64,
+}
+
+impl Simulation {
+    /// Event-driven stage execution under a rack topology. The caller
+    /// guarantees `tasks` is non-empty.
+    pub(super) fn run_stage_rack(&mut self, tasks: &[TaskSpec]) -> StageTiming {
+        let stage_start = self.clock;
+        let num_nodes = self.spec.num_nodes();
+        let salt = self.stages_run % num_nodes;
+        self.stages_run += 1;
+
+        let mut st = RackStage::new(self, tasks, stage_start, salt);
+        for idx in 0..tasks.len() {
+            st.q.push(
+                stage_start + idx as f64 * self.spec.dispatch_interval,
+                Ev::Dispatch(idx),
+            );
+        }
+
+        while st.ended < tasks.len() {
+            let tq = st.q.peek_time();
+            let tn = st.net.next_completion_time();
+            let take_net = match (tq, tn) {
+                // Equal instants resolve to the stage event: dispatches
+                // and completions outrank flow completions, determinately.
+                (Some(a), Some(b)) => b < a,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => unreachable!("tasks pending but no events"),
+            };
+            if take_net {
+                let (t, flow) = st.net.pop_completion().expect("peeked completion");
+                let idx = st.flow_task[flow];
+                st.pending_flows[idx] -= 1;
+                if st.pending_flows[idx] == 0 {
+                    st.net_end[idx] = t;
+                    st.q.push(t + st.rest[idx], Ev::TaskEnd(idx));
+                }
+            } else {
+                let ev = st.q.pop().expect("peeked event");
+                match ev.item {
+                    Ev::Dispatch(idx) => {
+                        st.ready.push_back(idx);
+                        st.try_place(self, ev.time);
+                    }
+                    Ev::TaskEnd(idx) => {
+                        st.finish_task(self, idx, ev.time);
+                        st.try_place(self, ev.time);
+                    }
+                }
+            }
+        }
+
+        let RackStage {
+            net,
+            q,
+            slots,
+            mut timing,
+            mut stage_end,
+            ..
+        } = st;
+        self.net_stats += net.stats();
+        self.events += q.total_popped() + net.stats().events_processed;
+
+        if let Some(multiplier) = self.speculation {
+            stage_end = self.speculate(tasks, &mut timing, &slots, multiplier, stage_end);
+        }
+
+        let resident: u64 = self.resident_bytes.iter().sum();
+        if resident > 0 && stage_end > stage_start {
+            self.trace.record_memory(stage_start, stage_end, resident);
+        }
+
+        self.clock = stage_end;
+        StageTiming {
+            start: stage_start,
+            end: stage_end,
+            tasks: timing,
+        }
+    }
+
+    /// Charges driver-coordinated replica transfers (`(src, dst, bytes)`)
+    /// through the topology: same-rack copies contend only at the
+    /// destination NIC, cross-rack copies also cross the source uplink and
+    /// destination downlink. The clock advances to the last completion and
+    /// the packet trace records each transfer over its actual window.
+    pub fn charge_replica_transfers(&mut self, moves: &[(NodeId, NodeId, u64)]) {
+        if moves.iter().all(|&(_, _, b)| b == 0) {
+            return;
+        }
+        let start = self.clock;
+        let (mut net, nic, uplink, downlink) = build_network(&self.spec);
+        net.sync_to(start);
+        let mut flow_move: Vec<usize> = Vec::with_capacity(moves.len());
+        for (i, &(src, dst, bytes)) in moves.iter().enumerate() {
+            if bytes == 0 || src == dst {
+                continue;
+            }
+            let (sr, dr) = (self.spec.rack_of(src), self.spec.rack_of(dst));
+            let path = if sr == dr {
+                vec![nic[dst]]
+            } else {
+                vec![uplink[sr], downlink[dr], nic[dst]]
+            };
+            net.start_flow(path, bytes as f64);
+            flow_move.push(i);
+        }
+        let mut end = start;
+        while let Some((t, flow)) = net.pop_completion() {
+            let &(_, _, bytes) = &moves[flow_move[flow]];
+            let packets = (bytes as f64 / self.spec.mtu as f64).ceil();
+            self.trace
+                .record_packets(start, t.max(start + 1e-9), 2.0 * packets);
+            self.io.remote_bytes += bytes;
+            end = end.max(t);
+        }
+        self.net_stats += net.stats();
+        self.events += net.stats().events_processed;
+        self.clock = end;
+    }
+}
+
+/// Builds the leaf/spine link set for a spec: one receive-direction link
+/// per NIC, one uplink + one downlink per rack (capacity `hosts × fastest
+/// NIC in the rack / oversub`; infinite for empty racks and flat specs,
+/// where they never constrain anything).
+fn build_network(
+    spec: &crate::spec::ClusterSpec,
+) -> (Network, Vec<LinkId>, Vec<LinkId>, Vec<LinkId>) {
+    let topo = spec.topology;
+    let racks = topo.num_racks();
+    let mut net = Network::new();
+    let nic: Vec<LinkId> = spec
+        .nodes
+        .iter()
+        .map(|n| net.add_link(n.net_bandwidth))
+        .collect();
+    let mut rack_nic = vec![0.0f64; racks];
+    for (i, n) in spec.nodes.iter().enumerate() {
+        let r = topo.rack_of(i);
+        rack_nic[r] = rack_nic[r].max(n.net_bandwidth);
+    }
+    let cap = |b: f64| {
+        let c = topo.uplink_capacity(b);
+        if c > 0.0 {
+            c
+        } else {
+            f64::INFINITY
+        }
+    };
+    let uplink: Vec<LinkId> = rack_nic.iter().map(|&b| net.add_link(cap(b))).collect();
+    let downlink: Vec<LinkId> = rack_nic.iter().map(|&b| net.add_link(cap(b))).collect();
+    (net, nic, uplink, downlink)
+}
+
+impl<'a> RackStage<'a> {
+    fn new(sim: &Simulation, tasks: &'a [TaskSpec], stage_start: f64, salt: usize) -> Self {
+        let topo = sim.spec.topology;
+        let racks = topo.num_racks();
+        let (mut net, nic, uplink, downlink) = build_network(&sim.spec);
+        net.sync_to(stage_start);
+
+        let rack_bytes: Vec<Vec<u64>> = tasks
+            .iter()
+            .map(|t| {
+                let mut by_rack = vec![0u64; racks];
+                for &(src, bytes) in &t.fetches {
+                    by_rack[topo.rack_of(src)] += bytes;
+                }
+                by_rack
+            })
+            .collect();
+
+        RackStage {
+            tasks,
+            topo,
+            racks,
+            salt,
+            net,
+            nic,
+            uplink,
+            downlink,
+            q: EventQueue::with_capacity(tasks.len() * 2),
+            slots: sim
+                .spec
+                .nodes
+                .iter()
+                .map(|n| vec![stage_start; n.cores])
+                .collect(),
+            assigned: vec![0; sim.spec.num_nodes()],
+            ready: VecDeque::new(),
+            timing: vec![
+                TaskTiming {
+                    node: 0,
+                    start: 0.0,
+                    end: 0.0
+                };
+                tasks.len()
+            ],
+            slot_of: vec![(0, 0); tasks.len()],
+            pending_flows: vec![0; tasks.len()],
+            rest: vec![0.0; tasks.len()],
+            remote_bytes: vec![0; tasks.len()],
+            txn_bytes: vec![0; tasks.len()],
+            net_end: vec![0.0; tasks.len()],
+            rack_bytes,
+            flow_task: Vec::new(),
+            ended: 0,
+            stage_end: stage_start,
+        }
+    }
+
+    /// Whether `node` has a core free at `now`.
+    fn has_free_core(&self, node: NodeId, now: f64) -> bool {
+        self.slots[node].iter().any(|&t| t <= now + 1e-12)
+    }
+
+    /// Topology-aware placement. `None` means the task cannot start now —
+    /// for a pinned task, "its node is busy"; for anything else, "no node
+    /// has a free core".
+    fn pick_node(&self, sim: &Simulation, idx: usize, now: f64) -> Option<NodeId> {
+        let task = &self.tasks[idx];
+        let n = sim.spec.num_nodes();
+        if let Some(pin) = task.pinned_node {
+            if !sim.failed[pin] {
+                return self.has_free_core(pin, now).then_some(pin);
+            }
+        }
+        // Data-local preference: a preferred node with a free core wins
+        // outright (the flat path's delay scheduling, without the wait —
+        // under contention a busy preference is not worth stalling for).
+        for &p in &task.preferred_nodes {
+            if p < n && !sim.failed[p] && self.has_free_core(p, now) {
+                return Some(p);
+            }
+        }
+        // Otherwise: the free node whose rack holds the most of this
+        // task's shuffle input — cross-rack bytes are the contended
+        // resource — then least-loaded, then salt-rotated id.
+        let mut best: Option<(u64, f64, usize, NodeId)> = None;
+        for node in 0..n {
+            if sim.failed[node] || !self.has_free_core(node, now) {
+                continue;
+            }
+            let score = self.rack_bytes[idx][self.topo.rack_of(node)];
+            let load = self.assigned[node] as f64 / sim.spec.nodes[node].cores as f64;
+            let rotated = (node + n - self.salt) % n;
+            let better = match best {
+                None => true,
+                Some((bs, bl, br, _)) => {
+                    score > bs
+                        || (score == bs
+                            && (load < bl - 1e-12 || (load < bl + 1e-12 && rotated < br)))
+                }
+            };
+            if better {
+                best = Some((score, load, rotated, node));
+            }
+        }
+        best.map(|(_, _, _, node)| node)
+    }
+
+    /// Drains the ready queue in FIFO order, skipping (but keeping)
+    /// pinned tasks whose node is busy; stops at the first task that
+    /// cannot place because the whole cluster is out of cores.
+    fn try_place(&mut self, sim: &mut Simulation, now: f64) {
+        let mut i = 0;
+        while i < self.ready.len() {
+            let idx = self.ready[i];
+            match self.pick_node(sim, idx, now) {
+                Some(node) => {
+                    self.ready.remove(i);
+                    self.start_task(sim, idx, node, now);
+                }
+                None => {
+                    let pinned_wait = self.tasks[idx].pinned_node.is_some_and(|p| !sim.failed[p]);
+                    if pinned_wait {
+                        i += 1; // waiting for its pin; let others pass
+                    } else {
+                        break; // no free core anywhere — nobody can place
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_task(&mut self, sim: &mut Simulation, idx: usize, node: NodeId, now: f64) {
+        let task = &self.tasks[idx];
+        self.assigned[node] += 1;
+        let slot = self.slots[node]
+            .iter()
+            .position(|&t| t <= now + 1e-12)
+            .expect("pick_node guarantees a free core");
+        self.slots[node][slot] = f64::INFINITY;
+        self.slot_of[idx] = (node, slot);
+        self.timing[idx].node = node;
+        self.timing[idx].start = now;
+
+        // Cost decomposition — identical constants to the flat path; only
+        // the transfer time itself moves into the flow network.
+        let n = &sim.spec.nodes[node];
+        let speed = n.speed / sim.slowdown[node];
+        let my_rack = self.topo.rack_of(node);
+        let mut local_fetch = 0u64;
+        let mut same_rack = 0u64;
+        let mut remote_total = 0u64;
+        let mut remote_srcs = 0usize;
+        let mut cross: Vec<u64> = vec![0; self.racks];
+        for &(src, bytes) in &task.fetches {
+            if src == node {
+                local_fetch += bytes;
+            } else {
+                remote_total += bytes;
+                remote_srcs += 1;
+                let r = self.topo.rack_of(src);
+                if r == my_rack {
+                    same_rack += bytes;
+                } else {
+                    cross[r] += bytes;
+                }
+            }
+        }
+        let waves = remote_srcs.div_ceil(sim.spec.max_concurrent_fetches.max(1));
+        let disk = (task.local_read_bytes + task.write_bytes) as f64 / n.disk_bandwidth
+            + local_fetch as f64 / sim.spec.cache_bandwidth;
+        let chunk = task.fetch_chunks as f64 * sim.spec.fetch_chunk_overhead;
+        self.rest[idx] = sim.spec.task_launch_overhead
+            + task.compute_cost / speed
+            + disk
+            + chunk
+            + waves as f64 * n.net_latency;
+        self.remote_bytes[idx] = remote_total;
+        self.txn_bytes[idx] = task.local_read_bytes + local_fetch + task.write_bytes;
+
+        sim.io.remote_bytes += remote_total;
+        sim.io.local_read_bytes += task.local_read_bytes + local_fetch;
+        sim.io.write_bytes += task.write_bytes;
+
+        // Launch the task's flows: one same-rack aggregate through the
+        // receiver NIC, one per source rack through uplink → downlink →
+        // NIC, collapsing to a single cross-rack aggregate when the rack
+        // fan-in is large.
+        self.net.sync_to(now);
+        let mut flows = 0usize;
+        if same_rack > 0 {
+            self.net.start_flow(vec![self.nic[node]], same_rack as f64);
+            self.flow_task.push(idx);
+            flows += 1;
+        }
+        let active_racks = cross.iter().filter(|&&b| b > 0).count();
+        if active_racks > MAX_PER_RACK_FLOWS {
+            let total: u64 = cross.iter().sum();
+            self.net
+                .start_flow(vec![self.downlink[my_rack], self.nic[node]], total as f64);
+            self.flow_task.push(idx);
+            flows += 1;
+        } else {
+            for (r, &bytes) in cross.iter().enumerate() {
+                if bytes > 0 {
+                    self.net.start_flow(
+                        vec![self.uplink[r], self.downlink[my_rack], self.nic[node]],
+                        bytes as f64,
+                    );
+                    self.flow_task.push(idx);
+                    flows += 1;
+                }
+            }
+        }
+        self.pending_flows[idx] = flows;
+        if flows == 0 {
+            self.net_end[idx] = now;
+            self.q.push(now + self.rest[idx], Ev::TaskEnd(idx));
+        }
+    }
+
+    fn finish_task(&mut self, sim: &mut Simulation, idx: usize, now: f64) {
+        let task = &self.tasks[idx];
+        self.timing[idx].end = now;
+        let (node, slot) = self.slot_of[idx];
+        self.slots[node][slot] = now;
+        self.ended += 1;
+        self.stage_end = self.stage_end.max(now);
+
+        let start = self.timing[idx].start;
+        sim.trace.record_task(start, now, task.memory_bytes);
+        if self.remote_bytes[idx] > 0 {
+            let packets = (self.remote_bytes[idx] as f64 / sim.spec.mtu as f64).ceil();
+            sim.trace
+                .record_packets(start, self.net_end[idx].max(start + 1e-9), 2.0 * packets);
+        }
+        if self.txn_bytes[idx] > 0 {
+            let txns = (self.txn_bytes[idx] as f64 / sim.spec.io_transaction_bytes as f64).ceil();
+            sim.trace.record_transactions(start, now, txns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::uniform_cluster;
+
+    fn racked(nodes: usize, cores: usize, racks: usize, hosts: usize, oversub: f64) -> Simulation {
+        Simulation::new(
+            uniform_cluster(nodes, cores, 1.0).with_topology(Topology::Rack {
+                racks,
+                hosts,
+                oversub,
+            }),
+        )
+    }
+
+    #[test]
+    fn uncontended_rack_fetch_matches_the_flat_closed_form() {
+        // One task, one remote same-rack fetch, nobody else on the wire:
+        // the flow runs at full NIC rate, so the duration must equal the
+        // flat path's `overhead + bytes/NIC + latency`.
+        let spec = uniform_cluster(2, 2, 1.0);
+        let bw = spec.nodes[0].net_bandwidth;
+        let bytes = (2.0 * bw) as u64;
+        let t = TaskSpec {
+            fetches: vec![(1, bytes)],
+            ..TaskSpec::default()
+        }
+        .pin(0);
+
+        let mut flat = Simulation::new(spec.clone());
+        let flat_d = flat.run_stage(std::slice::from_ref(&t)).duration();
+
+        let mut rack = Simulation::new(spec.with_topology(Topology::Rack {
+            racks: 1,
+            hosts: 2,
+            oversub: 1.0,
+        }));
+        let rack_d = rack.run_stage(std::slice::from_ref(&t)).duration();
+        assert!(
+            (rack_d - flat_d).abs() < 1e-9,
+            "uncontended rack {rack_d} vs flat {flat_d}"
+        );
+        assert_eq!(rack.network_stats().flows_completed, 1);
+        assert!(rack.events_processed() > 0);
+        assert_eq!(flat.network_stats().flows_completed, 0);
+    }
+
+    #[test]
+    fn oversubscribed_uplink_throttles_cross_rack_stages() {
+        // Two reduce tasks in rack 1, each pulling from both rack-0 hosts.
+        // At oversub 4 the shared uplink carries half a NIC, so the stage
+        // runs ~4x longer than at full bisection.
+        let bw = uniform_cluster(1, 1, 1.0).nodes[0].net_bandwidth;
+        let bytes = bw as u64; // one NIC-second per source
+        let tasks: Vec<TaskSpec> = [2usize, 3]
+            .iter()
+            .map(|&dst| {
+                TaskSpec {
+                    fetches: vec![(0, bytes), (1, bytes)],
+                    ..TaskSpec::default()
+                }
+                .pin(dst)
+            })
+            .collect();
+        let fast = racked(4, 1, 2, 2, 1.0).run_stage(&tasks).duration();
+        let slow = racked(4, 1, 2, 2, 4.0).run_stage(&tasks).duration();
+        assert!(
+            slow > 3.0 * fast,
+            "oversub 4 should be ~4x slower: {slow} vs {fast}"
+        );
+        // Transfer math: 2 NIC-seconds of bytes per task, two tasks on an
+        // uplink of 2·NIC/4 → 8 seconds of transfer at oversub 4.
+        assert!(
+            (slow - fast - 6.0).abs() < 0.1,
+            "got slow={slow} fast={fast}"
+        );
+    }
+
+    #[test]
+    fn placement_prefers_the_rack_holding_the_shuffle_input() {
+        // All of the task's input sits in rack 0; with free cores
+        // everywhere the scheduler must not send it cross-rack.
+        let mut sim = racked(6, 2, 3, 2, 4.0);
+        let t = TaskSpec {
+            fetches: vec![(0, 1 << 20), (1, 1 << 20)],
+            ..TaskSpec::default()
+        };
+        let st = sim.run_stage(&[t]);
+        assert!(
+            st.tasks[0].node < 2,
+            "placed on node {} outside rack 0",
+            st.tasks[0].node
+        );
+    }
+
+    #[test]
+    fn rack_stages_replay_bit_identically() {
+        let run = || {
+            let mut sim = racked(8, 2, 4, 2, 4.0);
+            let tasks: Vec<TaskSpec> = (0..24)
+                .map(|i| TaskSpec {
+                    compute_cost: 0.5 + (i % 5) as f64 * 0.3,
+                    fetches: vec![((i * 3) % 8, 1_000_000 + i as u64 * 7_000)],
+                    write_bytes: 500_000,
+                    ..TaskSpec::default()
+                })
+                .collect();
+            let a = sim.run_stage(&tasks);
+            let b = sim.run_stage(&tasks);
+            (a, b, sim.events_processed())
+        };
+        let (a1, b1, e1) = run();
+        let (a2, b2, e2) = run();
+        assert_eq!(e1, e2);
+        for (x, y) in [(a1, a2), (b1, b2)] {
+            assert_eq!(x.end.to_bits(), y.end.to_bits());
+            for (tx, ty) in x.tasks.iter().zip(&y.tasks) {
+                assert_eq!(tx.node, ty.node);
+                assert_eq!(tx.start.to_bits(), ty.start.to_bits());
+                assert_eq!(tx.end.to_bits(), ty.end.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_tasks_wait_for_their_node_without_blocking_others() {
+        // Node 0 has one core; two tasks pinned there must serialize while
+        // an unpinned task slips past to another node.
+        let mut sim = racked(4, 1, 2, 2, 1.0);
+        let tasks = vec![
+            TaskSpec::compute(2.0).pin(0),
+            TaskSpec::compute(2.0).pin(0),
+            TaskSpec::compute(1.0),
+        ];
+        let st = sim.run_stage(&tasks);
+        assert_eq!(st.tasks[0].node, 0);
+        assert_eq!(st.tasks[1].node, 0);
+        assert!(st.tasks[1].start >= st.tasks[0].end - 1e-9, "serialized");
+        assert_ne!(st.tasks[2].node, 0, "unpinned task skipped ahead");
+        assert!(st.tasks[2].end < st.tasks[1].end);
+    }
+
+    #[test]
+    fn replica_transfers_contend_on_the_uplink() {
+        // Two same-source-rack transfers share one uplink; clock advances
+        // by the max-min completion, not the naive per-NIC time.
+        let mut sim = racked(4, 1, 2, 2, 2.0);
+        let bw = sim.spec().nodes[0].net_bandwidth;
+        let uplink = 2.0 * bw / 2.0; // hosts × NIC / oversub = one NIC
+        let bytes = bw as u64;
+        let t0 = sim.clock();
+        sim.charge_replica_transfers(&[(0, 2, bytes), (1, 3, bytes)]);
+        // 2 NIC-seconds of bytes through a one-NIC uplink: 2 seconds.
+        let took = sim.clock() - t0;
+        let expect = 2.0 * bytes as f64 / uplink;
+        assert!((took - expect).abs() < 1e-9, "took {took}, want {expect}");
+        assert_eq!(sim.io_stats().remote_bytes, 2 * bytes);
+        // Same-node and zero-byte moves are free.
+        let t1 = sim.clock();
+        sim.charge_replica_transfers(&[(0, 0, 123), (1, 2, 0)]);
+        assert_eq!(sim.clock(), t1);
+    }
+
+    #[test]
+    fn speculation_runs_in_rack_mode() {
+        let mut sim = racked(4, 2, 2, 2, 1.0);
+        sim.set_slowdown(0, 10.0);
+        sim.enable_speculation(1.5);
+        let tasks: Vec<TaskSpec> = (0..8).map(|_| TaskSpec::compute(5.0)).collect();
+        let st = sim.run_stage(&tasks);
+        // The straggling copies on node 0 must have been rescued: no task
+        // ends anywhere near the 10x-slowed duration.
+        assert!(
+            st.max_task() < 25.0,
+            "straggler not rescued: {}",
+            st.max_task()
+        );
+    }
+}

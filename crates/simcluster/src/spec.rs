@@ -1,5 +1,6 @@
 //! Cluster topology descriptions.
 
+use netsim::Topology;
 use serde::{Deserialize, Serialize};
 
 /// Index of a node within a [`ClusterSpec`].
@@ -76,6 +77,21 @@ pub struct ClusterSpec {
     /// This is the second mechanism behind the 2000-partition blowup —
     /// with thousands of short tasks, the driver becomes the bottleneck.
     pub dispatch_interval: f64,
+    /// Network topology. [`Topology::Flat`] (the default) reproduces the
+    /// historical closed-form network model bit-for-bit; a rack topology
+    /// switches shuffle fetches and replica transfers to flow-level
+    /// simulation with contended ToR uplinks.
+    #[serde(default)]
+    pub topology: Topology,
+    /// How many map outputs a reduce task fetches concurrently (Spark's
+    /// five parallel fetch requests). Round-trip latency is charged once
+    /// per *wave* of this many sources, not once per source.
+    #[serde(default = "default_max_concurrent_fetches")]
+    pub max_concurrent_fetches: usize,
+}
+
+fn default_max_concurrent_fetches() -> usize {
+    5
 }
 
 impl ClusterSpec {
@@ -90,7 +106,24 @@ impl ClusterSpec {
             cache_bandwidth: 4e9,
             fetch_chunk_overhead: 1e-3,
             dispatch_interval: 8e-3,
+            topology: Topology::Flat,
+            max_concurrent_fetches: default_max_concurrent_fetches(),
         }
+    }
+
+    /// Replaces the topology, validating that the rack grid is big enough
+    /// for the node count.
+    ///
+    /// # Panics
+    /// Panics when the grid has fewer slots than the cluster has nodes.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert!(
+            topology.covers(self.nodes.len()),
+            "topology {topology} has no room for {} nodes",
+            self.nodes.len()
+        );
+        self.topology = topology;
+        self
     }
 
     /// Total executor core slots across the cluster.
@@ -111,6 +144,25 @@ impl ClusterSpec {
     /// Looks a node up by name.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
         self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// The rack a node lives in (always 0 when flat).
+    pub fn rack_of(&self, node: NodeId) -> usize {
+        self.topology.rack_of(node)
+    }
+
+    /// The bandwidth a shuffle fetch can realistically count on: the
+    /// slowest NIC in the cluster, degraded by the topology's
+    /// oversubscription for cross-rack traffic. This is what the optimizer
+    /// uses to judge whether a stage's shuffle volume is significant
+    /// (Eq. 3's `s/bw/t0` term).
+    pub fn effective_shuffle_bandwidth(&self) -> f64 {
+        let min_nic = self
+            .nodes
+            .iter()
+            .map(|n| n.net_bandwidth)
+            .fold(f64::INFINITY, f64::min);
+        self.topology.cross_rack_bandwidth(min_nic)
     }
 }
 
@@ -188,5 +240,63 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: ClusterSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn rack_spec_roundtrips_through_serde() {
+        let c = uniform_cluster(6, 4, 2.0).with_topology(Topology::Rack {
+            racks: 3,
+            hosts: 2,
+            oversub: 4.0,
+        });
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.rack_of(0), 0);
+        assert_eq!(back.rack_of(5), 2);
+    }
+
+    #[test]
+    fn topology_defaults_to_flat_in_old_specs() {
+        // A spec serialized before the topology field existed must load
+        // as flat with the standard fetch concurrency.
+        let c = paper_cluster();
+        let json = serde_json::to_string(&c).unwrap();
+        let stripped = json
+            .replace("\"topology\":\"flat\",", "")
+            .replace(",\"topology\":\"flat\"", "")
+            .replace("\"max_concurrent_fetches\":5,", "")
+            .replace(",\"max_concurrent_fetches\":5", "");
+        assert_ne!(stripped, json, "fields were present to strip");
+        let back: ClusterSpec = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, c);
+        assert!(back.topology.is_flat());
+        assert_eq!(back.max_concurrent_fetches, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no room")]
+    fn undersized_rack_grid_rejected() {
+        let _ = uniform_cluster(6, 4, 2.0).with_topology(Topology::Rack {
+            racks: 2,
+            hosts: 2,
+            oversub: 1.0,
+        });
+    }
+
+    #[test]
+    fn effective_shuffle_bandwidth_reflects_oversubscription() {
+        let flat = uniform_cluster(4, 4, 2.0);
+        let nic = flat.nodes[0].net_bandwidth;
+        assert_eq!(flat.effective_shuffle_bandwidth(), nic);
+        // The paper cluster's slowest NIC (1 GbE) is the binding one.
+        let paper = paper_cluster();
+        assert_eq!(paper.effective_shuffle_bandwidth(), 1e9 / 8.0);
+        let racked = uniform_cluster(4, 4, 2.0).with_topology(Topology::Rack {
+            racks: 2,
+            hosts: 2,
+            oversub: 4.0,
+        });
+        assert_eq!(racked.effective_shuffle_bandwidth(), nic / 4.0);
     }
 }
