@@ -1,0 +1,251 @@
+//! Adaptive-execution benchmark: the skewed aggregation (`skewagg`)
+//! workload run `--adaptive off` vs `--adaptive on`.
+//!
+//! Every figure here is virtual-clock deterministic — the splitter keys
+//! on data-plane byte tables and the replan hook on virtual durations —
+//! so like the job-server sweep the committed
+//! `results/BENCH_adaptive.json` regenerates verbatim and is checked by
+//! the doc-sync drift gate. Perfgate re-measures it and enforces, on top
+//! of bit-identity with the committed JSON, two hard floors: the
+//! adaptive run at least [`ADAPTIVE_SPEEDUP_FLOOR`]x faster than the
+//! static run, and the two modes' sorted output tables bit-identical.
+
+use crate::DATA_SCALE;
+use engine::{EngineOptions, PartitionerSpec, WorkloadConf};
+use serde::{Deserialize, Serialize};
+use simcluster::{ClusterSpec, NodeSpec};
+use workloads::{SkewAgg, SkewAggConfig, SkewAggResult};
+
+/// Hard floor on the end-to-end `--adaptive on` vs `off` speedup for the
+/// skewed aggregation, regardless of what the committed baseline says.
+pub const ADAPTIVE_SPEEDUP_FLOOR: f64 = 1.3;
+
+/// Per-job virtual wall time under both modes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveJobRow {
+    /// Job label (`hot-agg`, `freq-agg` round one / two).
+    pub job: String,
+    /// Virtual seconds with the static plan.
+    pub time_static: f64,
+    /// Virtual seconds with adaptive execution.
+    pub time_adaptive: f64,
+    /// Reduce-stage virtual task count with the static plan.
+    pub tasks_static: usize,
+    /// Reduce-stage virtual task count with adaptive execution (exceeds
+    /// the physical partition count when the splitter fired).
+    pub tasks_adaptive: usize,
+    /// Reduce-stage partitioner under the static plan, e.g. `range(16)`.
+    pub scheme_static: String,
+    /// Reduce-stage partitioner under adaptive execution.
+    pub scheme_adaptive: String,
+}
+
+/// The adaptive-vs-static comparison (what `BENCH_adaptive.json` holds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveReport {
+    /// One row per job, in execution order.
+    pub jobs: Vec<AdaptiveJobRow>,
+    /// End-of-run virtual clock with the static plan.
+    pub total_static: f64,
+    /// End-of-run virtual clock with adaptive execution.
+    pub total_adaptive: f64,
+    /// `total_static / total_adaptive`.
+    pub speedup: f64,
+    /// Whether both modes produced bit-identical sorted output tables.
+    pub tables_equal: bool,
+    /// FNV-1a fingerprint over both sorted output tables (shared by the
+    /// two modes whenever `tables_equal`).
+    pub fingerprint: u64,
+}
+
+impl AdaptiveReport {
+    /// Parses a committed report.
+    pub fn parse(text: &str) -> Result<AdaptiveReport, String> {
+        serde_json::from_str(text).map_err(|e| format!("parse adaptive report: {e}"))
+    }
+
+    /// Renders the report as indented JSON (what gets committed).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// The `hot-agg` row (the user-fixed range job the splitter targets).
+    pub fn hot_row(&self) -> &AdaptiveJobRow {
+        &self.jobs[0]
+    }
+
+    /// The final `freq-agg` row (the round the replan hook retunes).
+    pub fn retuned_row(&self) -> &AdaptiveJobRow {
+        self.jobs.last().expect("report has jobs")
+    }
+}
+
+fn scheme_cell(scheme: Option<PartitionerSpec>) -> String {
+    match scheme {
+        Some(s) => format!("{:?}({})", s.kind, s.partitions).to_lowercase(),
+        None => "-".to_string(),
+    }
+}
+
+/// Three 4-core 2 GHz workers on 1 GbE, with every byte-denominated
+/// capacity shrunk by [`DATA_SCALE`] — the same dimensional-consistency
+/// argument as `paper_engine`: the scaled-down tables must meet
+/// correspondingly scaled-down bandwidths or byte skew becomes
+/// unrealistically cheap relative to compute.
+fn bench_cluster() -> ClusterSpec {
+    let mut cluster = ClusterSpec::new(
+        (0..3)
+            .map(|i| NodeSpec::new(&format!("n{i}"), 4, 2.0, 40, 1.0))
+            .collect(),
+    );
+    let scale = DATA_SCALE as f64;
+    for node in &mut cluster.nodes {
+        node.memory_bytes /= DATA_SCALE;
+        node.net_bandwidth /= scale;
+        node.disk_bandwidth /= scale;
+    }
+    cluster.cache_bandwidth /= scale;
+    cluster
+}
+
+fn run(adaptive: bool) -> SkewAggResult {
+    let cluster = bench_cluster();
+    // Wave width for the replan hook's makespan model comes from the
+    // simulated cluster, never the host worker count — determinism.
+    let slots = cluster.total_cores();
+    let opts = EngineOptions {
+        cluster,
+        default_parallelism: SkewAggConfig::paper().partitions,
+        workers: 4,
+        adaptive,
+        replan: adaptive.then(|| {
+            chopper::replan_hook(chopper::ReplanOptions {
+                slots,
+                ..chopper::ReplanOptions::default()
+            })
+        }),
+        ..EngineOptions::default()
+    };
+    SkewAgg::new(SkewAggConfig::paper()).execute(&opts, &WorkloadConf::new(), 1.0)
+}
+
+/// Runs the comparison. Deterministic: virtual-clock figures only.
+pub fn measure_adaptive() -> AdaptiveReport {
+    let stat = run(false);
+    let adap = run(true);
+
+    let mut jobs = Vec::new();
+    for (js, ja) in stat.ctx.jobs().iter().zip(adap.ctx.jobs()) {
+        assert_eq!(js.name, ja.name, "modes must run the same job sequence");
+        // Each skewagg job is a source + reduce pair; index the reduce.
+        let (rs, ra) = (&js.stages[1], &ja.stages[1]);
+        jobs.push(AdaptiveJobRow {
+            job: js.name.clone(),
+            time_static: js.end - js.start,
+            time_adaptive: ja.end - ja.start,
+            tasks_static: rs.num_tasks,
+            tasks_adaptive: ra.num_tasks,
+            scheme_static: scheme_cell(rs.scheme),
+            scheme_adaptive: scheme_cell(ra.scheme),
+        });
+    }
+
+    let total_static = stat.ctx.clock();
+    let total_adaptive = adap.ctx.clock();
+    let tables_equal = stat.hot_table == adap.hot_table
+        && stat.freq_table == adap.freq_table
+        && stat.fingerprint() == adap.fingerprint();
+    AdaptiveReport {
+        jobs,
+        total_static,
+        total_adaptive,
+        speedup: total_static / total_adaptive,
+        tables_equal,
+        fingerprint: adap.fingerprint(),
+    }
+}
+
+/// The perfgate checks: bit-identity against the committed JSON plus the
+/// absolute floors. `committed` is the raw text of
+/// `results/BENCH_adaptive.json` (empty if missing — every check that
+/// needs it then fails loudly rather than passing vacuously).
+pub fn adaptive_gate_checks(committed: &str, fresh: &AdaptiveReport) -> Vec<(String, bool)> {
+    let bit_identical = committed == fresh.to_json();
+    let hot = fresh.hot_row();
+    let retuned = fresh.retuned_row();
+    let split_fired = hot.tasks_adaptive > hot.tasks_static;
+    let replan_fired = retuned.scheme_adaptive != retuned.scheme_static;
+    vec![
+        (
+            "fresh adaptive figures match committed BENCH_adaptive.json bit-identically"
+                .to_string(),
+            bit_identical,
+        ),
+        (
+            format!(
+                "adaptive beats static by >= {ADAPTIVE_SPEEDUP_FLOOR}x on the skewed \
+                 aggregation ({:.2}x)",
+                fresh.speedup
+            ),
+            fresh.speedup >= ADAPTIVE_SPEEDUP_FLOOR,
+        ),
+        (
+            format!(
+                "adaptive and static sorted output tables are bit-identical \
+                 (fingerprint {:016x})",
+                fresh.fingerprint
+            ),
+            fresh.tables_equal,
+        ),
+        (
+            format!(
+                "hot range partition splits into sub-tasks ({} virtual over {} physical)",
+                hot.tasks_adaptive, hot.tasks_static
+            ),
+            split_fired,
+        ),
+        (
+            format!(
+                "replan retunes the repeated hash aggregation ({} -> {})",
+                retuned.scheme_static, retuned.scheme_adaptive
+            ),
+            replan_fired,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let rep = AdaptiveReport {
+            jobs: vec![AdaptiveJobRow {
+                job: "hot-agg".into(),
+                time_static: 10.5,
+                time_adaptive: 6.25,
+                tasks_static: 16,
+                tasks_adaptive: 20,
+                scheme_static: "range(16)".into(),
+                scheme_adaptive: "range(16)".into(),
+            }],
+            total_static: 30.0,
+            total_adaptive: 20.0,
+            speedup: 1.5,
+            tables_equal: true,
+            fingerprint: 0xDEAD_BEEF,
+        };
+        let back = AdaptiveReport::parse(&rep.to_json()).expect("roundtrip");
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn gate_checks_fail_without_a_committed_baseline() {
+        let fresh = measure_adaptive();
+        let checks = adaptive_gate_checks("", &fresh);
+        assert!(!checks[0].1, "empty baseline must not pass bit-identity");
+        let against_self = adaptive_gate_checks(&fresh.to_json(), &fresh);
+        assert!(against_self[0].1, "a report matches its own JSON");
+    }
+}

@@ -30,6 +30,13 @@
 //! 1000-node fig_scale cells re-tuned under a wall-clock budget with at
 //! least one stage flipped on the oversubscribed fabric, and the fresh
 //! cells bit-identical to the committed `results/fig_scale.txt`.
+//!
+//! The adaptive gate re-runs the skewed-aggregation comparison
+//! (virtual clock) and holds it to the committed
+//! `results/BENCH_adaptive.json` bit-identically, plus hard floors: the
+//! adaptive run at least 1.3x faster than the static run with
+//! bit-identical sorted output tables, the hot range partition actually
+//! split, and the repeated hash aggregation actually retuned.
 
 use bench::jobserver::{jobserver_gate_checks, measure_jobserver, JobserverReport};
 use bench::report::{
@@ -295,6 +302,17 @@ fn scale_gate() -> Vec<(String, bool)> {
     ]
 }
 
+/// The adaptive-execution gate: the skewed-aggregation comparison is
+/// virtual-clock deterministic, so the fresh report must match the
+/// committed `results/BENCH_adaptive.json` byte for byte, on top of the
+/// absolute floors ([`bench::adaptive::ADAPTIVE_SPEEDUP_FLOOR`]x
+/// speedup, bit-identical output tables, split and replan both firing).
+fn adaptive_gate() -> Vec<(String, bool)> {
+    let committed = std::fs::read_to_string("results/BENCH_adaptive.json").unwrap_or_default();
+    let fresh = bench::adaptive::measure_adaptive();
+    bench::adaptive::adaptive_gate_checks(&committed, &fresh)
+}
+
 /// Hard floor on the fresh `pipeline_sql_join_e2e` speedup: the pipelined
 /// shuffle must beat the barrier engine by at least this much end-to-end,
 /// regardless of what the committed baseline says.
@@ -474,6 +492,11 @@ fn main() {
     }
     eprintln!("[perfgate] checking netsim throughput + fig_scale floors...");
     for (name, ok) in scale_gate() {
+        println!("{:<80} {}", name, if ok { "ok" } else { "VIOLATED" });
+        failed |= !ok;
+    }
+    eprintln!("[perfgate] re-running the adaptive-execution comparison (virtual clock)...");
+    for (name, ok) in adaptive_gate() {
         println!("{:<80} {}", name, if ok { "ok" } else { "VIOLATED" });
         failed |= !ok;
     }

@@ -5,6 +5,7 @@
 //! benches under `benches/` exercise reduced-size versions of the same
 //! experiments so `cargo bench` stays tractable.
 
+pub mod adaptive;
 pub mod dataplane;
 pub mod jobserver;
 pub mod report;

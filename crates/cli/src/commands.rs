@@ -13,7 +13,8 @@ chopper-cli — CHOPPER auto-partitioning (CLUSTER 2016 reproduction)
 commands:
   run      --workload kmeans|pca|sql|logreg [--scale F] [--partitions N]
            [--copartition] [--gantt] [--conf FILE] [--pipeline on|off] [--batch on|off]
-           [--cluster paper|uniform:N,C,GHz] [--topology flat|rack:RxH[:oversub]]
+           [--adaptive on|off] [--cluster paper|uniform:N,C,GHz]
+           [--topology flat|rack:RxH[:oversub]]
            [--executor-mem SIZE] [--fault-plan FILE] [--fault-seed N]
   tune     --workload W --db FILE [--out-conf FILE]
            [--scales 0.1,0.3,0.6] [--partitions 60,150,300,600,1200]
@@ -22,7 +23,7 @@ commands:
   compare  --workload W [--partitions N] [--executor-mem SIZE]
   trace    <workload> | --workload W [--scale F] [--partitions N]
            [--out FILE] [--summary-out FILE] [--clock all|virtual|wall]
-           [--conf FILE] [--cluster paper|uniform:N,C,GHz]
+           [--conf FILE] [--adaptive on|off] [--cluster paper|uniform:N,C,GHz]
            [--executor-mem SIZE] [--fault-plan FILE] [--fault-seed N]
   inspect  --db FILE
   conf     --file FILE
@@ -39,6 +40,13 @@ historical non-blocking fabric; `rack:<racks>x<hosts>[:oversub]` groups
 hosts into racks behind ToR uplinks carrying hosts×NIC/oversub each way,
 simulated flow-level with max-min fair sharing. The rack grid must have
 room for every cluster node; malformed specs are rejected at parse time.
+
+--adaptive (default on) enables runtime re-optimization: the engine
+splits byte-hot reduce partitions in-job (range shuffles, key-preserving
+— sorted outputs are bit-identical to the unsplit plan), and per-stage
+actuals feed CHOPPER's cost objective to re-choose partitioner kind and
+count for subsequent jobs. `--adaptive off` restores static plans
+bit-for-bit.
 
 --executor-mem bounds each simulated executor's unified memory (cache +
 task working sets); accepts k/m/g suffixes, e.g. 512m. Omitting it keeps
@@ -158,6 +166,11 @@ fn engine_opts(args: &Args) -> Result<EngineOptions, String> {
         Some("off") => false,
         Some(other) => return Err(format!("bad --batch '{other}' (expected on|off)")),
     };
+    let adaptive = match args.get("adaptive") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("bad --adaptive '{other}' (expected on|off)")),
+    };
     // An explicit `--pipeline on` cannot be honored under governed
     // memory (the engine would silently fall back to the barrier path);
     // reject the combination instead of surprising the user.
@@ -169,13 +182,28 @@ fn engine_opts(args: &Args) -> Result<EngineOptions, String> {
                 .into(),
         );
     }
+    let cluster = cluster(args)?;
+    // `--adaptive on` enables both halves of the adaptive layer: the
+    // in-engine hot-partition splitter (EngineOptions::adaptive) and the
+    // cross-job re-planner (CHOPPER's cost objective over observed
+    // actuals). The wave width fed to the re-planner comes from the
+    // simulated cluster, never the host worker count, so adaptive plans
+    // stay bit-identical across `--workers`.
+    let replan = adaptive.then(|| {
+        chopper::replan_hook(chopper::ReplanOptions {
+            slots: cluster.total_cores(),
+            ..chopper::ReplanOptions::default()
+        })
+    });
     let opts = EngineOptions {
-        cluster: cluster(args)?,
+        cluster,
         default_parallelism: args.num("partitions", 300).map_err(|e| e.to_string())?,
         copartition_scheduling: args.has("copartition"),
         executor_mem,
         pipeline,
         batch,
+        adaptive,
+        replan,
         faults: fault_plan(args)?,
         ..EngineOptions::default()
     };
@@ -755,6 +783,21 @@ mod tests {
             Ok(_) => panic!("bad --batch value must be rejected"),
         };
         assert!(err.contains("--batch"));
+    }
+
+    #[test]
+    fn adaptive_flag_parses_on_off() {
+        let on = engine_opts(&args(&["run"])).unwrap();
+        assert!(on.adaptive && on.replan.is_some());
+        let on = engine_opts(&args(&["run", "--adaptive", "on"])).unwrap();
+        assert!(on.adaptive && on.replan.is_some());
+        let off = engine_opts(&args(&["run", "--adaptive", "off"])).unwrap();
+        assert!(!off.adaptive && off.replan.is_none());
+        let err = match engine_opts(&args(&["run", "--adaptive", "maybe"])) {
+            Err(e) => e,
+            Ok(_) => panic!("bad --adaptive value must be rejected"),
+        };
+        assert!(err.contains("--adaptive"));
     }
 
     #[test]

@@ -36,6 +36,105 @@ pub enum ModelBasis {
 /// remaining conditioning).
 pub const MIN_OBSERVATIONS: usize = 6;
 
+/// Every numeric guard and cutoff the cost objective depends on, in one
+/// named, unit-tested place (the grep-proof successor to the scattered
+/// `1e-9`/`0.8`/`2.0` literals these used to be).
+///
+/// The adaptive executor addresses these directly — its observed-input
+/// re-optimization reuses the same objective, so a threshold change here
+/// moves the static planner and the runtime re-planner together.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostConstants {
+    /// Below this, the Eq. 3 time baseline `t₀` is treated as vanishing
+    /// and its term neutralized to 1.
+    pub time_baseline_eps: f64,
+    /// Below this, the Eq. 3 shuffle baseline `s₀` (bytes) is treated as
+    /// vanishing and its ratio neutralized to 1.
+    pub shuffle_baseline_eps: f64,
+    /// Floor on predicted times used as denominators (shuffle
+    /// significance, retry-overhead ratio) so a degenerate fit cannot
+    /// produce an unbounded factor.
+    pub pred_time_floor: f64,
+    /// Floor on a subgraph member's `t₀` weight in `getCost`, so stages
+    /// with a vanishing baseline still count a little instead of zero.
+    pub group_weight_floor: f64,
+    /// A task's execution working set relative to its input share: it
+    /// holds the input partition plus the output it produces, which we
+    /// bound by the input (the engine's `TaskMetrics::memory_bytes` is
+    /// input+output, and the optimizer must model the same quantity its
+    /// reservations use).
+    pub working_set_factor: f64,
+    /// Minimum |correlation| between observed `D` and `P` before the
+    /// optimizer models a stage's input as partition-dependent
+    /// (`D ≈ a + b·P`) instead of fixed.
+    pub input_corr_cutoff: f64,
+    /// Minimum pooled observations before the input-response correlation
+    /// test is even attempted.
+    pub input_min_points: usize,
+    /// Variance floor below which the correlation test is meaningless
+    /// (all observations at one `D` or one `P`).
+    pub variance_eps: f64,
+    /// Adaptive re-planning only adopts a new scheme when its modeled
+    /// cost is below `retune_margin ×` the current scheme's modeled cost
+    /// — the runtime analogue of the paper's γ tolerance, biased
+    /// conservative so noise never flips a plan.
+    pub retune_margin: f64,
+    /// Max/mean per-bucket byte skew above which the adaptive layer
+    /// treats a shuffle as hot (triggering a kind flip on hash stages
+    /// and, in the engine, hot-partition splitting).
+    pub skew_retune_trigger: f64,
+}
+
+impl CostConstants {
+    /// The tree-wide defaults (also what [`Default`] returns); `const` so
+    /// call sites that predate the hoist can stay allocation-free.
+    pub const DEFAULT: CostConstants = CostConstants {
+        time_baseline_eps: 1e-12,
+        shuffle_baseline_eps: 1e-9,
+        pred_time_floor: 1e-9,
+        group_weight_floor: 1e-6,
+        working_set_factor: 2.0,
+        input_corr_cutoff: 0.8,
+        input_min_points: 4,
+        variance_eps: 1e-12,
+        retune_margin: 0.9,
+        skew_retune_trigger: 2.0,
+    };
+}
+
+impl Default for CostConstants {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// The surface the Eq. 3–4 objective is evaluated over: predicted (or
+/// observed) execution time and shuffle volume as functions of `(D, P)`.
+///
+/// [`StageModel`] is the trained implementation; the adaptive executor
+/// supplies an observation-backed one so runtime re-optimization runs the
+/// *same* grid search and objective with measured inputs.
+pub trait CostSurface {
+    /// Execution-time estimate in seconds at input `d` and parallelism `p`.
+    fn predict_time(&self, d: f64, p: f64) -> f64;
+    /// Shuffle-volume estimate in bytes at input `d` and parallelism `p`.
+    fn predict_shuffle(&self, d: f64, p: f64) -> f64;
+    /// The `P` range the surface is trustworthy over.
+    fn trained_p_range(&self) -> (f64, f64);
+}
+
+impl CostSurface for StageModel {
+    fn predict_time(&self, d: f64, p: f64) -> f64 {
+        StageModel::predict_time(self, d, p)
+    }
+    fn predict_shuffle(&self, d: f64, p: f64) -> f64 {
+        StageModel::predict_shuffle(self, d, p)
+    }
+    fn trained_p_range(&self) -> (f64, f64) {
+        StageModel::trained_p_range(self)
+    }
+}
+
 /// A fitted per-stage model: Eq. 1 (time) and Eq. 2 (shuffle volume).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageModel {
@@ -233,8 +332,8 @@ impl Default for CostWeights {
 /// the shuffle's plausible share of the stage time (1.0 reproduces the
 /// paper's formula exactly; the unweighted behaviour is kept as an
 /// ablation).
-pub fn cost_with_baseline(
-    model: &StageModel,
+pub fn cost_with_baseline<M: CostSurface + ?Sized>(
+    model: &M,
     weights: CostWeights,
     d: f64,
     p: f64,
@@ -242,13 +341,14 @@ pub fn cost_with_baseline(
     s0: f64,
     significance: f64,
 ) -> f64 {
+    let consts = CostConstants::DEFAULT;
     debug_assert!((0.0..=1.0).contains(&significance));
-    let t_term = if t0 > 1e-12 {
+    let t_term = if t0 > consts.time_baseline_eps {
         model.predict_time(d, p) / t0
     } else {
         1.0
     };
-    let s_ratio = if s0 > 1e-9 {
+    let s_ratio = if s0 > consts.shuffle_baseline_eps {
         model.predict_shuffle(d, p) / s0
     } else {
         1.0
@@ -261,8 +361,8 @@ pub fn cost_with_baseline(
 
 /// Eq. 3 self-baselined: `cost = α·t(D,P)/t(D,P₀) + β·s(D,P)/s(D,P₀)`
 /// where `P₀` is the default parallelism. Used when only one model exists.
-pub fn cost(
-    model: &StageModel,
+pub fn cost<M: CostSurface + ?Sized>(
+    model: &M,
     weights: CostWeights,
     d: f64,
     p: f64,
@@ -277,6 +377,62 @@ pub fn cost(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cost_constants_defaults_are_sane() {
+        let c = CostConstants::default();
+        assert_eq!(c, CostConstants::DEFAULT);
+        // Guards are positive and ordered: the variance/time epsilons are
+        // strictly tighter than the byte-scale and weight floors.
+        assert!(c.time_baseline_eps > 0.0 && c.time_baseline_eps < c.shuffle_baseline_eps);
+        assert!(c.variance_eps > 0.0 && c.pred_time_floor > 0.0);
+        assert!(c.pred_time_floor < c.group_weight_floor);
+        // Cutoffs and factors live where the docs say they do.
+        assert!((0.0..=1.0).contains(&c.input_corr_cutoff));
+        assert!(c.input_min_points >= 2);
+        assert!(c.working_set_factor >= 1.0);
+        // The retune margin is conservative (< 1: a new plan must beat the
+        // incumbent by a real margin) and the skew trigger means "worse
+        // than balanced" (> 1).
+        assert!(c.retune_margin < 1.0 && c.retune_margin > 0.0);
+        assert!(c.skew_retune_trigger > 1.0);
+    }
+
+    /// The skew trigger is shared with the engine's hot-partition
+    /// splitter: a shuffle the re-planner calls hot is exactly one the
+    /// splitter would split, so the two mitigations never disagree.
+    #[test]
+    fn skew_trigger_matches_engine_split_trigger() {
+        assert_eq!(
+            CostConstants::DEFAULT.skew_retune_trigger,
+            engine::adaptive::HOT_SKEW_TRIGGER
+        );
+    }
+
+    /// A vanishing baseline neutralizes its term via the named epsilons
+    /// (the old inline `1e-12`/`1e-9` behaviour, now addressable).
+    #[test]
+    fn cost_constants_gate_degenerate_baselines() {
+        struct Flat;
+        impl CostSurface for Flat {
+            fn predict_time(&self, _d: f64, _p: f64) -> f64 {
+                5.0
+            }
+            fn predict_shuffle(&self, _d: f64, _p: f64) -> f64 {
+                100.0
+            }
+            fn trained_p_range(&self) -> (f64, f64) {
+                (1.0, 1e9)
+            }
+        }
+        let w = CostWeights::default();
+        // Both baselines below their epsilons: cost is exactly α + β.
+        let c = cost_with_baseline(&Flat, w, 1.0, 10.0, 0.0, 0.0, 1.0);
+        assert!((c - (w.alpha + w.beta)).abs() < 1e-12);
+        // Live baselines: the ratios participate.
+        let c = cost_with_baseline(&Flat, w, 1.0, 10.0, 10.0, 200.0, 1.0);
+        assert!((c - (w.alpha * 0.5 + w.beta * 0.5)).abs() < 1e-12);
+    }
 
     /// Synthesizes observations from a known ground-truth surface. Uses six
     /// distinct values per axis so the 9-feature basis is well-conditioned

@@ -13,7 +13,9 @@
 
 use crate::collector::DagStage;
 use crate::db::WorkloadRecord;
-use crate::model::{cost_with_baseline, CostWeights, ModelBasis, StageModel};
+use crate::model::{
+    cost_with_baseline, CostConstants, CostSurface, CostWeights, ModelBasis, StageModel,
+};
 use engine::{PartitionerKind, PartitionerSpec, TraceSink, WorkloadConf};
 use std::collections::HashMap;
 
@@ -82,6 +84,10 @@ pub struct OptimizerOptions {
     /// retries are overhead-dominated. Zero (the default) leaves every
     /// cost untouched, so fault-free plans are bit-identical.
     pub fault_prob: f64,
+    /// Every numeric guard/cutoff the objective depends on (significance
+    /// and correlation cutoffs, working-set and retune factors) — one
+    /// named, tested struct instead of scattered literals.
+    pub cost_constants: CostConstants,
 }
 
 impl Default for OptimizerOptions {
@@ -102,19 +108,15 @@ impl Default for OptimizerOptions {
             task_mem_budget: None,
             spill_penalty: 2.0,
             fault_prob: 0.0,
+            cost_constants: CostConstants::DEFAULT,
         }
     }
 }
 
-/// A task's execution working set relative to its input share: it holds
-/// the input partition plus the output it produces, which we bound by
-/// the input (the engine's `TaskMetrics::memory_bytes` is input+output,
-/// and the optimizer must model the same quantity its reservations use).
-const WORKING_SET_FACTOR: f64 = 2.0;
-
-/// Estimated per-task execution working set at candidate `p`.
-fn task_working_set(input: InputResponse, p: f64) -> f64 {
-    WORKING_SET_FACTOR * input.d_at(p) / p
+/// Estimated per-task execution working set at candidate `p` (see
+/// [`CostConstants::working_set_factor`]).
+fn task_working_set(input: InputResponse, p: f64, consts: &CostConstants) -> f64 {
+    consts.working_set_factor * input.d_at(p) / p
 }
 
 /// Spill-cost multiplier for evaluating a candidate `p`: 1 when the
@@ -128,7 +130,7 @@ fn spill_factor(input: InputResponse, p: f64, opts: &OptimizerOptions) -> f64 {
     if budget <= 0.0 || p <= 0.0 {
         return 1.0;
     }
-    let overflow = (task_working_set(input, p) - budget).max(0.0);
+    let overflow = (task_working_set(input, p, &opts.cost_constants) - budget).max(0.0);
     1.0 + opts.spill_penalty * overflow / budget
 }
 
@@ -143,7 +145,7 @@ fn recovery_factor(p: f64, pred_time: f64, opts: &OptimizerOptions) -> f64 {
     if opts.fault_prob <= 0.0 || p <= 0.0 {
         return 1.0;
     }
-    let relaunch = p * opts.task_overhead / pred_time.max(1e-9);
+    let relaunch = p * opts.task_overhead / pred_time.max(opts.cost_constants.pred_time_floor);
     1.0 + opts.fault_prob * (1.0 + relaunch)
 }
 
@@ -237,7 +239,7 @@ fn stage_baseline(
         None => 1.0,
         Some(bw) => {
             let shuffle_time = s0 / bw.max(1.0);
-            (shuffle_time / t0.max(1e-9)).clamp(0.0, 1.0)
+            (shuffle_time / t0.max(opts.cost_constants.pred_time_floor)).clamp(0.0, 1.0)
         }
     };
     Some((t0, s0, significance))
@@ -246,8 +248,8 @@ fn stage_baseline(
 /// `getMinPar`: grid search over candidate partition counts, restricted to
 /// the range the model was actually trained on — the Eq. 1–2 polynomial has
 /// no business being evaluated far outside its observations.
-fn get_min_par(
-    model: &StageModel,
+pub(crate) fn get_min_par<M: CostSurface + ?Sized>(
+    model: &M,
     input: InputResponse,
     baseline: (f64, f64, f64),
     opts: &OptimizerOptions,
@@ -274,7 +276,7 @@ fn get_min_par(
         Some(budget) => candidates
             .iter()
             .copied()
-            .filter(|&p| task_working_set(input, p as f64) <= budget)
+            .filter(|&p| task_working_set(input, p as f64, &opts.cost_constants) <= budget)
             .collect(),
     };
     let candidates = if feasible.is_empty() {
@@ -375,7 +377,7 @@ pub fn get_workload_par(
         .dag
         .iter()
         .map(|stage| {
-            let input = input_response(rec, stage, target_input_bytes);
+            let input = input_response(rec, stage, target_input_bytes, opts);
             let par = get_stage_par_with_input(rec, stage.signature, input, opts);
             (stage.clone(), par)
         })
@@ -397,7 +399,7 @@ fn stage_input(stage: &DagStage, target_input_bytes: u64) -> f64 {
 /// We detect the correlation in the observations and, when strong, model
 /// `D(P)` with a linear fit.
 #[derive(Debug, Clone, Copy)]
-enum InputResponse {
+pub(crate) enum InputResponse {
     /// `D` is independent of `P`: use the ratio-scaled workload input.
     Fixed(f64),
     /// `D ≈ a + b·P` (strong observed correlation).
@@ -419,6 +421,7 @@ fn input_response(
     rec: &WorkloadRecord,
     stage: &DagStage,
     target_input_bytes: u64,
+    opts: &OptimizerOptions,
 ) -> InputResponse {
     let mut pts: Vec<(f64, f64)> = Vec::new(); // (p, d)
     for kind in [PartitionerKind::Hash, PartitionerKind::Range] {
@@ -428,8 +431,9 @@ fn input_response(
                 .map(|o| (o.p, o.d)),
         );
     }
+    let consts = &opts.cost_constants;
     let fixed = InputResponse::Fixed(stage_input(stage, target_input_bytes));
-    if pts.len() < 4 {
+    if pts.len() < consts.input_min_points {
         return fixed;
     }
     let n = pts.len() as f64;
@@ -442,11 +446,11 @@ fn input_response(
         / n;
     let var_p: f64 = pts.iter().map(|(p, _)| (p - mean_p).powi(2)).sum::<f64>() / n;
     let var_d: f64 = pts.iter().map(|(_, d)| (d - mean_d).powi(2)).sum::<f64>() / n;
-    if var_p <= 1e-12 || var_d <= 1e-12 {
+    if var_p <= consts.variance_eps || var_d <= consts.variance_eps {
         return fixed;
     }
     let corr = cov / (var_p.sqrt() * var_d.sqrt());
-    if corr.abs() < 0.8 {
+    if corr.abs() < consts.input_corr_cutoff {
         return fixed;
     }
     let b = cov / var_p;
@@ -474,12 +478,12 @@ fn group_cost(
     let mut any = false;
     for stage in members {
         if let Some(model) = model_for(rec, stage.signature, scheme.kind, opts.basis) {
-            let input = input_response(rec, stage, target_input_bytes);
+            let input = input_response(rec, stage, target_input_bytes, opts);
             let Some((t0, s0, significance)) = stage_baseline(rec, stage.signature, input, opts)
             else {
                 continue;
             };
-            let weight = stage.multiplicity as f64 * t0.max(1e-6);
+            let weight = stage.multiplicity as f64 * t0.max(opts.cost_constants.group_weight_floor);
             let p = scheme.partitions as f64;
             let pred = model.predict_time(input.d_at(p), p);
             total += weight
@@ -571,7 +575,7 @@ pub fn get_global_par(
             }
         };
         for stage in &members {
-            let input = input_response(rec, stage, target_input_bytes);
+            let input = input_response(rec, stage, target_input_bytes, opts);
             if let Some(par) = get_stage_par_with_input(rec, stage.signature, input, opts) {
                 push(
                     PartitionerSpec {
@@ -681,7 +685,7 @@ fn decide_single(
     target_input_bytes: u64,
     opts: &OptimizerOptions,
 ) -> DecisionAction {
-    let input = input_response(rec, stage, target_input_bytes);
+    let input = input_response(rec, stage, target_input_bytes, opts);
     let par = get_stage_par_with_input(rec, stage.signature, input, opts);
     match par {
         Some(par) if stage.configurable && !stage.user_fixed => {

@@ -99,6 +99,11 @@ pub(crate) struct PipelineInput<'a> {
     /// slot cap clamped to the pool width). Host-side concurrency only —
     /// the unit queue and virtual accounting are identical at any width.
     pub(crate) lanes: usize,
+    /// Adaptive hot-partition splitting (`EngineOptions::adaptive`).
+    /// Eligible consumers gate on the full map×partition byte table and
+    /// split exactly as the barrier engine does — same decision inputs,
+    /// same shared split-merge, bit-identical outputs and sub stats.
+    pub(crate) adaptive: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -115,6 +120,10 @@ struct Exchange {
     consumers: usize,
     /// Shared empty bucket used to cheaply replace taken columns.
     empty: Arc<Vec<Record>>,
+    /// The adaptive split decision for this shuffle, computed once from
+    /// the complete byte table (all maps published). Only consulted by
+    /// split-gated consumer stages.
+    split: OnceLock<Option<crate::adaptive::SplitPlan>>,
     inner: Mutex<ExInner>,
 }
 
@@ -137,6 +146,7 @@ impl Exchange {
             maps,
             consumers,
             empty: Arc::new(Vec::new()),
+            split: OnceLock::new(),
             inner: Mutex::new(ExInner {
                 rows: (0..maps).map(|_| None).collect(),
                 bytes: (0..maps).map(|_| None).collect(),
@@ -225,6 +235,10 @@ enum RootRecipe {
     Shuffle {
         ex: usize,
         merge: MergeKind,
+        /// `Some(base_seed)` when this stage is adaptive-split eligible:
+        /// its units gate on the full byte table before merging, and hot
+        /// columns split with per-task router seeds derived from the base.
+        split_seed: Option<u64>,
     },
     Join {
         left: SideRecipe,
@@ -314,6 +328,9 @@ struct JoinProgress {
 
 enum UnitState {
     Fresh,
+    /// Split-eligible reduce task parked until every map has published:
+    /// the split decision needs the complete map×partition byte table.
+    SplitGate,
     Shuffle(ShuffleProgress),
     Join(JoinProgress),
     /// Output deposited; waiting on the range barrier before bucketizing.
@@ -390,6 +407,7 @@ pub(crate) fn run_pipelined(input: PipelineInput<'_>) -> Vec<StageData> {
         trace: sink,
         batch,
         lanes,
+        adaptive,
     } = input;
 
     // How many stages consume each shuffle (a self-join counts its one
@@ -443,9 +461,16 @@ pub(crate) fn run_pipelined(input: PipelineInput<'_>) -> Vec<StageData> {
                         OpKind::Repartition { .. } => MergeKind::Concat,
                         other => unreachable!("single-parent wide op expected, got {other:?}"),
                     };
+                    // Same eligibility and seed derivation as the barrier
+                    // engine's `exec_stage`, so both engines gate and split
+                    // identically.
+                    let split_seed = (adaptive
+                        && crate::adaptive::split_eligible(plan, graph, s).is_some())
+                    .then(|| crate::adaptive::split_seed(job_id, s));
                     RootRecipe::Shuffle {
                         ex: *shuffle,
                         merge,
+                        split_seed,
                     }
                 }
                 StageRoot::JoinRead { wide, left, right } => {
@@ -734,7 +759,13 @@ fn run_unit(rt: &Runtime<'_>, uid: usize, participant: usize) -> Progress {
                     );
                     return finish_unit(rt, &mut unit, uid, out, participant);
                 }
-                RootRecipe::Shuffle { merge, .. } => {
+                RootRecipe::Shuffle {
+                    merge, split_seed, ..
+                } => {
+                    if split_seed.is_some() {
+                        unit.state = UnitState::SplitGate;
+                        continue;
+                    }
                     unit.state = UnitState::Shuffle(ShuffleProgress {
                         next: 0,
                         acc: match merge {
@@ -763,6 +794,104 @@ fn run_unit(rt: &Runtime<'_>, uid: usize, participant: usize) -> Progress {
                     });
                 }
             },
+            UnitState::SplitGate => {
+                let RootRecipe::Shuffle {
+                    ex,
+                    merge,
+                    split_seed,
+                } = &recipe.root
+                else {
+                    unreachable!()
+                };
+                let exch = &rt.exchanges[*ex];
+                // Park until every map has published: the split decision
+                // is a function of the complete byte table. Eligible
+                // stages read range shuffles, whose map side synchronizes
+                // on the sample barrier anyway, so no overlap is lost.
+                {
+                    let mut inner = lock(&exch.inner);
+                    if inner.avail < exch.maps {
+                        inner.waiters.push(uid);
+                        return Progress::Parked;
+                    }
+                }
+                let split = exch.split.get_or_init(|| {
+                    let inner = lock(&exch.inner);
+                    let p = inner.bytes[0].as_ref().expect("published").len();
+                    let cols: Vec<u64> = (0..p)
+                        .map(|i| {
+                            inner
+                                .bytes
+                                .iter()
+                                .map(|b| b.as_ref().expect("published")[i])
+                                .sum()
+                        })
+                        .collect();
+                    crate::adaptive::plan_splits(&cols)
+                });
+                let k = split.as_ref().map_or(1, |sp| sp.subs[task]);
+                if k <= 1 {
+                    // Cold partition: the normal incremental merge, which
+                    // now consumes the (fully available) column in one go.
+                    unit.state = UnitState::Shuffle(ShuffleProgress {
+                        next: 0,
+                        acc: match merge {
+                            MergeKind::Reduce(f, c) => {
+                                MergeAcc::Reduce(ReduceMerge::new(Arc::clone(f)), *c)
+                            }
+                            MergeKind::Group(c) => MergeAcc::Group(GroupMerge::new(), *c),
+                            MergeKind::Concat => MergeAcc::Concat(ConcatMerge::new()),
+                        },
+                        fetched: 0,
+                        bytes: 0,
+                    });
+                    continue;
+                }
+                // Hot partition: take the whole column in map order and
+                // run the shared split merge — the identical routine the
+                // barrier engine's `compute_task` runs on its buckets.
+                let mut maps_rows: Vec<Vec<Record>> = Vec::with_capacity(exch.maps);
+                let mut fetched = 0u64;
+                let mut bytes = 0u64;
+                for m in 0..exch.maps {
+                    let (bucket, b) =
+                        take_or_park(exch, m, task, uid).expect("full prefix published");
+                    fetched += bucket.len() as u64;
+                    bytes += b;
+                    maps_rows.push(match bucket {
+                        Taken::Owned(v) => v,
+                        Taken::Shared(a) => a.as_ref().clone(),
+                        Taken::Cols(cb) => cb.to_records(),
+                    });
+                }
+                let seed = split_seed.expect("gated stage has a seed")
+                    ^ ((task as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+                let router = crate::adaptive::SubRouter::build(
+                    maps_rows.iter().flatten().map(|r| &r.key),
+                    k,
+                    seed,
+                );
+                let (records, cost, stats) =
+                    crate::adaptive::merge_split(maps_rows, merge, &router);
+                let records = TaskRecords::Owned(records);
+                let mut captures = Vec::new();
+                if recipe.capture_root {
+                    captures.push((recipe.root_rdd, capture_arc(&records)));
+                }
+                let mut out = run_chain_and_finish(
+                    rt.graph,
+                    &recipe.chain,
+                    task,
+                    records,
+                    cost,
+                    fetched,
+                    bytes,
+                    captures,
+                    recipe.sample.as_ref(),
+                );
+                out.sub_stats = Some(stats);
+                return finish_unit(rt, &mut unit, uid, out, participant);
+            }
             UnitState::Shuffle(sp) => {
                 let RootRecipe::Shuffle { ex, .. } = &recipe.root else {
                     unreachable!()

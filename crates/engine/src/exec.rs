@@ -113,6 +113,21 @@ pub struct EngineOptions {
     /// epochs may occupy. Purely a host-side concern — virtual timings and
     /// results are bit-identical shared or not.
     pub shared_pool: Option<Arc<WorkerPool>>,
+    /// Adaptive query execution (the default): after the map side of a
+    /// range-partitioned shuffle completes, the engine inspects the
+    /// map×partition byte table and splits hot reduce partitions into
+    /// sub-tasks before reduce work dispatches (see [`crate::adaptive`]).
+    /// Every decision is a pure function of data-plane byte counts, so
+    /// results stay bit-identical across worker counts, engines, and
+    /// fault plans; sorted output tables equal the unsplit run's. `false`
+    /// restores static plans bit-for-bit — timings included.
+    pub adaptive: bool,
+    /// Between-jobs re-optimization hook. After each job the engine hands
+    /// the hook that job's per-stage actuals ([`crate::adaptive::StageActuals`]);
+    /// a returned [`WorkloadConf`] replaces the context's configuration
+    /// for subsequent jobs. `None` (the default) never re-plans. Installed
+    /// by CHOPPER's adaptive layer (`chopper::adaptive::replan`).
+    pub replan: Option<crate::adaptive::ReplanHook>,
 }
 
 impl Default for EngineOptions {
@@ -136,6 +151,8 @@ impl Default for EngineOptions {
             faults: None,
             batch: true,
             shared_pool: None,
+            adaptive: true,
+            replan: None,
         }
     }
 }
@@ -854,6 +871,7 @@ impl Context {
                 trace: &self.options.trace,
                 batch: self.options.batch,
                 lanes: self.lane_cap().min(self.pool.workers()),
+                adaptive: self.options.adaptive,
             })
             .into();
         }
@@ -880,6 +898,72 @@ impl Context {
         if result_bytes > 0 {
             self.sim
                 .advance(result_bytes as f64 / self.options.driver_bandwidth);
+        }
+
+        // Between-jobs re-optimization: hand the finished job's actuals to
+        // the installed hook; a returned configuration replaces `conf` for
+        // subsequent jobs. Decisions and their trigger state are recorded
+        // as virtual-clock trace instants on the driver track.
+        if let Some(hook) = self.options.replan.clone() {
+            let actuals: Vec<crate::adaptive::StageActuals> = stage_metrics
+                .iter()
+                .enumerate()
+                .map(|(idx, m)| {
+                    let write_bucket_skew = match plan.stages[idx].output {
+                        StageOutput::ShuffleWrite(sidx) => shuffles[sidx]
+                            .as_ref()
+                            .map(|d| {
+                                let p = plan.shuffles[sidx].scheme.partitions;
+                                let cols: Vec<f64> = (0..p)
+                                    .map(|i| d.bytes.iter().map(|b| b[i]).sum::<u64>() as f64)
+                                    .collect();
+                                trace::skew_ratio(&cols)
+                            })
+                            .unwrap_or(1.0),
+                        StageOutput::Result => 1.0,
+                    };
+                    crate::adaptive::StageActuals {
+                        stage_id: m.stage_id,
+                        signature: m.root_signature,
+                        kind: m.kind,
+                        scheme: m.scheme,
+                        configurable: m.configurable,
+                        num_tasks: self.stage_partitions(&plan, &plan.stages[idx]).max(1),
+                        tasks_run: m.num_tasks,
+                        input_records: m.input_records,
+                        input_bytes: m.input_bytes,
+                        output_bytes: m.output_bytes,
+                        shuffle_read_bytes: m.shuffle_read_bytes,
+                        shuffle_write_bytes: m.shuffle_write_bytes,
+                        write_bucket_skew,
+                        duration_s: m.end - m.start,
+                        task_skew: m.task_skew(),
+                    }
+                })
+                .collect();
+            let input = crate::adaptive::ReplanInput {
+                job_id,
+                clock: self.sim.clock(),
+                conf: self.conf.clone(),
+                actuals,
+            };
+            if let Some(new_conf) = hook(&input) {
+                if self.options.trace.is_enabled() {
+                    use trace::{pids, Clock, Track};
+                    self.options.trace.instant(
+                        Clock::Virtual,
+                        Track::new(pids::DRIVER, 0),
+                        format!("j{job_id} adaptive replan"),
+                        "adaptive",
+                        input.clock,
+                        vec![
+                            ("job", job_id.into()),
+                            ("decisions", new_conf.stages.len().into()),
+                        ],
+                    );
+                }
+                self.conf = new_conf;
+            }
         }
 
         self.jobs.push(JobMetrics {
@@ -1001,6 +1085,14 @@ impl Context {
         let mut parents_gids: Vec<usize> = Vec::new();
         // Cached RDDs consumed by this stage, for lineage ref-counting.
         let mut cached_reads: Vec<Rdd> = Vec::new();
+        // Adaptive hot-partition split, decided from the producer's
+        // map×partition byte table before any reduce work dispatches.
+        // Purely data-plane inputs: identical across engines, worker
+        // counts, and fault plans. `None` when `--adaptive off`, the stage
+        // is ineligible, or the column skew sits below the trigger.
+        let mut split_plan: Option<crate::adaptive::SplitPlan> = None;
+        // Producer task placements, kept for per-sub fetch construction.
+        let mut producer_nodes: Vec<NodeId> = Vec::new();
         match &stage.root {
             StageRoot::Source(rdd) => {
                 let node = self.graph.node(*rdd);
@@ -1102,6 +1194,18 @@ impl Context {
                     OpKind::Repartition { .. } => MergeKind::Concat,
                     other => unreachable!("single-parent wide op expected, got {other:?}"),
                 };
+                if self.options.adaptive
+                    && crate::adaptive::split_eligible(plan, &self.graph, plan_idx).is_some()
+                {
+                    let cols: Vec<u64> = (0..num_tasks)
+                        .map(|i| data.bytes.iter().map(|b| b[i]).sum())
+                        .collect();
+                    split_plan = crate::adaptive::plan_splits(&cols);
+                    if split_plan.is_some() {
+                        producer_nodes = data.nodes.clone();
+                    }
+                }
+                let split_base_seed = crate::adaptive::split_seed(job_id, plan_idx);
                 for i in 0..num_tasks {
                     let input = if replay {
                         // Pipelined runs leave `buckets` empty: the exchange
@@ -1115,6 +1219,13 @@ impl Context {
                                 .map(|task_buckets| task_buckets[i].clone())
                                 .collect(),
                             merge: merge.clone(),
+                            split: split_plan.as_ref().and_then(|sp| {
+                                (sp.subs[i] > 1).then_some(SplitDirective {
+                                    k: sp.subs[i],
+                                    seed: split_base_seed
+                                        ^ ((i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)),
+                                })
+                            }),
                         }
                     };
                     let fetches =
@@ -1386,7 +1497,37 @@ impl Context {
             _ => None,
         };
         let task_mem_budget = self.options.per_task_mem_budget();
+        let split_active = split_plan.is_some();
+        if let Some(sp) = &split_plan {
+            if sink.is_enabled() {
+                use trace::{pids, Clock, Track};
+                let hot = sp.subs.iter().filter(|&&k| k > 1).count();
+                sink.instant(
+                    Clock::Virtual,
+                    Track::new(pids::DRIVER, 0),
+                    format!("j{job_id}.s{gid} adaptive split"),
+                    "adaptive",
+                    self.sim.clock(),
+                    vec![
+                        ("stage", gid.into()),
+                        ("job", job_id.into()),
+                        ("hot_partitions", hot.into()),
+                        ("physical_tasks", num_tasks.into()),
+                        ("virtual_tasks", sp.total_tasks().into()),
+                    ],
+                );
+            }
+        }
         let mut specs: Vec<TaskSpec> = Vec::with_capacity(num_tasks);
+        // Split tasks expand into several virtual specs, but downstream
+        // consumers address shuffle data per *physical* task: remember each
+        // task's final spec, whose node finishes (and stores) its output.
+        let mut last_spec_of_task: Vec<usize> = Vec::with_capacity(num_tasks);
+        // As-if-unsplit specs, retained for lineage recovery under a fault
+        // plan: recompute of a lost map output re-runs the whole physical
+        // task, not one sub.
+        let keep_unsplit = self.faults.is_some() && split_active;
+        let mut unsplit_specs: Vec<TaskSpec> = Vec::new();
         for (i, prep) in preps.iter().enumerate() {
             let out = &outs[i];
             let mut write_bytes = bucket_bytes
@@ -1411,7 +1552,10 @@ impl Context {
                 .unwrap_or_else(|| batch_size(out.records.as_slice()));
             let mut preferred = prep.preferred.clone();
             let mut pinned = None;
-            if self.options.copartition_scheduling {
+            // Split stages skip co-partition anchoring: their virtual task
+            // indices no longer align 1:1 with partition indices, so an
+            // anchor keyed on them would pin the wrong data together.
+            if self.options.copartition_scheduling && !split_active {
                 if let Some(s) = root_scheme {
                     if let Some(&anchor) = self.anchors.get(&(s.kind, s.partitions, i)) {
                         pinned = Some(anchor);
@@ -1422,7 +1566,7 @@ impl Context {
                     }
                 }
             }
-            specs.push(TaskSpec {
+            let base_spec = TaskSpec {
                 compute_cost: out.cost + extra_cost[i],
                 local_read_bytes,
                 fetches: prep.fetches.clone(),
@@ -1431,11 +1575,58 @@ impl Context {
                 memory_bytes: out.input_bytes + out_bytes,
                 preferred_nodes: preferred,
                 pinned_node: pinned,
-            });
+            };
+            if keep_unsplit {
+                unsplit_specs.push(base_spec.clone());
+            }
+            match out.sub_stats.as_deref() {
+                Some(stats) => {
+                    debug_assert_eq!(
+                        stats.iter().map(|s| s.fetched).sum::<u64>(),
+                        out.input_records,
+                        "sub-splits must partition the task's input"
+                    );
+                    let sub_cost_sum: f64 = stats.iter().map(|s| s.cost).sum();
+                    for (s_idx, st) in stats.iter().enumerate() {
+                        let last = s_idx + 1 == stats.len();
+                        let sub_in: u64 = st.per_map_bytes.iter().sum();
+                        specs.push(TaskSpec {
+                            // The narrow chain (plus any bucketize/spill
+                            // charge) runs once over the concatenated
+                            // sub-outputs; charge it to the last sub, whose
+                            // finish gates the physical task's output.
+                            compute_cost: st.cost
+                                + if last {
+                                    (out.cost - sub_cost_sum) + extra_cost[i]
+                                } else {
+                                    0.0
+                                },
+                            local_read_bytes: if last { local_read_bytes } else { 0 },
+                            fetches: aggregate_fetches(
+                                producer_nodes.iter().zip(st.per_map_bytes.iter().copied()),
+                            ),
+                            fetch_chunks: st.per_map_bytes.iter().filter(|&&b| b > 0).count(),
+                            write_bytes: if last { write_bytes } else { 0 },
+                            memory_bytes: sub_in + st.out_bytes,
+                            preferred_nodes: Vec::new(),
+                            pinned_node: None,
+                        });
+                    }
+                }
+                None => specs.push(base_spec),
+            }
+            last_spec_of_task.push(specs.len() - 1);
         }
+        // Fetch-table snapshot for metrics: fault injection below appends
+        // re-fetch entries to spec fetch lists, but the metrics byte
+        // tables must stay fault-invariant.
+        let spec_fetches: Vec<Vec<(NodeId, u64)>> =
+            specs.iter().map(|s| s.fetches.clone()).collect();
         let stage_faults = self.inject_task_faults(&mut specs, gid);
         let timing = self.sim.run_stage(&specs);
         let nodes: Vec<NodeId> = timing.tasks.iter().map(|t| t.node).collect();
+        // Per physical task: the node that finished it (its last sub).
+        let physical_nodes: Vec<NodeId> = last_spec_of_task.iter().map(|&j| nodes[j]).collect();
         if let Some((retried, failures, corrupt)) = stage_faults {
             self.emit_fault_event(
                 &format!("j{job_id}.s{gid} retries"),
@@ -1450,7 +1641,8 @@ impl Context {
         }
 
         // Anchor co-partitioned indices for subsequent same-scheme stages.
-        if self.options.copartition_scheduling {
+        // Split stages don't anchor: spec indices ≠ partition indices.
+        if self.options.copartition_scheduling && !split_active {
             if let Some(s) = root_scheme {
                 for (i, &n) in nodes.iter().enumerate() {
                     self.anchors.entry((s.kind, s.partitions, i)).or_insert(n);
@@ -1500,10 +1692,10 @@ impl Context {
                 *self.reads_done.entry(rdd).or_insert(0) += 1;
             }
             let spilled = if self.governed() {
-                self.admit_capture(rdd, &parts, &nodes)
+                self.admit_capture(rdd, &parts, &physical_nodes)
             } else {
                 for (i, p) in parts.iter().enumerate() {
-                    self.sim.add_resident(nodes[i], batch_size(p));
+                    self.sim.add_resident(physical_nodes[i], batch_size(p));
                 }
                 false
             };
@@ -1511,7 +1703,7 @@ impl Context {
                 rdd,
                 Materialized {
                     parts,
-                    homes: nodes.clone(),
+                    homes: physical_nodes.clone(),
                     partitioning,
                     producer_stage: gid,
                     spilled,
@@ -1536,9 +1728,11 @@ impl Context {
                 shuffles[sidx] = Some(ShuffleData {
                     buckets,
                     bytes,
-                    nodes: nodes.clone(),
+                    nodes: physical_nodes.clone(),
                     producer_gid: gid,
-                    specs: if self.faults.is_some() {
+                    specs: if keep_unsplit {
+                        unsplit_specs
+                    } else if self.faults.is_some() {
                         specs.clone()
                     } else {
                         Vec::new()
@@ -1556,22 +1750,20 @@ impl Context {
         }
 
         // ---------------- Metrics ----------------------------------------
+        // Computed from the (pre-injection) spec fetch tables, not `preps`:
+        // identical for unsplit stages (specs clone prep fetches verbatim),
+        // and correctly per-sub for split stages.
         let shuffle_read_bytes: u64 = match &stage.root {
-            StageRoot::ShuffleRead { .. } | StageRoot::JoinRead { .. } => preps
+            StageRoot::ShuffleRead { .. } | StageRoot::JoinRead { .. } => spec_fetches
                 .iter()
-                .flat_map(|p| p.fetches.iter().map(|(_, b)| *b))
+                .flat_map(|f| f.iter().map(|(_, b)| *b))
                 .sum(),
             _ => 0,
         };
-        let remote_read_bytes: u64 = preps
+        let remote_read_bytes: u64 = spec_fetches
             .iter()
             .zip(&nodes)
-            .flat_map(|(p, &n)| {
-                p.fetches
-                    .iter()
-                    .filter(move |(src, _)| *src != n)
-                    .map(|(_, b)| *b)
-            })
+            .flat_map(|(f, &n)| f.iter().filter(move |(src, _)| *src != n).map(|(_, b)| *b))
             .sum();
         let (kind, configurable) = match &stage.root {
             StageRoot::Source(rdd) => {
@@ -1611,7 +1803,9 @@ impl Context {
             }),
             configurable,
             user_fixed: root_node.user_fixed,
-            num_tasks,
+            // Virtual tasks actually simulated — exceeds the physical
+            // partition count when an adaptive split fired.
+            num_tasks: specs.len(),
             input_records: outs.iter().map(|o| o.input_records).sum(),
             input_bytes: outs.iter().map(|o| o.input_bytes).sum(),
             output_records: match &pre_lens {
@@ -1651,7 +1845,7 @@ impl Context {
                 vec![
                     ("stage", gid.into()),
                     ("job", job_id.into()),
-                    ("tasks", num_tasks.into()),
+                    ("tasks", metrics.num_tasks.into()),
                     ("kind", format!("{:?}", metrics.kind).into()),
                     ("skew", metrics.task_skew().into()),
                     ("shuffle_read_bytes", metrics.shuffle_read_bytes.into()),
@@ -2236,6 +2430,14 @@ pub(crate) enum MergeKind {
     Concat,
 }
 
+/// Instruction to split one hot reduce partition into `k` sub-merges
+/// (see [`crate::adaptive`]). `seed` feeds the sub-bound reservoir.
+#[derive(Clone, Copy)]
+pub(crate) struct SplitDirective {
+    pub(crate) k: usize,
+    pub(crate) seed: u64,
+}
+
 pub(crate) enum RootInput {
     Slice(Arc<Vec<Record>>, usize, usize),
     Gen(GenFn, usize, usize),
@@ -2243,6 +2445,7 @@ pub(crate) enum RootInput {
     Shuffle {
         parts: Vec<Bucket>,
         merge: MergeKind,
+        split: Option<SplitDirective>,
     },
     Join {
         left: Vec<Bucket>,
@@ -2319,6 +2522,10 @@ pub(crate) struct TaskOut {
     pub(crate) captures: Vec<(Rdd, Arc<Vec<Record>>)>,
     /// Keys reservoir-sampled from the final records (range shuffles only).
     pub(crate) sample: Vec<Key>,
+    /// Per-sub virtual-task statistics when this task ran as an adaptive
+    /// split (`None` for unsplit tasks). The driver turns these into one
+    /// `TaskSpec` per sub.
+    pub(crate) sub_stats: Option<Vec<crate::adaptive::SubTaskStats>>,
 }
 
 /// One narrow op compiled for a fused streaming pass.
@@ -2414,6 +2621,7 @@ pub(crate) fn compute_task(
     range_sample: Option<&SampleSpec>,
 ) -> TaskOut {
     let mut cost = 0.0;
+    let mut sub_stats: Option<Vec<crate::adaptive::SubTaskStats>> = None;
     let (records, input_records, input_bytes) = match input {
         RootInput::Slice(data, start, end) => {
             let slice = &data[*start..*end];
@@ -2434,7 +2642,34 @@ pub(crate) fn compute_task(
             let n = data.len() as u64;
             (TaskRecords::Shared(Arc::clone(data), 0, data.len()), n, b)
         }
-        RootInput::Shuffle { parts, merge } => {
+        RootInput::Shuffle {
+            parts,
+            merge,
+            split: Some(dir),
+        } => {
+            // Adaptive hot-partition split: materialize the incoming
+            // buckets in map order, route each record to one of `k`
+            // sub-buckets, and merge each sub independently. The routing
+            // is key-preserving, so aggregates match the unsplit merge;
+            // concatenation in sub order keeps the output deterministic.
+            let fetched: u64 = parts.iter().map(|p| p.len() as u64).sum();
+            let bytes: u64 = parts.iter().map(|p| p.encoded_bytes()).sum();
+            let maps: Vec<Vec<Record>> = parts.iter().map(Bucket::to_vec).collect();
+            let router = crate::adaptive::SubRouter::build(
+                maps.iter().flatten().map(|r| &r.key),
+                dir.k,
+                dir.seed,
+            );
+            let (records, merge_cost, stats) = crate::adaptive::merge_split(maps, merge, &router);
+            cost += merge_cost;
+            sub_stats = Some(stats);
+            (TaskRecords::Owned(records), fetched, bytes)
+        }
+        RootInput::Shuffle {
+            parts,
+            merge,
+            split: None,
+        } => {
             // Buckets arrive as row vectors or columnar slices; byte
             // accounting and merge results are identical either way
             // (`encoded_bytes` equals `batch_size` of the materialized
@@ -2512,7 +2747,7 @@ pub(crate) fn compute_task(
         captures.push((root_rdd, capture_arc(&records)));
     }
 
-    run_chain_and_finish(
+    let mut out = run_chain_and_finish(
         graph,
         chain,
         task_index,
@@ -2522,7 +2757,9 @@ pub(crate) fn compute_task(
         input_bytes,
         captures,
         range_sample,
-    )
+    );
+    out.sub_stats = sub_stats;
+    out
 }
 
 /// Runs the fused narrow chain over `records` and finishes the task:
@@ -2614,6 +2851,7 @@ pub(crate) fn run_chain_and_finish(
         input_bytes,
         captures,
         sample,
+        sub_stats: None,
     }
 }
 

@@ -44,6 +44,7 @@
 //! assert_eq!(out.len(), 5);
 //! ```
 
+pub mod adaptive;
 pub mod batch;
 pub mod config;
 mod exchange;
@@ -57,6 +58,9 @@ pub mod record;
 pub mod shuffle;
 pub mod stage;
 
+pub use adaptive::{
+    plan_splits, ReplanHook, ReplanInput, SplitPlan, StageActuals, SubRouter, HOT_SKEW_TRIGGER,
+};
 pub use batch::{concat_int_batches, run_int_chain, ColumnBatch, IntOp, KeyColumn, ValueColumn};
 pub use config::WorkloadConf;
 pub use exec::{Context, EngineOptions};

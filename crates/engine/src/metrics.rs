@@ -88,14 +88,7 @@ impl StageMetrics {
 
     /// Max/mean task-duration skew (1.0 = perfectly balanced).
     pub fn task_skew(&self) -> f64 {
-        if self.task_durations.is_empty() {
-            return 1.0;
-        }
-        let mean = self.task_durations.iter().sum::<f64>() / self.task_durations.len() as f64;
-        if mean == 0.0 {
-            return 1.0;
-        }
-        self.task_durations.iter().copied().fold(0.0, f64::max) / mean
+        trace::skew_ratio(&self.task_durations)
     }
 }
 

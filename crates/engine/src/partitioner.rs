@@ -277,18 +277,17 @@ pub fn measure_skew<'a, I>(partitioner: &dyn Partitioner, keys: I) -> f64
 where
     I: IntoIterator<Item = &'a Key>,
 {
-    let mut counts = vec![0u64; partitioner.num_partitions()];
+    let mut counts = vec![0.0f64; partitioner.num_partitions()];
     let mut total = 0u64;
     for k in keys {
-        counts[partitioner.partition(k)] += 1;
+        counts[partitioner.partition(k)] += 1.0;
         total += 1;
     }
     if total == 0 {
         return 1.0;
     }
-    let mean = total as f64 / counts.len() as f64;
-    let max = counts.iter().copied().max().unwrap_or(0) as f64;
-    max / mean
+    // One skew definition tree-wide: the trace summary's max/mean ratio.
+    trace::skew_ratio(&counts)
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ pub mod chrome;
 pub mod summary;
 
 pub use chrome::ClockFilter;
-pub use summary::{percentile, PoolCounters, StageSummaryRow, TraceSummary};
+pub use summary::{percentile, skew_ratio, PoolCounters, StageSummaryRow, TraceSummary};
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};

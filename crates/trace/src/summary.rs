@@ -6,6 +6,28 @@
 //! (diagnostic). Rendering is dependency-free: an aligned text table and
 //! a hand-rolled, stably-ordered JSON document.
 
+/// max/mean skew ratio of a set of per-task magnitudes (durations, byte
+/// counts, record counts — any non-negative load measure).
+///
+/// Returns 1.0 (perfectly balanced) for an empty slice or a zero mean so
+/// callers can multiply/compare without guarding. This is the *single*
+/// definition of "skew" in the tree: `StageSummaryRow::skew`, the engine's
+/// task-time skew metric, and the adaptive executor's hot-partition
+/// trigger all call it, so a threshold tuned against one is valid against
+/// the others.
+pub fn skew_ratio(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let mean = sum / values.len() as f64;
+    if mean <= 0.0 {
+        return 1.0;
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    max / mean
+}
+
 /// Nearest-rank percentile of an ascending-sorted slice (`p` in 0..=100).
 ///
 /// Returns 0.0 for an empty slice. Nearest-rank keeps the result an

@@ -178,6 +178,86 @@ impl TableGen {
     }
 }
 
+/// Byte-skewed keyed-row generator for the adaptive-execution workload:
+/// key *frequencies* are uniform, but a contiguous low range of keys
+/// carries a payload `fat_factor ×` larger than the rest. Count-based
+/// partitioning (and sampled range bounds, which equalize record counts)
+/// cannot see the imbalance — the partition holding the fat key range is
+/// byte-hot, which is exactly the condition the engine's hot-partition
+/// splitter detects from published per-bucket byte columns.
+#[derive(Debug, Clone)]
+pub struct HotTableGen {
+    /// Distinct keys (uniformly likely).
+    pub keys: usize,
+    /// Keys `0..fat_keys` carry the fat payload.
+    pub fat_keys: usize,
+    /// String payload bytes of a thin row.
+    pub payload: usize,
+    /// Fat-row payload multiplier.
+    pub fat_factor: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl HotTableGen {
+    /// A table over `keys` uniform keys where keys `0..fat_keys` carry
+    /// `fat_factor × payload` bytes.
+    pub fn new(keys: usize, fat_keys: usize, payload: usize, fat_factor: usize, seed: u64) -> Self {
+        assert!(
+            keys > 0 && fat_keys <= keys,
+            "fat range must fit the key space"
+        );
+        assert!(fat_factor >= 1, "fat rows cannot be thinner than thin rows");
+        HotTableGen {
+            keys,
+            fat_keys,
+            payload,
+            fat_factor,
+            seed,
+        }
+    }
+
+    /// The key of row `i` (uniform over `0..keys`).
+    pub fn key(&self, i: u64) -> i64 {
+        let mut rng = record_rng(self.seed, i);
+        rng.next_below(self.keys as u64) as i64
+    }
+
+    /// The row at global index `i`: `(key, Pair(amount, payload))` where
+    /// the payload is fat iff the key falls in the hot range.
+    pub fn record(&self, i: u64) -> Record {
+        let key = self.key(i);
+        let mut rng = record_rng(self.seed ^ 0xF00D, i);
+        let amount = (rng.next_f64() * 1000.0 * 100.0).round() / 100.0;
+        let bytes = if (key as u64) < self.fat_keys as u64 {
+            self.payload * self.fat_factor
+        } else {
+            self.payload
+        };
+        Record::new(
+            Key::Int(key),
+            Value::Pair(
+                Box::new(Value::Float(amount)),
+                Box::new(Value::str(&"x".repeat(bytes))),
+            ),
+        )
+    }
+
+    /// Records for partition `part` of `parts` over `n` rows, with
+    /// realistic split-size variance (see [`skewed_range`]).
+    pub fn partition(&self, n: u64, part: usize, parts: usize) -> Vec<Record> {
+        let (start, end) = skewed_range(n, part, parts);
+        (start..end).map(|i| self.record(i)).collect()
+    }
+
+    /// Approximate serialized bytes of `n` rows (expected payload mix).
+    pub fn bytes(&self, n: u64) -> u64 {
+        let fat_share = self.fat_keys as f64 / self.keys as f64;
+        let mean_payload = self.payload as f64 * (1.0 + fat_share * (self.fat_factor as f64 - 1.0));
+        n * (mean_payload as u64 + 40)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +368,44 @@ mod tests {
         let mean = n as f64 / parts as f64;
         assert!(max / mean > 1.2, "fat splits exist: max={max} mean={mean}");
         assert!(min / mean < 0.8, "thin splits exist: min={min} mean={mean}");
+    }
+
+    #[test]
+    fn hot_table_keys_are_uniform_but_bytes_are_not() {
+        let g = HotTableGen::new(64, 8, 8, 16, 77);
+        let mut counts = vec![0u64; 64];
+        let mut bytes = vec![0u64; 64];
+        for i in 0..20_000 {
+            let r = g.record(i);
+            let k = match &r.key {
+                Key::Int(k) => *k as usize,
+                other => panic!("unexpected key {other:?}"),
+            };
+            counts[k] += 1;
+            if let Value::Pair(_, payload) = &r.value {
+                if let Value::Str(s) = &**payload {
+                    bytes[k] += s.len() as u64;
+                }
+            }
+        }
+        let max_count = *counts.iter().max().unwrap() as f64;
+        let mean_count = 20_000.0 / 64.0;
+        assert!(max_count / mean_count < 1.5, "key frequencies stay uniform");
+        let fat: u64 = bytes[..8].iter().sum();
+        let thin: u64 = bytes[8..].iter().sum();
+        assert!(
+            fat > 2 * thin,
+            "fat key range dominates bytes: {fat} vs {thin}"
+        );
+    }
+
+    #[test]
+    fn hot_table_is_deterministic_and_partition_invariant() {
+        let g = HotTableGen::new(32, 4, 8, 8, 5);
+        let coarse: Vec<Record> = (0..2).flat_map(|p| g.partition(200, p, 2)).collect();
+        let fine: Vec<Record> = (0..7).flat_map(|p| g.partition(200, p, 7)).collect();
+        assert_eq!(coarse, fine, "same rows regardless of split count");
+        assert_eq!(coarse.len(), 200);
     }
 
     #[test]

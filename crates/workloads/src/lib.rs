@@ -13,6 +13,9 @@
 //!   narrow over two cached co-partitionable aggregates (Figs. 9–10).
 //! * [`logreg`] — logistic regression by distributed gradient descent, an
 //!   extra iterative subject beyond the paper's three.
+//! * [`skewagg`] — byte- and count-skewed group-by aggregations, the
+//!   demonstration subject for the adaptive execution layer (in-job
+//!   hot-partition splitting and between-job re-planning).
 //!
 //! All input data comes from the deterministic generators in [`datagen`];
 //! rerunning any workload with the same seed reproduces results, shuffle
@@ -22,10 +25,12 @@ pub mod datagen;
 pub mod kmeans;
 pub mod logreg;
 pub mod pca;
+pub mod skewagg;
 pub mod sql;
 
-pub use datagen::{PointGen, TableGen};
+pub use datagen::{HotTableGen, PointGen, TableGen};
 pub use kmeans::{KMeans, KMeansConfig, KMeansResult};
 pub use logreg::{LogReg, LogRegConfig, LogRegResult};
 pub use pca::{Pca, PcaConfig, PcaResult};
+pub use skewagg::{SkewAgg, SkewAggConfig, SkewAggResult};
 pub use sql::{Sql, SqlConfig, SqlResult};
